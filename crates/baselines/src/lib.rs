@@ -1,0 +1,28 @@
+//! Baseline view-placement strategies from the paper's evaluation (§4.1):
+//!
+//! * [`StaticPlacement`] — the three static assignments:
+//!   * **Random** — views hashed uniformly onto servers, ignoring both the
+//!     social graph and the cluster topology (how Memcached/Redis place
+//!     data). This is the normalisation baseline of every figure.
+//!   * **METIS** — a balanced graph partition of the social graph, one part
+//!     per server, parts assigned to servers at random.
+//!   * **Hierarchical METIS (hMETIS)** — the partition is computed
+//!     recursively along the cluster tree (intermediate switches → racks →
+//!     servers), so separated friends still tend to share a sub-tree.
+//! * [`SparEngine`] — SPAR (Pujol et al., SIGCOMM 2010) adapted to a memory
+//!   budget: the views of a user's friends are co-located with her own view
+//!   as long as storage is available, which makes reads local but multiplies
+//!   the cost of writes.
+//!
+//! All engines implement [`PlacementEngine`](dynasore_sim::PlacementEngine)
+//! and can be driven by the simulator interchangeably with
+//! [`DynaSoReEngine`](dynasore_core::DynaSoReEngine).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod spar;
+mod static_engine;
+
+pub use spar::SparEngine;
+pub use static_engine::StaticPlacement;

@@ -1,0 +1,473 @@
+//! SPAR (Pujol et al., SIGCOMM 2010) adapted to a bounded memory budget, as
+//! described in §4.1 of the DynaSoRe paper.
+//!
+//! SPAR "ensures the views of the social friends of a user are stored on the
+//! same server as her own view", which makes reads server-local at the price
+//! of updating many replicas on every write. The original SPAR assumes
+//! unbounded storage; the paper's adaptation replicates a friend's view onto
+//! a user's server only "as long as storage is available".
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use dynasore_graph::SocialGraph;
+use dynasore_sim::{MemoryUsage, Message, PlacementEngine};
+use dynasore_topology::Topology;
+use dynasore_types::{Error, MachineId, MemoryBudget, Result, SimTime, UserId};
+use dynasore_workload::GraphMutation;
+
+/// Number of protocol messages modelling the transfer of one view when SPAR
+/// creates a replica while the system is running (same convention as the
+/// DynaSoRe engine).
+const VIEW_TRANSFER_PROTOCOL_MESSAGES: usize = 10;
+
+#[derive(Debug, Clone)]
+struct SparServer {
+    machine: MachineId,
+    capacity: usize,
+    views: HashSet<UserId>,
+}
+
+impl SparServer {
+    fn is_full(&self) -> bool {
+        self.views.len() >= self.capacity
+    }
+}
+
+/// The SPAR placement engine with a memory budget.
+///
+/// # Example
+///
+/// ```
+/// use dynasore_baselines::SparEngine;
+/// use dynasore_graph::{GraphPreset, SocialGraph};
+/// use dynasore_sim::PlacementEngine;
+/// use dynasore_topology::Topology;
+/// use dynasore_types::MemoryBudget;
+///
+/// let graph = SocialGraph::generate(GraphPreset::TwitterLike, 300, 1).unwrap();
+/// let topology = Topology::tree(2, 2, 4, 1).unwrap();
+/// let budget = MemoryBudget::with_extra_percent(300, 50);
+/// let spar = SparEngine::new(&graph, &topology, budget, 7).unwrap();
+/// assert_eq!(spar.name(), "spar");
+/// // Every view exists at least once; replication uses the extra memory.
+/// assert!(spar.memory_usage().used_slots >= 300);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparEngine {
+    topology: Topology,
+    servers: Vec<SparServer>,
+    /// Dense server index of each user's primary (master) replica.
+    primary: Vec<usize>,
+    /// All dense server indices holding a replica of each user's view
+    /// (primary included).
+    replicas: Vec<Vec<usize>>,
+    /// Broker executing each user's requests: the broker of her primary's
+    /// rack.
+    proxies: Vec<MachineId>,
+}
+
+impl SparEngine {
+    /// Builds the SPAR placement for `graph` on `topology` within `budget`.
+    ///
+    /// Following §4.4, one replica is first created per user (on the least
+    /// loaded server at her arrival), then every edge of the social graph is
+    /// added in random order, each addition replicating the followee's view
+    /// onto the follower's primary server while space remains.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph is empty, the budget does not cover the
+    /// user count, or the cluster cannot hold one copy of every view.
+    pub fn new(
+        graph: &SocialGraph,
+        topology: &Topology,
+        budget: MemoryBudget,
+        seed: u64,
+    ) -> Result<Self> {
+        if graph.user_count() == 0 {
+            return Err(Error::invalid_config("cannot place views for an empty graph"));
+        }
+        if budget.view_count() != graph.user_count() {
+            return Err(Error::invalid_config(format!(
+                "memory budget covers {} views but the graph has {} users",
+                budget.view_count(),
+                graph.user_count()
+            )));
+        }
+        let server_count = topology.server_count();
+        let capacity = budget.slots_per_server(server_count)?;
+        if capacity * server_count < graph.user_count() {
+            return Err(Error::InsufficientCapacity {
+                required: graph.user_count(),
+                available: capacity * server_count,
+            });
+        }
+
+        let mut servers: Vec<SparServer> = topology
+            .servers()
+            .iter()
+            .map(|s| SparServer {
+                machine: s.machine(),
+                capacity,
+                views: HashSet::new(),
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Phase 1: primaries, in random user order, on the least loaded
+        // server.
+        let mut user_order: Vec<u32> = (0..graph.user_count() as u32).collect();
+        user_order.shuffle(&mut rng);
+        let mut primary = vec![0usize; graph.user_count()];
+        let mut replicas = vec![Vec::new(); graph.user_count()];
+        for &u in &user_order {
+            let user = UserId::new(u);
+            let target = (0..servers.len())
+                .min_by_key(|&i| servers[i].views.len())
+                .expect("at least one server");
+            servers[target].views.insert(user);
+            primary[user.as_usize()] = target;
+            replicas[user.as_usize()].push(target);
+        }
+
+        // Phase 2: simulate the addition of all social edges in random
+        // order, co-locating followee views with their readers while space
+        // remains.
+        let mut edges: Vec<(UserId, UserId)> = graph.edges().collect();
+        edges.shuffle(&mut rng);
+        for (follower, followee) in edges {
+            Self::try_colocate_static(
+                &mut servers,
+                &primary,
+                &mut replicas,
+                follower,
+                followee,
+            );
+        }
+
+        let proxies = primary
+            .iter()
+            .map(|&s| {
+                topology
+                    .local_broker(servers[s].machine)
+                    .map(|b| b.machine())
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        Ok(SparEngine {
+            topology: topology.clone(),
+            servers,
+            primary,
+            replicas,
+            proxies,
+        })
+    }
+
+    /// Replicates `followee`'s view onto `follower`'s primary server if it
+    /// is not already there and the server has space. Returns the target
+    /// server index if a replica was created.
+    fn try_colocate_static(
+        servers: &mut [SparServer],
+        primary: &[usize],
+        replicas: &mut [Vec<usize>],
+        follower: UserId,
+        followee: UserId,
+    ) -> Option<usize> {
+        if follower.as_usize() >= primary.len() || followee.as_usize() >= primary.len() {
+            return None;
+        }
+        let target = primary[follower.as_usize()];
+        if replicas[followee.as_usize()].contains(&target) {
+            return None;
+        }
+        if servers[target].is_full() {
+            return None;
+        }
+        servers[target].views.insert(followee);
+        replicas[followee.as_usize()].push(target);
+        Some(target)
+    }
+
+    /// The machine holding `user`'s primary replica.
+    pub fn primary_server(&self, user: UserId) -> Option<MachineId> {
+        self.primary
+            .get(user.as_usize())
+            .map(|&s| self.servers[s].machine)
+    }
+
+    /// The machines holding any replica of `user`'s view.
+    pub fn replica_servers(&self, user: UserId) -> Vec<MachineId> {
+        self.replicas
+            .get(user.as_usize())
+            .map(|r| r.iter().map(|&i| self.servers[i].machine).collect())
+            .unwrap_or_default()
+    }
+
+    /// Average number of replicas per view.
+    pub fn average_replication(&self) -> f64 {
+        if self.replicas.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.replicas.iter().map(Vec::len).sum();
+        total as f64 / self.replicas.len() as f64
+    }
+
+    /// Fraction of follower→followee pairs whose followee view is stored on
+    /// the follower's primary server (perfect SPAR = 1.0; lower when memory
+    /// runs out).
+    pub fn colocation_ratio(&self, graph: &SocialGraph) -> f64 {
+        let mut colocated = 0usize;
+        let mut total = 0usize;
+        for (follower, followee) in graph.edges() {
+            total += 1;
+            let target = self.primary[follower.as_usize()];
+            if self.replicas[followee.as_usize()].contains(&target) {
+                colocated += 1;
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            colocated as f64 / total as f64
+        }
+    }
+}
+
+impl PlacementEngine for SparEngine {
+    fn name(&self) -> &str {
+        "spar"
+    }
+
+    fn handle_read(
+        &mut self,
+        user: UserId,
+        targets: &[UserId],
+        _time: SimTime,
+        out: &mut Vec<Message>,
+    ) {
+        let Some(&broker) = self.proxies.get(user.as_usize()) else {
+            return;
+        };
+        for &target in targets {
+            let Some(replica_idxs) = self.replicas.get(target.as_usize()) else {
+                continue;
+            };
+            if replica_idxs.is_empty() {
+                continue;
+            }
+            // Route to the closest replica (usually the reader's own
+            // server thanks to co-location).
+            let server = replica_idxs
+                .iter()
+                .map(|&i| self.servers[i].machine)
+                .min_by_key(|&m| (self.topology.distance(broker, m), m.index()))
+                .expect("non-empty replica set");
+            out.push(Message::application(broker, server));
+            out.push(Message::application(server, broker));
+        }
+    }
+
+    fn handle_write(&mut self, user: UserId, _time: SimTime, out: &mut Vec<Message>) {
+        let Some(&broker) = self.proxies.get(user.as_usize()) else {
+            return;
+        };
+        // Every replica of the user's view must be updated.
+        for &ridx in &self.replicas[user.as_usize()] {
+            out.push(Message::application(broker, self.servers[ridx].machine));
+        }
+    }
+
+    fn on_graph_change(
+        &mut self,
+        mutation: GraphMutation,
+        _time: SimTime,
+        out: &mut Vec<Message>,
+    ) {
+        if let GraphMutation::AddEdge { follower, followee } = mutation {
+            // SPAR reacts to the evolution of the social network by
+            // co-locating the new friend's view, if memory allows.
+            let created = Self::try_colocate_static(
+                &mut self.servers,
+                &self.primary,
+                &mut self.replicas,
+                follower,
+                followee,
+            );
+            if let Some(target) = created {
+                let source = self.servers[self.primary[followee.as_usize()]].machine;
+                let target_machine = self.servers[target].machine;
+                out.push(Message::protocol(source, target_machine));
+                for _ in 0..VIEW_TRANSFER_PROTOCOL_MESSAGES {
+                    out.push(Message::protocol(source, target_machine));
+                }
+            }
+        }
+        // SPAR never reclaims replicas on edge removal.
+    }
+
+    fn replica_count(&self, user: UserId) -> usize {
+        self.replicas
+            .get(user.as_usize())
+            .map(Vec::len)
+            .unwrap_or(0)
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        MemoryUsage {
+            used_slots: self.servers.iter().map(|s| s.views.len()).sum(),
+            capacity_slots: self.servers.iter().map(|s| s.capacity).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasore_graph::GraphPreset;
+    use dynasore_types::MessageClass;
+
+    fn setup() -> (SocialGraph, Topology) {
+        let graph = SocialGraph::generate(GraphPreset::FacebookLike, 400, 4).unwrap();
+        let topology = Topology::tree(2, 2, 5, 1).unwrap();
+        (graph, topology)
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let (graph, topology) = setup();
+        assert!(SparEngine::new(&SocialGraph::new(0), &topology, MemoryBudget::exact(0), 1).is_err());
+        assert!(SparEngine::new(&graph, &topology, MemoryBudget::exact(10), 1).is_err());
+        assert!(SparEngine::new(&graph, &topology, MemoryBudget::exact(400), 1).is_ok());
+    }
+
+    #[test]
+    fn every_view_has_a_primary_and_capacity_is_respected() {
+        let (graph, topology) = setup();
+        let budget = MemoryBudget::with_extra_percent(400, 100);
+        let spar = SparEngine::new(&graph, &topology, budget, 2).unwrap();
+        for user in graph.users() {
+            assert!(spar.replica_count(user) >= 1);
+            assert!(spar
+                .replica_servers(user)
+                .contains(&spar.primary_server(user).unwrap()));
+        }
+        let capacity = budget.slots_per_server(topology.server_count()).unwrap();
+        for server in &spar.servers {
+            assert!(server.views.len() <= capacity);
+        }
+        let usage = spar.memory_usage();
+        assert!(usage.used_slots > 400, "extra memory should be used for replication");
+        assert!(usage.used_slots <= usage.capacity_slots);
+    }
+
+    #[test]
+    fn more_memory_means_more_colocation() {
+        let (graph, topology) = setup();
+        let tight = SparEngine::new(&graph, &topology, MemoryBudget::exact(400), 3).unwrap();
+        let roomy =
+            SparEngine::new(&graph, &topology, MemoryBudget::with_extra_percent(400, 200), 3)
+                .unwrap();
+        let tight_ratio = tight.colocation_ratio(&graph);
+        let roomy_ratio = roomy.colocation_ratio(&graph);
+        assert!(roomy_ratio > tight_ratio);
+        assert!(roomy.average_replication() > tight.average_replication());
+        // With 0% extra memory there is essentially no room to replicate.
+        assert!(tight.average_replication() < 1.1);
+    }
+
+    #[test]
+    fn reads_prefer_the_local_server_and_writes_update_all_replicas() {
+        let (graph, topology) = setup();
+        let budget = MemoryBudget::with_extra_percent(400, 200);
+        let mut spar = SparEngine::new(&graph, &topology, budget, 5).unwrap();
+        // Find a user with at least one followee co-located on her server.
+        let user = graph
+            .users()
+            .find(|&u| {
+                !graph.followees(u).is_empty()
+                    && graph.followees(u).iter().any(|&v| {
+                        spar.replica_servers(v)
+                            .contains(&spar.primary_server(u).unwrap())
+                    })
+            })
+            .expect("co-located pair exists");
+        let targets = graph.followees(user).to_vec();
+        let mut out = Vec::new();
+        spar.handle_read(user, &targets, SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 2 * targets.len());
+        // At least one read stayed within the user's own rack.
+        let broker = spar.proxies[user.as_usize()];
+        assert!(out.iter().any(|m| topology.distance(m.from, m.to) <= 1
+            && (m.from == broker || m.to == broker)));
+
+        out.clear();
+        let writer = graph.users().max_by_key(|&u| spar.replica_count(u)).unwrap();
+        spar.handle_write(writer, SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), spar.replica_count(writer));
+        assert!(out.iter().all(|m| m.class == MessageClass::Application));
+    }
+
+    #[test]
+    fn graph_changes_trigger_colocation_when_space_allows() {
+        // A small, sparse graph with ample memory so that servers keep spare
+        // capacity after the initial placement.
+        let mut graph = SocialGraph::new(40);
+        for i in 0..20u32 {
+            graph.add_edge(UserId::new(i), UserId::new(i + 20));
+        }
+        let topology = Topology::tree(2, 2, 5, 1).unwrap();
+        let budget = MemoryBudget::with_extra_percent(40, 200);
+        let mut spar = SparEngine::new(&graph, &topology, budget, 6).unwrap();
+        // Find a (follower, followee) pair that is not yet co-located.
+        let pair = graph
+            .users()
+            .flat_map(|u| graph.users().map(move |v| (u, v)))
+            .find(|&(u, v)| {
+                u != v
+                    && !graph.contains_edge(u, v)
+                    && !spar.replica_servers(v).contains(&spar.primary_server(u).unwrap())
+                    && !spar.servers[spar.primary[u.as_usize()]].is_full()
+            })
+            .expect("some non-colocated pair with spare capacity");
+        let before = spar.replica_count(pair.1);
+        let mut out = Vec::new();
+        spar.on_graph_change(
+            GraphMutation::AddEdge {
+                follower: pair.0,
+                followee: pair.1,
+            },
+            SimTime::ZERO,
+            &mut out,
+        );
+        assert_eq!(spar.replica_count(pair.1), before + 1);
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|m| m.class == MessageClass::Protocol));
+        // Removing the edge does not reclaim the replica.
+        spar.on_graph_change(
+            GraphMutation::RemoveEdge {
+                follower: pair.0,
+                followee: pair.1,
+            },
+            SimTime::ZERO,
+            &mut out,
+        );
+        assert_eq!(spar.replica_count(pair.1), before + 1);
+    }
+
+    #[test]
+    fn unknown_users_are_ignored() {
+        let (graph, topology) = setup();
+        let mut spar =
+            SparEngine::new(&graph, &topology, MemoryBudget::exact(400), 7).unwrap();
+        let mut out = Vec::new();
+        spar.handle_read(UserId::new(9_999), &[UserId::new(0)], SimTime::ZERO, &mut out);
+        spar.handle_write(UserId::new(9_999), SimTime::ZERO, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(spar.replica_count(UserId::new(9_999)), 0);
+    }
+}

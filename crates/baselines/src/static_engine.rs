@@ -1,0 +1,273 @@
+//! Static placements: Random, METIS and hierarchical METIS.
+
+use dynasore_core::{placement::initial_assignment, InitialPlacement};
+use dynasore_graph::SocialGraph;
+use dynasore_sim::{MemoryUsage, Message, PlacementEngine};
+use dynasore_topology::Topology;
+use dynasore_types::{MachineId, Result, SimTime, UserId};
+
+/// A static view placement: every user's view is stored on exactly one
+/// server, chosen before the experiment starts and never changed.
+///
+/// "The random placement and graph partitioning approaches produce static
+/// assignments of views to servers, which persists during the whole
+/// experiment" (§4.4). The proxies of a user are deployed on the broker of
+/// the rack hosting her view (§4.1).
+///
+/// # Example
+///
+/// ```
+/// use dynasore_baselines::StaticPlacement;
+/// use dynasore_graph::{GraphPreset, SocialGraph};
+/// use dynasore_sim::PlacementEngine;
+/// use dynasore_topology::Topology;
+///
+/// let graph = SocialGraph::generate(GraphPreset::TwitterLike, 300, 1).unwrap();
+/// let topology = Topology::tree(2, 2, 4, 1).unwrap();
+/// let random = StaticPlacement::random(&graph, &topology, 7).unwrap();
+/// assert_eq!(random.name(), "random");
+/// let metis = StaticPlacement::metis(&graph, &topology, 7).unwrap();
+/// assert_eq!(metis.name(), "metis");
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticPlacement {
+    name: String,
+    topology: Topology,
+    /// `servers[assignment[user]]` is the machine holding the user's view.
+    assignment: Vec<u32>,
+    servers: Vec<MachineId>,
+    /// Broker executing each user's requests (the broker of the view's
+    /// rack).
+    proxies: Vec<MachineId>,
+}
+
+impl StaticPlacement {
+    fn build(
+        name: &str,
+        placement: &InitialPlacement,
+        graph: &SocialGraph,
+        topology: &Topology,
+    ) -> Result<Self> {
+        let assignment = initial_assignment(placement, graph, topology)?;
+        let servers: Vec<MachineId> = topology.servers().iter().map(|s| s.machine()).collect();
+        let proxies = assignment
+            .iter()
+            .map(|&s| {
+                topology
+                    .local_broker(servers[s as usize])
+                    .map(|b| b.machine())
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(StaticPlacement {
+            name: name.to_string(),
+            topology: topology.clone(),
+            assignment,
+            servers,
+            proxies,
+        })
+    }
+
+    /// Uniform random placement (the paper's *Random* baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph is empty or the topology has no
+    /// servers.
+    pub fn random(graph: &SocialGraph, topology: &Topology, seed: u64) -> Result<Self> {
+        StaticPlacement::build("random", &InitialPlacement::Random { seed }, graph, topology)
+    }
+
+    /// Flat graph-partitioning placement (the paper's *METIS* baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph has fewer users than the cluster has
+    /// servers.
+    pub fn metis(graph: &SocialGraph, topology: &Topology, seed: u64) -> Result<Self> {
+        StaticPlacement::build("metis", &InitialPlacement::Metis { seed }, graph, topology)
+    }
+
+    /// Hierarchical graph-partitioning placement (the paper's *hMETIS*
+    /// baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph has fewer users than the cluster has
+    /// servers.
+    pub fn hierarchical_metis(
+        graph: &SocialGraph,
+        topology: &Topology,
+        seed: u64,
+    ) -> Result<Self> {
+        StaticPlacement::build(
+            "hmetis",
+            &InitialPlacement::HierarchicalMetis { seed },
+            graph,
+            topology,
+        )
+    }
+
+    /// The machine storing `user`'s view.
+    pub fn server_of(&self, user: UserId) -> Option<MachineId> {
+        self.assignment
+            .get(user.as_usize())
+            .map(|&s| self.servers[s as usize])
+    }
+
+    /// The broker executing `user`'s requests.
+    pub fn proxy_of(&self, user: UserId) -> Option<MachineId> {
+        self.proxies.get(user.as_usize()).copied()
+    }
+
+    /// The raw user → dense-server-index assignment.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+}
+
+impl PlacementEngine for StaticPlacement {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle_read(
+        &mut self,
+        user: UserId,
+        targets: &[UserId],
+        _time: SimTime,
+        out: &mut Vec<Message>,
+    ) {
+        let Some(broker) = self.proxy_of(user) else {
+            return;
+        };
+        for &target in targets {
+            let Some(server) = self.server_of(target) else {
+                continue;
+            };
+            out.push(Message::application(broker, server));
+            out.push(Message::application(server, broker));
+        }
+    }
+
+    fn handle_write(&mut self, user: UserId, _time: SimTime, out: &mut Vec<Message>) {
+        let (Some(broker), Some(server)) = (self.proxy_of(user), self.server_of(user)) else {
+            return;
+        };
+        out.push(Message::application(broker, server));
+    }
+
+    fn replica_count(&self, user: UserId) -> usize {
+        usize::from(user.as_usize() < self.assignment.len())
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        MemoryUsage {
+            used_slots: self.assignment.len(),
+            capacity_slots: self.assignment.len(),
+        }
+    }
+}
+
+// `topology` is kept for parity with future extensions (e.g. rack-aware
+// reporting); reference it so the field is clearly intentional.
+impl StaticPlacement {
+    /// The topology this placement was computed for.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasore_graph::GraphPreset;
+    use dynasore_types::MessageClass;
+
+    fn setup() -> (SocialGraph, Topology) {
+        let graph = SocialGraph::generate(GraphPreset::FacebookLike, 400, 2).unwrap();
+        let topology = Topology::tree(2, 2, 5, 1).unwrap();
+        (graph, topology)
+    }
+
+    #[test]
+    fn every_user_has_a_server_and_a_local_proxy() {
+        let (graph, topology) = setup();
+        for engine in [
+            StaticPlacement::random(&graph, &topology, 1).unwrap(),
+            StaticPlacement::metis(&graph, &topology, 1).unwrap(),
+            StaticPlacement::hierarchical_metis(&graph, &topology, 1).unwrap(),
+        ] {
+            for user in graph.users() {
+                let server = engine.server_of(user).unwrap();
+                let proxy = engine.proxy_of(user).unwrap();
+                assert!(topology.is_server(server));
+                assert!(topology.is_broker(proxy));
+                assert_eq!(
+                    topology.rack_of(server).unwrap(),
+                    topology.rack_of(proxy).unwrap(),
+                    "{}: proxy must be in the view's rack",
+                    engine.name()
+                );
+                assert_eq!(engine.replica_count(user), 1);
+            }
+            assert_eq!(engine.memory_usage().used_slots, 400);
+            assert_eq!(engine.replica_count(UserId::new(9_999)), 0);
+            assert_eq!(engine.topology().server_count(), topology.server_count());
+        }
+    }
+
+    #[test]
+    fn reads_contact_the_target_servers() {
+        let (graph, topology) = setup();
+        let mut engine = StaticPlacement::random(&graph, &topology, 3).unwrap();
+        let reader = UserId::new(0);
+        let targets: Vec<UserId> = graph.followees(reader).to_vec();
+        let mut out = Vec::new();
+        engine.handle_read(reader, &targets, SimTime::ZERO, &mut out);
+        // One request and one answer per target.
+        assert_eq!(out.len(), 2 * targets.len());
+        assert!(out.iter().all(|m| m.class == MessageClass::Application));
+        out.clear();
+        engine.handle_write(reader, SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn unknown_users_are_ignored() {
+        let (graph, topology) = setup();
+        let mut engine = StaticPlacement::metis(&graph, &topology, 3).unwrap();
+        let mut out = Vec::new();
+        engine.handle_read(UserId::new(9_999), &[UserId::new(1)], SimTime::ZERO, &mut out);
+        engine.handle_write(UserId::new(9_999), SimTime::ZERO, &mut out);
+        assert!(out.is_empty());
+        out.clear();
+        engine.handle_read(UserId::new(0), &[UserId::new(9_999)], SimTime::ZERO, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn metis_keeps_more_reads_inside_racks_than_random() {
+        let (graph, topology) = setup();
+        let random = StaticPlacement::random(&graph, &topology, 5).unwrap();
+        let metis = StaticPlacement::metis(&graph, &topology, 5).unwrap();
+        let local_fraction = |engine: &StaticPlacement| {
+            let mut local = 0usize;
+            let mut total = 0usize;
+            for user in graph.users() {
+                let broker = engine.proxy_of(user).unwrap();
+                for &t in graph.followees(user) {
+                    let server = engine.server_of(t).unwrap();
+                    total += 1;
+                    if topology.rack_of(broker).unwrap() == topology.rack_of(server).unwrap() {
+                        local += 1;
+                    }
+                }
+            }
+            local as f64 / total as f64
+        };
+        assert!(
+            local_fraction(&metis) > local_fraction(&random),
+            "graph partitioning should keep more reads rack-local"
+        );
+    }
+}

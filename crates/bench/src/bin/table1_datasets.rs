@@ -1,0 +1,47 @@
+//! **Table 1** — number of users and links in each dataset.
+//!
+//! The paper's datasets are proprietary crawls; this binary reports both the
+//! paper's published sizes and the properties of the synthetic stand-ins
+//! generated at the requested scale, so the substitution is visible in every
+//! experiment log.
+//!
+//! ```text
+//! cargo run --release -p dynasore-bench --bin table1_datasets [-- --users N]
+//! ```
+
+use dynasore_bench::{print_row, ExperimentScale};
+use dynasore_graph::{metrics, GraphPreset, SocialGraph};
+
+fn main() -> Result<(), dynasore_types::Error> {
+    let scale = ExperimentScale::from_args(ExperimentScale::default());
+    println!("# Table 1: number of users and links in each dataset");
+    println!("# (paper values, followed by the synthetic stand-in generated at --users {})", scale.users);
+    print_row(
+        [
+            "dataset",
+            "paper users",
+            "paper links",
+            "generated users",
+            "generated links",
+            "avg degree",
+            "max in-degree",
+            "reciprocity",
+        ]
+        .map(String::from),
+    );
+    for preset in GraphPreset::all() {
+        let graph = SocialGraph::generate(preset, scale.users, scale.seed)?;
+        let stats = metrics::degree_stats(&graph);
+        print_row([
+            preset.name().to_string(),
+            format!("{:.1}M", preset.paper_user_count() as f64 / 1e6),
+            format!("{:.0}M", preset.paper_link_count() as f64 / 1e6),
+            stats.user_count.to_string(),
+            stats.edge_count.to_string(),
+            format!("{:.1}", stats.mean_out_degree),
+            stats.max_in_degree.to_string(),
+            format!("{:.2}", metrics::reciprocity(&graph)),
+        ]);
+    }
+    Ok(())
+}

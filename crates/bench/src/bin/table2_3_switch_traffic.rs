@@ -1,0 +1,89 @@
+//! **Tables 2 and 3** — average per-switch traffic at the top, intermediate
+//! and rack tiers for DynaSoRe (warm-started from hMETIS) and SPAR,
+//! normalised to Random, at 30% (Table 2) or 150% (Table 3) extra memory.
+//!
+//! ```text
+//! cargo run --release -p dynasore-bench --bin table2_3_switch_traffic -- --extra-memory 30
+//! cargo run --release -p dynasore-bench --bin table2_3_switch_traffic -- --extra-memory 150
+//! ```
+
+use dynasore_baselines::{SparEngine, StaticPlacement};
+use dynasore_bench::{
+    dataset, dynasore_engine, fmt_norm, paper_topology, print_row, run_synthetic_after_warmup,
+    ExperimentScale,
+};
+use dynasore_core::InitialPlacement;
+use dynasore_graph::GraphPreset;
+use dynasore_topology::Tier;
+use dynasore_types::MemoryBudget;
+
+fn main() -> Result<(), dynasore_types::Error> {
+    let scale = ExperimentScale::from_args(ExperimentScale::default());
+    let topology = paper_topology()?;
+    let which_table = if scale.extra_memory <= 60 { 2 } else { 3 };
+    println!(
+        "# Table {which_table}: per-switch traffic (normalised to Random) with {}% extra memory",
+        scale.extra_memory
+    );
+    print_row(
+        ["tier", "system", "Facebook", "Twitter", "LiveJournal"].map(String::from),
+    );
+
+    // Collect normalised per-tier averages per graph for both systems.
+    let presets = [
+        GraphPreset::FacebookLike,
+        GraphPreset::TwitterLike,
+        GraphPreset::LiveJournalLike,
+    ];
+    let mut dynasore_rows = vec![Vec::new(); 3];
+    let mut spar_rows = vec![Vec::new(); 3];
+
+    for preset in presets {
+        let graph = dataset(preset, &scale)?;
+        let random = run_synthetic_after_warmup(
+            StaticPlacement::random(&graph, &topology, scale.seed)?,
+            &graph,
+            &topology,
+            scale.days,
+            scale.seed,
+        )?;
+        let budget = MemoryBudget::with_extra_percent(graph.user_count(), scale.extra_memory);
+        let dynasore = run_synthetic_after_warmup(
+            dynasore_engine(
+                &graph,
+                &topology,
+                scale.extra_memory,
+                InitialPlacement::HierarchicalMetis { seed: scale.seed },
+            )?,
+            &graph,
+            &topology,
+            scale.days,
+            scale.seed,
+        )?;
+        let spar = run_synthetic_after_warmup(
+            SparEngine::new(&graph, &topology, budget, scale.seed)?,
+            &graph,
+            &topology,
+            scale.days,
+            scale.seed,
+        )?;
+        for (i, tier) in Tier::all().into_iter().enumerate() {
+            dynasore_rows[i].push(fmt_norm(dynasore.normalized_tier_average(tier, &random)));
+            spar_rows[i].push(fmt_norm(spar.normalized_tier_average(tier, &random)));
+        }
+    }
+
+    for (i, tier) in ["Top switch", "Inter switch", "Rack switch"].iter().enumerate() {
+        print_row(
+            std::iter::once((*tier).to_string())
+                .chain(std::iter::once("DynaSoRe".to_string()))
+                .chain(dynasore_rows[i].iter().cloned()),
+        );
+        print_row(
+            std::iter::once((*tier).to_string())
+                .chain(std::iter::once("SPAR".to_string()))
+                .chain(spar_rows[i].iter().cloned()),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,210 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the DynaSoRe paper.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure (see DESIGN.md
+//! for the full index and EXPERIMENTS.md for recorded results). All binaries
+//! accept `--users N`, `--days N` and `--seed N` overrides so the default
+//! quick runs can be scaled up towards the paper's dimensions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dynasore_core::{DynaSoReEngine, InitialPlacement};
+use dynasore_graph::{GraphPreset, SocialGraph};
+use dynasore_sim::{PlacementEngine, SimReport, Simulation};
+use dynasore_topology::Topology;
+use dynasore_types::{MemoryBudget, Result};
+use dynasore_workload::SyntheticTraceGenerator;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentScale {
+    /// Number of users in the synthetic social graph.
+    pub users: usize,
+    /// Number of measured days of traffic.
+    pub days: u64,
+    /// Seed for graphs, traces and placement.
+    pub seed: u64,
+    /// Extra-memory percentage, where a single value is needed.
+    pub extra_memory: u32,
+    /// Use the flat topology instead of the tree.
+    pub flat: bool,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale {
+            users: 8_000,
+            days: 1,
+            seed: 42,
+            extra_memory: 30,
+            flat: false,
+        }
+    }
+}
+
+impl ExperimentScale {
+    /// Parses `--users N`, `--days N`, `--seed N`, `--extra-memory N` and
+    /// `--topology flat|tree` from the process arguments, starting from the
+    /// given defaults.
+    pub fn from_args(mut defaults: ExperimentScale) -> ExperimentScale {
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--users" if i + 1 < args.len() => {
+                    defaults.users = args[i + 1].parse().unwrap_or(defaults.users);
+                    i += 1;
+                }
+                "--days" if i + 1 < args.len() => {
+                    defaults.days = args[i + 1].parse().unwrap_or(defaults.days);
+                    i += 1;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    defaults.seed = args[i + 1].parse().unwrap_or(defaults.seed);
+                    i += 1;
+                }
+                "--extra-memory" if i + 1 < args.len() => {
+                    defaults.extra_memory = args[i + 1].parse().unwrap_or(defaults.extra_memory);
+                    i += 1;
+                }
+                "--topology" if i + 1 < args.len() => {
+                    defaults.flat = args[i + 1] == "flat";
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        defaults
+    }
+}
+
+/// The evaluation cluster of §4.3: 5 intermediate switches × 5 racks × 10
+/// machines (1 broker + 9 servers per rack).
+pub fn paper_topology() -> Result<Topology> {
+    Topology::paper_tree()
+}
+
+/// The flat cluster of §4.5: 250 machines behind one switch.
+pub fn paper_flat_topology() -> Result<Topology> {
+    Topology::paper_flat()
+}
+
+/// The topology selected by an [`ExperimentScale`].
+pub fn topology_for(scale: &ExperimentScale) -> Result<Topology> {
+    if scale.flat {
+        paper_flat_topology()
+    } else {
+        paper_topology()
+    }
+}
+
+/// Runs an engine through one warm-up day of synthetic traffic (not
+/// measured — the paper reports traffic after convergence, §4.4) followed by
+/// `days` measured days, and returns the measured report.
+pub fn run_synthetic_after_warmup<E: PlacementEngine>(
+    engine: E,
+    graph: &SocialGraph,
+    topology: &Topology,
+    days: u64,
+    seed: u64,
+) -> Result<SimReport> {
+    let mut sim = Simulation::new(topology.clone(), engine, graph);
+    let warmup = SyntheticTraceGenerator::paper_defaults(graph, 1, seed)?;
+    sim.run(warmup)?;
+    let trace = SyntheticTraceGenerator::paper_defaults(graph, days, seed.wrapping_add(1))?;
+    sim.run(trace)
+}
+
+/// Convenience constructor for a DynaSoRe engine on the given setup.
+pub fn dynasore_engine(
+    graph: &SocialGraph,
+    topology: &Topology,
+    extra_memory: u32,
+    placement: InitialPlacement,
+) -> Result<DynaSoReEngine> {
+    DynaSoReEngine::builder()
+        .topology(topology.clone())
+        .budget(MemoryBudget::with_extra_percent(graph.user_count(), extra_memory))
+        .initial_placement(placement)
+        .build(graph)
+}
+
+/// Generates the scaled-down synthetic stand-in of one of the paper's
+/// datasets and prints the scale factor relative to Table 1.
+pub fn dataset(preset: GraphPreset, scale: &ExperimentScale) -> Result<SocialGraph> {
+    let graph = SocialGraph::generate(preset, scale.users, scale.seed)?;
+    eprintln!(
+        "# dataset {preset}: {} users, {} links (paper: {} users, {} links; scale ≈ 1/{:.0})",
+        graph.user_count(),
+        graph.edge_count(),
+        preset.paper_user_count(),
+        preset.paper_link_count(),
+        preset.paper_user_count() as f64 / graph.user_count() as f64
+    );
+    Ok(graph)
+}
+
+/// Prints a row of tab-separated values (the output format of every
+/// experiment binary, easy to paste into a plotting tool).
+pub fn print_row<I: IntoIterator<Item = String>>(cells: I) {
+    let cells: Vec<String> = cells.into_iter().collect();
+    println!("{}", cells.join("\t"));
+}
+
+/// Formats a normalised traffic value the way the paper's figures do.
+pub fn fmt_norm(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_and_topologies() {
+        let scale = ExperimentScale::default();
+        assert_eq!(scale.users, 8_000);
+        assert!(!scale.flat);
+        assert_eq!(paper_topology().unwrap().server_count(), 225);
+        assert_eq!(paper_flat_topology().unwrap().server_count(), 250);
+        assert_eq!(topology_for(&scale).unwrap().server_count(), 225);
+        let flat = ExperimentScale { flat: true, ..scale };
+        assert_eq!(topology_for(&flat).unwrap().server_count(), 250);
+    }
+
+    #[test]
+    fn harness_runs_a_small_experiment_end_to_end() {
+        let scale = ExperimentScale {
+            users: 600,
+            days: 1,
+            seed: 3,
+            extra_memory: 30,
+            flat: false,
+        };
+        let topology = Topology::tree(2, 2, 4, 1).unwrap();
+        let graph = dataset(GraphPreset::TwitterLike, &scale).unwrap();
+        let engine = dynasore_engine(
+            &graph,
+            &topology,
+            scale.extra_memory,
+            InitialPlacement::Random { seed: scale.seed },
+        )
+        .unwrap();
+        let report =
+            run_synthetic_after_warmup(engine, &graph, &topology, scale.days, scale.seed).unwrap();
+        assert!(report.top_switch_total() > 0);
+        assert_eq!(
+            report.read_count() + report.write_count(),
+            (scale.users as u64) * 5 * scale.days
+        );
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_norm(0.123456), "0.123");
+        // print_row only writes to stdout; just exercise it.
+        print_row(["a".to_string(), "b".to_string()]);
+    }
+}

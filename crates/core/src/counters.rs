@@ -1,0 +1,134 @@
+//! Rotating access counters.
+//!
+//! DynaSoRe records per-view access rates with "rotating counters … Each
+//! counter is associated to a time period, and servers start updating the
+//! following counter at the end of the period. For example, to record the
+//! accesses during one day with a rotating period of one hour, we can use 24
+//! counters of 1 byte" (§3.2, *Access statistics*). A rotating window makes
+//! the statistics forget old behaviour, which is what lets the system react
+//! to flash events and traffic changes.
+
+/// A fixed-size ring of per-period counters.
+///
+/// [`record`](RotatingCounter::record) increments the current period;
+/// [`rotate`](RotatingCounter::rotate) moves to the next period, clearing
+/// it. [`total`](RotatingCounter::total) sums the whole window.
+///
+/// # Example
+///
+/// ```
+/// use dynasore_core::RotatingCounter;
+///
+/// let mut counter = RotatingCounter::new(3);
+/// counter.record(2);
+/// counter.rotate();
+/// counter.record(1);
+/// assert_eq!(counter.total(), 3);
+/// // After enough rotations old periods fall out of the window.
+/// counter.rotate();
+/// counter.rotate();
+/// counter.rotate();
+/// assert_eq!(counter.total(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RotatingCounter {
+    slots: Vec<u64>,
+    current: usize,
+}
+
+impl RotatingCounter {
+    /// Creates a counter with `slots` periods (the paper uses 24 one-hour
+    /// slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "a rotating counter needs at least one slot");
+        RotatingCounter {
+            slots: vec![0; slots],
+            current: 0,
+        }
+    }
+
+    /// Number of periods in the window.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Adds `count` accesses to the current period.
+    pub fn record(&mut self, count: u64) {
+        self.slots[self.current] += count;
+    }
+
+    /// Moves to the next period, clearing it.
+    pub fn rotate(&mut self) {
+        self.current = (self.current + 1) % self.slots.len();
+        self.slots[self.current] = 0;
+    }
+
+    /// Total accesses over the whole window.
+    pub fn total(&self) -> u64 {
+        self.slots.iter().sum()
+    }
+
+    /// Accesses recorded in the current (not yet rotated) period.
+    pub fn current_period(&self) -> u64 {
+        self.slots[self.current]
+    }
+
+    /// Whether the whole window is zero.
+    pub fn is_idle(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_in_current_slot() {
+        let mut c = RotatingCounter::new(4);
+        c.record(3);
+        c.record(2);
+        assert_eq!(c.current_period(), 5);
+        assert_eq!(c.total(), 5);
+        assert!(!c.is_idle());
+        assert_eq!(c.slot_count(), 4);
+    }
+
+    #[test]
+    fn rotation_expires_old_slots() {
+        let mut c = RotatingCounter::new(3);
+        c.record(10);
+        for _ in 0..2 {
+            c.rotate();
+            c.record(1);
+        }
+        // Window: [10, 1, 1]
+        assert_eq!(c.total(), 12);
+        c.rotate(); // wraps around, clears the slot that held 10
+        assert_eq!(c.total(), 2);
+        c.rotate();
+        c.rotate();
+        c.rotate();
+        assert_eq!(c.total(), 0);
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn single_slot_counter_resets_on_every_rotation() {
+        let mut c = RotatingCounter::new(1);
+        c.record(7);
+        assert_eq!(c.total(), 7);
+        c.rotate();
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        RotatingCounter::new(0);
+    }
+}

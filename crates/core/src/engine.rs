@@ -1,0 +1,1040 @@
+//! The DynaSoRe placement engine (§3 of the paper).
+//!
+//! The engine tracks, for every view replica, how often it is read from each
+//! part of the cluster and how often it is written, and uses those rates to
+//! replicate views close to their readers (Algorithm 2), migrate them to
+//! better locations (Algorithm 3), and evict replicas that stopped paying
+//! for themselves, all within a fixed cluster-wide memory budget.
+
+use std::collections::HashMap;
+
+use dynasore_graph::SocialGraph;
+use dynasore_sim::{MemoryUsage, Message, PlacementEngine};
+use dynasore_topology::Topology;
+use dynasore_types::{
+    BrokerId, Error, MachineId, MemoryBudget, Result, SimTime, SubtreeId, UserId,
+};
+use dynasore_workload::GraphMutation;
+
+use crate::config::{DynaSoReConfig, InitialPlacement};
+use crate::placement::initial_assignment;
+use crate::routing::{closest_replica, optimal_proxy_broker};
+use crate::server::ServerState;
+use crate::utility::{estimate_creation_profit, estimate_profit, replica_utility};
+
+/// Number of protocol messages used to model the transfer of one view's data
+/// when a replica is created or migrated. A view transfer carries as much
+/// data as an application message (10 protocol units), but it is *system*
+/// traffic, so it is accounted as protocol messages (cf. Figure 6, which
+/// separates application from system traffic).
+const VIEW_TRANSFER_PROTOCOL_MESSAGES: usize = 10;
+
+/// Per-user routing state: the brokers hosting the user's proxies and the
+/// servers holding replicas of her view.
+#[derive(Debug, Clone)]
+struct UserState {
+    read_proxy: BrokerId,
+    write_proxy: BrokerId,
+    /// Dense server indices (positions in `DynaSoReEngine::servers`) holding
+    /// a replica of this user's view. Always non-empty.
+    replicas: Vec<usize>,
+}
+
+/// The DynaSoRe engine. Create one with [`DynaSoReEngine::builder`].
+///
+/// # Example
+///
+/// ```
+/// use dynasore_core::{DynaSoReEngine, InitialPlacement};
+/// use dynasore_graph::{GraphPreset, SocialGraph};
+/// use dynasore_sim::PlacementEngine;
+/// use dynasore_topology::Topology;
+/// use dynasore_types::MemoryBudget;
+///
+/// let graph = SocialGraph::generate(GraphPreset::TwitterLike, 500, 1).unwrap();
+/// let topology = Topology::tree(2, 2, 5, 1).unwrap();
+/// let engine = DynaSoReEngine::builder()
+///     .topology(topology)
+///     .budget(MemoryBudget::with_extra_percent(500, 30))
+///     .initial_placement(InitialPlacement::Random { seed: 7 })
+///     .build(&graph)
+///     .unwrap();
+/// assert_eq!(engine.name(), "dynasore-from-random");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynaSoReEngine {
+    name: String,
+    topology: Topology,
+    config: DynaSoReConfig,
+    servers: Vec<ServerState>,
+    server_index: HashMap<MachineId, usize>,
+    users: Vec<UserState>,
+}
+
+/// Builder for [`DynaSoReEngine`].
+#[derive(Debug, Clone)]
+pub struct DynaSoReEngineBuilder {
+    topology: Option<Topology>,
+    budget: Option<MemoryBudget>,
+    initial_placement: InitialPlacement,
+    counter_slots: usize,
+    admission_fill_target: f64,
+    eviction_threshold: f64,
+    eviction_target: f64,
+    name: Option<String>,
+}
+
+impl Default for DynaSoReEngineBuilder {
+    fn default() -> Self {
+        DynaSoReEngineBuilder {
+            topology: None,
+            budget: None,
+            initial_placement: InitialPlacement::Random { seed: 0 },
+            counter_slots: 24,
+            admission_fill_target: 0.90,
+            eviction_threshold: 0.95,
+            eviction_target: 0.90,
+            name: None,
+        }
+    }
+}
+
+impl DynaSoReEngineBuilder {
+    /// Sets the cluster topology (required).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets the memory budget (defaults to exactly one slot per view).
+    pub fn budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the initial view placement (defaults to random with seed 0).
+    pub fn initial_placement(mut self, placement: InitialPlacement) -> Self {
+        self.initial_placement = placement;
+        self
+    }
+
+    /// Number of periods in the rotating statistics window (default 24).
+    pub fn counter_slots(mut self, slots: usize) -> Self {
+        self.counter_slots = slots;
+        self
+    }
+
+    /// Fraction of memory protected by the admission threshold (default
+    /// 0.9).
+    pub fn admission_fill_target(mut self, target: f64) -> Self {
+        self.admission_fill_target = target;
+        self
+    }
+
+    /// Occupancy that triggers the background eviction sweep (default 0.95).
+    pub fn eviction_threshold(mut self, threshold: f64) -> Self {
+        self.eviction_threshold = threshold;
+        self
+    }
+
+    /// Occupancy the eviction sweep aims for (default 0.90).
+    pub fn eviction_target(mut self, target: f64) -> Self {
+        self.eviction_target = target;
+        self
+    }
+
+    /// Overrides the engine name used in reports.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Builds the engine over `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the topology or budget is missing/inconsistent,
+    /// the cluster cannot hold one copy of every view, or the initial
+    /// placement cannot be computed.
+    pub fn build(self, graph: &SocialGraph) -> Result<DynaSoReEngine> {
+        let topology = self
+            .topology
+            .ok_or_else(|| Error::invalid_config("DynaSoReEngine requires a topology"))?;
+        let budget = self
+            .budget
+            .unwrap_or_else(|| MemoryBudget::exact(graph.user_count()));
+        if budget.view_count() != graph.user_count() {
+            return Err(Error::invalid_config(format!(
+                "memory budget covers {} views but the graph has {} users",
+                budget.view_count(),
+                graph.user_count()
+            )));
+        }
+        let mut config = DynaSoReConfig::new(budget);
+        config.counter_slots = self.counter_slots;
+        config.admission_fill_target = self.admission_fill_target;
+        config.eviction_threshold = self.eviction_threshold;
+        config.eviction_target = self.eviction_target;
+        config.validate()?;
+
+        let server_count = topology.server_count();
+        let capacity = config.budget.slots_per_server(server_count)?;
+        let total_capacity = capacity * server_count;
+        if total_capacity < graph.user_count() {
+            return Err(Error::InsufficientCapacity {
+                required: graph.user_count(),
+                available: total_capacity,
+            });
+        }
+
+        let assignment = initial_assignment(&self.initial_placement, graph, &topology)?;
+
+        let mut servers: Vec<ServerState> = topology
+            .servers()
+            .iter()
+            .map(|s| ServerState::new(s.machine(), capacity, config.counter_slots))
+            .collect();
+        let server_index: HashMap<MachineId, usize> = topology
+            .servers()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.machine(), i))
+            .collect();
+
+        let mut users = Vec::with_capacity(graph.user_count());
+        for user in graph.users() {
+            let mut sidx = assignment[user.as_usize()] as usize;
+            // The initial assignment is balanced, but capacity rounding can
+            // leave a server one view short of room; fall back to the least
+            // loaded server in that case.
+            if servers[sidx].is_full() {
+                sidx = (0..servers.len())
+                    .min_by_key(|&i| servers[i].len())
+                    .expect("at least one server");
+            }
+            servers[sidx].insert(user);
+            let broker = topology.local_broker(servers[sidx].machine())?;
+            users.push(UserState {
+                read_proxy: broker,
+                write_proxy: broker,
+                replicas: vec![sidx],
+            });
+        }
+
+        let name = self
+            .name
+            .unwrap_or_else(|| format!("dynasore-from-{}", self.initial_placement.label()));
+
+        Ok(DynaSoReEngine {
+            name,
+            topology,
+            config,
+            servers,
+            server_index,
+            users,
+        })
+    }
+}
+
+impl DynaSoReEngine {
+    /// Starts building an engine.
+    pub fn builder() -> DynaSoReEngineBuilder {
+        DynaSoReEngineBuilder::default()
+    }
+
+    /// The engine configuration in effect.
+    pub fn config(&self) -> &DynaSoReConfig {
+        &self.config
+    }
+
+    /// The machines currently holding a replica of `user`'s view.
+    pub fn replica_servers(&self, user: UserId) -> Vec<MachineId> {
+        self.users
+            .get(user.as_usize())
+            .map(|u| u.replicas.iter().map(|&i| self.servers[i].machine()).collect())
+            .unwrap_or_default()
+    }
+
+    /// The broker hosting `user`'s read proxy.
+    pub fn read_proxy(&self, user: UserId) -> Option<BrokerId> {
+        self.users.get(user.as_usize()).map(|u| u.read_proxy)
+    }
+
+    /// The broker hosting `user`'s write proxy.
+    pub fn write_proxy(&self, user: UserId) -> Option<BrokerId> {
+        self.users.get(user.as_usize()).map(|u| u.write_proxy)
+    }
+
+    /// Occupancy of every server, as `(machine, fraction in use)`.
+    pub fn server_occupancies(&self) -> Vec<(MachineId, f64)> {
+        self.servers
+            .iter()
+            .map(|s| (s.machine(), s.occupancy()))
+            .collect()
+    }
+
+    /// The per-server view capacity derived from the memory budget.
+    pub fn capacity_per_server(&self) -> usize {
+        self.servers.first().map(ServerState::capacity).unwrap_or(0)
+    }
+
+    /// Total reads recorded in the current statistics window across all
+    /// replicas of `user`'s view. Used by the flash-event experiment to
+    /// report reads per replica.
+    pub fn recorded_reads(&self, user: UserId) -> u64 {
+        self.users
+            .get(user.as_usize())
+            .map(|u| {
+                u.replicas
+                    .iter()
+                    .filter_map(|&i| self.servers[i].stats(user))
+                    .map(|s| s.total_reads())
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    fn replica_machines(&self, user: UserId) -> Vec<MachineId> {
+        self.users[user.as_usize()]
+            .replicas
+            .iter()
+            .map(|&i| self.servers[i].machine())
+            .collect()
+    }
+
+    /// The closest other replica of `view` as seen from `sidx`, if any.
+    fn nearest_other_replica(&self, view: UserId, sidx: usize) -> Option<MachineId> {
+        let machine = self.servers[sidx].machine();
+        let others: Vec<MachineId> = self.users[view.as_usize()]
+            .replicas
+            .iter()
+            .filter(|&&i| i != sidx)
+            .map(|&i| self.servers[i].machine())
+            .collect();
+        closest_replica(&self.topology, machine, &others)
+    }
+
+    /// Utility of the replica of `view` stored on server `sidx` (infinite
+    /// for sole replicas).
+    fn utility_of(&self, view: UserId, sidx: usize) -> f64 {
+        let stats = match self.servers[sidx].stats(view) {
+            Some(s) => s,
+            None => return 0.0,
+        };
+        replica_utility(
+            &self.topology,
+            stats,
+            self.servers[sidx].machine(),
+            self.nearest_other_replica(view, sidx),
+            self.users[view.as_usize()].write_proxy.machine(),
+        )
+    }
+
+    /// The least-loaded server under `origin` that does not already hold a
+    /// replica of the view (`exclude`). Servers with free space are
+    /// preferred; a full server may be returned (the caller then evicts).
+    fn least_loaded_server_in(&self, origin: SubtreeId, exclude: &[usize]) -> Option<usize> {
+        let candidates: Vec<usize> = self
+            .topology
+            .servers_in_subtree(origin)
+            .into_iter()
+            .filter_map(|s| self.server_index.get(&s.machine()).copied())
+            .filter(|i| !exclude.contains(i))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        candidates
+            .iter()
+            .copied()
+            .filter(|&i| !self.servers[i].is_full())
+            .min_by_key(|&i| self.servers[i].len())
+            .or_else(|| candidates.into_iter().min_by_key(|&i| self.servers[i].len()))
+    }
+
+    /// The lowest admission threshold among the servers under `origin`
+    /// (disseminated by piggybacking in the paper; looked up directly here).
+    fn admission_threshold_of(&self, origin: SubtreeId) -> f64 {
+        self.topology
+            .servers_in_subtree(origin)
+            .into_iter()
+            .filter_map(|s| self.server_index.get(&s.machine()))
+            .map(|&i| self.servers[i].admission_threshold())
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
+    }
+
+    /// Frees one slot on `target` if it is full, by evicting its
+    /// lowest-utility replica that has copies elsewhere. Returns `true` if
+    /// the server has room afterwards.
+    fn ensure_space(&mut self, target: usize, out: &mut Vec<Message>) -> bool {
+        if !self.servers[target].is_full() {
+            return true;
+        }
+        let victim = self.servers[target]
+            .view_ids()
+            .into_iter()
+            .filter(|&v| self.users[v.as_usize()].replicas.len() > 1)
+            .map(|v| (v, self.utility_of(v, target)))
+            .filter(|(_, u)| u.is_finite())
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        match victim {
+            Some((view, _)) => {
+                self.remove_replica(view, target, out);
+                !self.servers[target].is_full()
+            }
+            None => false,
+        }
+    }
+
+    /// Creates a replica of `view` on server `target`, copying its data from
+    /// the replica on `source`. Statistics for the origins the new replica
+    /// will serve are transferred from the source replica.
+    fn create_replica(
+        &mut self,
+        view: UserId,
+        source: usize,
+        target: usize,
+        out: &mut Vec<Message>,
+    ) -> bool {
+        if self.servers[target].contains(view) || source == target {
+            return false;
+        }
+        if !self.ensure_space(target, out) {
+            return false;
+        }
+        let source_machine = self.servers[source].machine();
+        let target_machine = self.servers[target].machine();
+        let write_proxy = self.users[view.as_usize()].write_proxy.machine();
+
+        // Control messages: the storing server asks the write proxy to
+        // create the replica; the write proxy instructs the target server;
+        // the view data is then transferred from the source replica.
+        out.push(Message::protocol(source_machine, write_proxy));
+        out.push(Message::protocol(write_proxy, target_machine));
+        for _ in 0..VIEW_TRANSFER_PROTOCOL_MESSAGES {
+            out.push(Message::protocol(source_machine, target_machine));
+        }
+        // Routing-table updates for the brokers that will now read the new
+        // replica (the brokers of the target's rack).
+        if let Ok(rack) = self.topology.rack_of(target_machine) {
+            for broker in self.topology.brokers_in_rack(rack) {
+                out.push(Message::protocol(write_proxy, broker.machine()));
+            }
+        }
+
+        self.servers[target].insert(view);
+        self.users[view.as_usize()].replicas.push(target);
+        self.users[view.as_usize()].replicas.sort_unstable();
+
+        // Hand over the read history of the origins the new replica is now
+        // closest to, so the source stops proposing replicas for readers it
+        // no longer serves.
+        let origins: Vec<SubtreeId> = self.servers[source]
+            .stats(view)
+            .map(|s| s.reads().map(|(o, _)| o).collect())
+            .unwrap_or_default();
+        for origin in origins {
+            if self.topology.origin_distance(target_machine, origin)
+                < self.topology.origin_distance(source_machine, origin)
+            {
+                let moved = self.servers[source]
+                    .stats_mut(view)
+                    .map(|s| s.take_origin(origin))
+                    .unwrap_or(0);
+                if let Some(stats) = self.servers[target].stats_mut(view) {
+                    stats.record_reads(origin, moved);
+                }
+            }
+        }
+        true
+    }
+
+    /// Removes the replica of `view` stored on server `sidx`. Never removes
+    /// the last replica.
+    fn remove_replica(&mut self, view: UserId, sidx: usize, out: &mut Vec<Message>) -> bool {
+        if self.users[view.as_usize()].replicas.len() <= 1 {
+            return false;
+        }
+        if !self.servers[sidx].contains(view) {
+            return false;
+        }
+        let server_machine = self.servers[sidx].machine();
+        let write_proxy = self.users[view.as_usize()].write_proxy.machine();
+        // The write proxy is the synchronisation point for evictions and the
+        // brokers that used to read this replica must update their routing
+        // tables.
+        out.push(Message::protocol(server_machine, write_proxy));
+        if let Ok(rack) = self.topology.rack_of(server_machine) {
+            for broker in self.topology.brokers_in_rack(rack) {
+                out.push(Message::protocol(write_proxy, broker.machine()));
+            }
+        }
+        self.servers[sidx].remove(view);
+        self.users[view.as_usize()].replicas.retain(|&i| i != sidx);
+        true
+    }
+
+    /// Algorithm 2 (*Evaluate Creation of Replica*) followed, when no
+    /// replica is created, by Algorithm 3 (*Compute Optimal Position of
+    /// Replica*), run by server `sidx` after serving a read of `view`.
+    fn evaluate_replica(&mut self, view: UserId, sidx: usize, out: &mut Vec<Message>) {
+        let server_machine = self.servers[sidx].machine();
+        let stats = match self.servers[sidx].stats(view) {
+            Some(s) => s.clone(),
+            None => return,
+        };
+        let write_proxy = self.users[view.as_usize()].write_proxy.machine();
+        let replicas = self.users[view.as_usize()].replicas.clone();
+
+        // --- Algorithm 2: try to create a replica near one of the origins.
+        // The profit of adding a replica only counts the readers the routing
+        // policy would redirect to it (§3.2, "simulating its addition").
+        let mut best_profit = 0i64;
+        let mut new_replica: Option<usize> = None;
+        for (origin, _reads) in stats.reads() {
+            let candidate = match self.least_loaded_server_in(origin, &replicas) {
+                Some(c) => c,
+                None => continue,
+            };
+            let candidate_machine = self.servers[candidate].machine();
+            let profit = estimate_creation_profit(
+                &self.topology,
+                &stats,
+                candidate_machine,
+                server_machine,
+                write_proxy,
+            );
+            let threshold = self.admission_threshold_of(origin);
+            if (profit as f64) > threshold && profit > best_profit {
+                best_profit = profit;
+                new_replica = Some(candidate);
+            }
+        }
+        if let Some(target) = new_replica {
+            if self.create_replica(view, sidx, target, out) {
+                return;
+            }
+            // The chosen server had no space it could free: fall through to
+            // the migration logic, as the paper does when no replica can be
+            // created.
+        }
+
+        // --- Algorithm 3: no replica can be created; consider migrating (or
+        // dropping) this replica.
+        let nearest = self
+            .nearest_other_replica(view, sidx)
+            .unwrap_or(server_machine);
+        let has_other_replicas = replicas.len() > 1;
+        let mut best_profit =
+            estimate_profit(&self.topology, &stats, server_machine, nearest, write_proxy);
+        let mut best_position: Option<usize> = None;
+        for (origin, _reads) in stats.reads() {
+            let candidate = match self.least_loaded_server_in(origin, &replicas) {
+                Some(c) => c,
+                None => continue,
+            };
+            let candidate_machine = self.servers[candidate].machine();
+            let profit =
+                estimate_profit(&self.topology, &stats, candidate_machine, nearest, write_proxy);
+            let threshold = self.admission_threshold_of(origin);
+            if profit > best_profit && (profit as f64) > threshold {
+                best_profit = profit;
+                best_position = Some(candidate);
+            }
+        }
+        if best_profit < 0 && has_other_replicas {
+            // This replica costs more than it saves: drop it.
+            self.remove_replica(view, sidx, out);
+        } else if let Some(target) = best_position {
+            // Migrate: create the replica at the better position, then
+            // remove the local copy (the view keeps at least one replica
+            // because the new one was just created).
+            if self.create_replica(view, sidx, target, out) {
+                self.remove_replica(view, sidx, out);
+            }
+        }
+    }
+
+    /// Post-request proxy placement (§3.2): move the proxy towards the part
+    /// of the cluster most of the data came from. Returns the new broker if
+    /// a migration happened.
+    fn maybe_migrate_proxy(
+        &mut self,
+        user: UserId,
+        is_write_proxy: bool,
+        transferred: &HashMap<MachineId, u64>,
+        out: &mut Vec<Message>,
+    ) {
+        let Some(best) = optimal_proxy_broker(&self.topology, transferred) else {
+            return;
+        };
+        let state = &mut self.users[user.as_usize()];
+        if is_write_proxy {
+            if state.write_proxy != best {
+                state.write_proxy = best;
+                // The write proxy's location is stored by every replica, so
+                // they must be notified of the move.
+                let replicas = state.replicas.clone();
+                for ridx in replicas {
+                    out.push(Message::protocol(
+                        best.machine(),
+                        self.servers[ridx].machine(),
+                    ));
+                }
+            }
+        } else if state.read_proxy != best {
+            state.read_proxy = best;
+        }
+    }
+
+    /// Background eviction sweep for one server (§3.2, *Eviction of views*):
+    /// first drop replicas with negative utility, then, if occupancy still
+    /// exceeds the threshold, evict the least useful evictable replicas
+    /// until the target occupancy is reached.
+    fn eviction_sweep(&mut self, sidx: usize, out: &mut Vec<Message>) {
+        // Drop negative-utility replicas.
+        let negative: Vec<UserId> = self.servers[sidx]
+            .view_ids()
+            .into_iter()
+            .filter(|&v| self.users[v.as_usize()].replicas.len() > 1)
+            .filter(|&v| self.utility_of(v, sidx) < 0.0)
+            .collect();
+        for view in negative {
+            self.remove_replica(view, sidx, out);
+        }
+
+        if self.servers[sidx].occupancy() <= self.config.eviction_threshold {
+            return;
+        }
+        // Evict lowest-utility replicas until the target occupancy.
+        loop {
+            if self.servers[sidx].occupancy() <= self.config.eviction_target {
+                break;
+            }
+            let victim = self.servers[sidx]
+                .view_ids()
+                .into_iter()
+                .filter(|&v| self.users[v.as_usize()].replicas.len() > 1)
+                .map(|v| (v, self.utility_of(v, sidx)))
+                .filter(|(_, u)| u.is_finite())
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            match victim {
+                Some((view, _)) => {
+                    if !self.remove_replica(view, sidx, out) {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl PlacementEngine for DynaSoReEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle_read(
+        &mut self,
+        user: UserId,
+        targets: &[UserId],
+        _time: SimTime,
+        out: &mut Vec<Message>,
+    ) {
+        if user.as_usize() >= self.users.len() {
+            return;
+        }
+        let broker = self.users[user.as_usize()].read_proxy.machine();
+        let mut transferred: HashMap<MachineId, u64> = HashMap::new();
+
+        for &target in targets {
+            if target.as_usize() >= self.users.len() {
+                continue;
+            }
+            let replica_machines = self.replica_machines(target);
+            let Some(server_machine) = closest_replica(&self.topology, broker, &replica_machines)
+            else {
+                continue;
+            };
+            // Request and answer.
+            out.push(Message::application(broker, server_machine));
+            out.push(Message::application(server_machine, broker));
+            *transferred.entry(server_machine).or_insert(0) += 1;
+
+            let sidx = self.server_index[&server_machine];
+            let origin = self.topology.access_origin(server_machine, broker);
+            if let Some(stats) = self.servers[sidx].stats_mut(target) {
+                stats.record_read(origin);
+            }
+            // "Upon receiving a request for a view, a server updates its
+            // access statistics and evaluates the possibility of replicating
+            // it" (§3.2).
+            self.evaluate_replica(target, sidx, out);
+        }
+
+        self.maybe_migrate_proxy(user, false, &transferred, out);
+    }
+
+    fn handle_write(&mut self, user: UserId, _time: SimTime, out: &mut Vec<Message>) {
+        if user.as_usize() >= self.users.len() {
+            return;
+        }
+        let write_proxy = self.users[user.as_usize()].write_proxy.machine();
+        let replicas = self.users[user.as_usize()].replicas.clone();
+        let mut transferred: HashMap<MachineId, u64> = HashMap::new();
+        for ridx in replicas {
+            let machine = self.servers[ridx].machine();
+            out.push(Message::application(write_proxy, machine));
+            *transferred.entry(machine).or_insert(0) += 1;
+            if let Some(stats) = self.servers[ridx].stats_mut(user) {
+                stats.record_write();
+            }
+        }
+        self.maybe_migrate_proxy(user, true, &transferred, out);
+    }
+
+    fn on_tick(&mut self, _time: SimTime, out: &mut Vec<Message>) {
+        // 1. Rotate the access counters of every replica.
+        for server in &mut self.servers {
+            server.rotate_counters();
+        }
+        // 2. Refresh admission thresholds from the current utilities.
+        for sidx in 0..self.servers.len() {
+            let utilities: Vec<f64> = self.servers[sidx]
+                .view_ids()
+                .into_iter()
+                .map(|v| self.utility_of(v, sidx))
+                .collect();
+            let fill_target = self.config.admission_fill_target;
+            self.servers[sidx].update_admission_threshold(utilities, fill_target);
+        }
+        // 3. Background eviction.
+        for sidx in 0..self.servers.len() {
+            self.eviction_sweep(sidx, out);
+        }
+    }
+
+    fn on_graph_change(
+        &mut self,
+        _mutation: GraphMutation,
+        _time: SimTime,
+        _out: &mut Vec<Message>,
+    ) {
+        // "DynaSoRe adapts to the modifications to the social network
+        // transparently, without requiring any specific action" (§3.3): the
+        // new read targets simply start showing up in the access statistics.
+    }
+
+    fn replica_count(&self, user: UserId) -> usize {
+        self.users
+            .get(user.as_usize())
+            .map(|u| u.replicas.len())
+            .unwrap_or(0)
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        MemoryUsage {
+            used_slots: self.servers.iter().map(ServerState::len).sum(),
+            capacity_slots: self.servers.iter().map(ServerState::capacity).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasore_graph::GraphPreset;
+
+    fn small_world() -> (SocialGraph, Topology) {
+        let graph = SocialGraph::generate(GraphPreset::FacebookLike, 400, 11).unwrap();
+        let topology = Topology::tree(2, 2, 5, 1).unwrap(); // 16 servers, 4 brokers
+        (graph, topology)
+    }
+
+    fn engine_with_extra(extra: u32) -> (DynaSoReEngine, SocialGraph, Topology) {
+        let (graph, topology) = small_world();
+        let engine = DynaSoReEngine::builder()
+            .topology(topology.clone())
+            .budget(MemoryBudget::with_extra_percent(graph.user_count(), extra))
+            .initial_placement(InitialPlacement::Random { seed: 1 })
+            .build(&graph)
+            .unwrap();
+        (engine, graph, topology)
+    }
+
+    #[test]
+    fn builder_validates_inputs() {
+        let (graph, topology) = small_world();
+        // Missing topology.
+        assert!(DynaSoReEngine::builder().build(&graph).is_err());
+        // Budget view count mismatch.
+        assert!(DynaSoReEngine::builder()
+            .topology(topology.clone())
+            .budget(MemoryBudget::exact(10))
+            .build(&graph)
+            .is_err());
+        // Degenerate tuning parameter.
+        assert!(DynaSoReEngine::builder()
+            .topology(topology.clone())
+            .eviction_threshold(0.0)
+            .build(&graph)
+            .is_err());
+        // Cluster too small to hold one copy of every view.
+        let tiny = Topology::tree(1, 1, 2, 1).unwrap(); // a single server
+        let big_graph = SocialGraph::generate(GraphPreset::TwitterLike, 400, 1).unwrap();
+        let result = DynaSoReEngine::builder()
+            .topology(tiny)
+            .budget(MemoryBudget::exact(400))
+            .build(&big_graph);
+        assert!(result.is_ok() || result.is_err());
+    }
+
+    #[test]
+    fn initial_state_has_one_replica_per_view() {
+        let (engine, graph, _) = engine_with_extra(30);
+        for user in graph.users() {
+            assert_eq!(engine.replica_count(user), 1, "user {user}");
+            assert_eq!(engine.replica_servers(user).len(), 1);
+            // Proxies live in the rack of the view.
+            let server = engine.replica_servers(user)[0];
+            let proxy = engine.read_proxy(user).unwrap();
+            assert_eq!(
+                engine.topology.rack_of(server).unwrap(),
+                engine.topology.rack_of(proxy.machine()).unwrap()
+            );
+        }
+        let usage = engine.memory_usage();
+        assert_eq!(usage.used_slots, graph.user_count());
+        assert!(usage.capacity_slots >= usage.used_slots);
+        assert_eq!(engine.name(), "dynasore-from-random");
+        assert!(engine.capacity_per_server() > 0);
+    }
+
+    #[test]
+    fn remote_reads_trigger_replication_towards_the_readers() {
+        let (mut engine, _graph, topology) = engine_with_extra(100);
+        let mut out = Vec::new();
+
+        // Pick a view and a reader whose proxy is in a different
+        // intermediate sub-tree.
+        let view = UserId::new(0);
+        let view_server = engine.replica_servers(view)[0];
+        let view_inter = topology.intermediate_of(view_server).unwrap();
+        let reader = (0..400u32)
+            .map(UserId::new)
+            .find(|&u| {
+                let proxy = engine.read_proxy(u).unwrap().machine();
+                topology.intermediate_of(proxy).unwrap() != view_inter
+            })
+            .expect("some reader lives in another sub-tree");
+
+        assert_eq!(engine.replica_count(view), 1);
+        for i in 0..200 {
+            engine.handle_read(reader, &[view], SimTime::from_secs(i), &mut out);
+        }
+        assert!(
+            engine.replica_count(view) >= 2,
+            "expected a replica near the remote reader, got {}",
+            engine.replica_count(view)
+        );
+        // The new replica is in the reader's sub-tree.
+        let reader_proxy = engine.read_proxy(reader).unwrap().machine();
+        let reader_inter = topology.intermediate_of(reader_proxy).unwrap();
+        assert!(engine
+            .replica_servers(view)
+            .iter()
+            .any(|&m| topology.intermediate_of(m).unwrap() == reader_inter));
+        // Replication generated protocol traffic.
+        assert!(out
+            .iter()
+            .any(|m| m.class == dynasore_types::MessageClass::Protocol));
+    }
+
+    #[test]
+    fn write_heavy_views_are_not_replicated() {
+        let (mut engine, _graph, topology) = engine_with_extra(100);
+        let mut out = Vec::new();
+        let view = UserId::new(1);
+        let view_server = engine.replica_servers(view)[0];
+        let view_inter = topology.intermediate_of(view_server).unwrap();
+        let reader = (0..400u32)
+            .map(UserId::new)
+            .find(|&u| {
+                let proxy = engine.read_proxy(u).unwrap().machine();
+                topology.intermediate_of(proxy).unwrap() != view_inter
+            })
+            .unwrap();
+
+        // Interleave every remote read with many writes: the write cost of a
+        // second replica always exceeds the read gain.
+        for i in 0..100 {
+            engine.handle_read(reader, &[view], SimTime::from_secs(i * 10), &mut out);
+            for w in 0..8 {
+                engine.handle_write(view, SimTime::from_secs(i * 10 + w), &mut out);
+            }
+        }
+        assert_eq!(
+            engine.replica_count(view),
+            1,
+            "write-dominated view should keep a single replica"
+        );
+    }
+
+    #[test]
+    fn writes_update_every_replica() {
+        let (mut engine, _graph, topology) = engine_with_extra(100);
+        let mut out = Vec::new();
+        let view = UserId::new(2);
+        let view_server = engine.replica_servers(view)[0];
+        let view_inter = topology.intermediate_of(view_server).unwrap();
+        let reader = (0..400u32)
+            .map(UserId::new)
+            .find(|&u| {
+                let proxy = engine.read_proxy(u).unwrap().machine();
+                topology.intermediate_of(proxy).unwrap() != view_inter
+            })
+            .unwrap();
+        for i in 0..200 {
+            engine.handle_read(reader, &[view], SimTime::from_secs(i), &mut out);
+        }
+        let replicas = engine.replica_count(view);
+        assert!(replicas >= 2);
+        out.clear();
+        engine.handle_write(view, SimTime::from_secs(10_000), &mut out);
+        let app_messages = out
+            .iter()
+            .filter(|m| m.class == dynasore_types::MessageClass::Application)
+            .count();
+        assert_eq!(app_messages, replicas);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded_and_every_view_keeps_a_replica() {
+        let (mut engine, graph, _topology) = engine_with_extra(30);
+        let mut out = Vec::new();
+        // Hammer the engine with reads from many users and periodic ticks.
+        for round in 0..20u64 {
+            for u in (0..400u32).step_by(7) {
+                let user = UserId::new(u);
+                let targets: Vec<UserId> = graph.followees(user).to_vec();
+                engine.handle_read(user, &targets, SimTime::from_secs(round * 100 + u as u64), &mut out);
+            }
+            engine.on_tick(SimTime::from_hours(round + 1), &mut out);
+            out.clear();
+        }
+        for (machine, occupancy) in engine.server_occupancies() {
+            assert!(
+                occupancy <= 1.0 + 1e-9,
+                "server {machine} over capacity: {occupancy}"
+            );
+        }
+        for user in graph.users() {
+            assert!(engine.replica_count(user) >= 1, "view of {user} lost");
+        }
+        let usage = engine.memory_usage();
+        assert!(usage.used_slots <= usage.capacity_slots);
+    }
+
+    #[test]
+    fn idle_replicas_are_evicted_after_the_window_expires() {
+        let (mut engine, _graph, topology) = engine_with_extra(100);
+        let mut out = Vec::new();
+        let view = UserId::new(3);
+        let view_server = engine.replica_servers(view)[0];
+        let view_inter = topology.intermediate_of(view_server).unwrap();
+        let reader = (0..400u32)
+            .map(UserId::new)
+            .find(|&u| {
+                let proxy = engine.read_proxy(u).unwrap().machine();
+                topology.intermediate_of(proxy).unwrap() != view_inter
+            })
+            .unwrap();
+        for i in 0..200 {
+            engine.handle_read(reader, &[view], SimTime::from_secs(i), &mut out);
+        }
+        assert!(engine.replica_count(view) >= 2);
+
+        // Keep writing to the view (so extra replicas cost traffic) while
+        // nobody reads it any more; rotate the whole statistics window.
+        for hour in 0..30u64 {
+            engine.handle_write(view, SimTime::from_hours(hour), &mut out);
+            engine.on_tick(SimTime::from_hours(hour + 1), &mut out);
+        }
+        assert_eq!(
+            engine.replica_count(view),
+            1,
+            "useless replicas should have been evicted"
+        );
+    }
+
+    #[test]
+    fn read_proxy_migrates_towards_the_data() {
+        let (mut engine, _graph, topology) = engine_with_extra(0);
+        let mut out = Vec::new();
+        // Pick a reader and a target rack different from the reader's
+        // current one, then read only views whose single replica lives in
+        // that rack: the read proxy must migrate there.
+        let reader = UserId::new(4);
+        let before = engine.read_proxy(reader).unwrap();
+        let reader_rack = topology.rack_of(before.machine()).unwrap();
+        let target_rack = (0..topology.rack_count() as u32)
+            .map(dynasore_types::RackId::new)
+            .find(|&r| r != reader_rack)
+            .unwrap();
+        let targets: Vec<UserId> = (0..400u32)
+            .map(UserId::new)
+            .filter(|&u| u != reader)
+            .filter(|&u| {
+                let server = engine.replica_servers(u)[0];
+                topology.rack_of(server).unwrap() == target_rack
+            })
+            .take(10)
+            .collect();
+        assert!(!targets.is_empty(), "no views found in the target rack");
+        for i in 0..50 {
+            engine.handle_read(reader, &targets, SimTime::from_secs(i), &mut out);
+        }
+        let after = engine.read_proxy(reader).unwrap();
+        assert_eq!(
+            topology.rack_of(after.machine()).unwrap(),
+            target_rack,
+            "proxy (was {before}, now {after}) should sit in the rack holding the data"
+        );
+    }
+
+    #[test]
+    fn unknown_users_are_ignored_gracefully() {
+        let (mut engine, _graph, _topology) = engine_with_extra(30);
+        let mut out = Vec::new();
+        engine.handle_read(UserId::new(9_999), &[UserId::new(1)], SimTime::ZERO, &mut out);
+        engine.handle_write(UserId::new(9_999), SimTime::ZERO, &mut out);
+        engine.handle_read(UserId::new(1), &[UserId::new(9_999)], SimTime::ZERO, &mut out);
+        assert_eq!(engine.replica_count(UserId::new(9_999)), 0);
+        // Only the valid read produced messages (none for unknown targets).
+        assert!(out.iter().all(|m| !m.is_local()));
+    }
+
+    #[test]
+    fn flat_topology_is_supported() {
+        let graph = SocialGraph::generate(GraphPreset::TwitterLike, 200, 3).unwrap();
+        let topology = Topology::flat(10).unwrap();
+        let mut engine = DynaSoReEngine::builder()
+            .topology(topology)
+            .budget(MemoryBudget::with_extra_percent(200, 50))
+            .initial_placement(InitialPlacement::Random { seed: 2 })
+            .build(&graph)
+            .unwrap();
+        let mut out = Vec::new();
+        for i in 0..50u32 {
+            let user = UserId::new(i % 200);
+            let targets = graph.followees(user).to_vec();
+            engine.handle_read(user, &targets, SimTime::from_secs(i as u64), &mut out);
+            engine.handle_write(user, SimTime::from_secs(i as u64), &mut out);
+        }
+        engine.on_tick(SimTime::from_hours(1), &mut out);
+        let usage = engine.memory_usage();
+        assert!(usage.used_slots >= 200);
+    }
+}

@@ -1,0 +1,78 @@
+//! The DynaSoRe view-placement engine — the primary contribution of
+//! *"DynaSoRe: Efficient In-Memory Store for Social Applications"*
+//! (Middleware 2013).
+//!
+//! DynaSoRe is an in-memory store for social feeds that dynamically adapts
+//! the placement of *views* (per-user event lists) to the observed request
+//! traffic. Its goal is to minimise the traffic crossing the upper tiers of
+//! the data-centre network tree while respecting a cluster-wide memory
+//! budget. The mechanisms, following §3 of the paper, are:
+//!
+//! * **Access statistics** — every replica records how often it is read from
+//!   each coarse origin (sibling racks and sibling intermediate switches)
+//!   and how often it is written, in a rotating window
+//!   ([`RotatingCounter`], [`ReplicaStats`]).
+//! * **Utility estimation** (Algorithm 1) — the benefit of a replica is the
+//!   read traffic it saves compared to the next closest replica, minus the
+//!   write traffic needed to keep it fresh ([`estimate_profit`]).
+//! * **Replication and migration** (Algorithms 2 and 3) — when a replica is
+//!   read from a distant part of the cluster, a new replica is proposed near
+//!   those readers, subject to the target servers' admission thresholds;
+//!   when no replica can be created the view may migrate instead.
+//! * **Eviction** — servers keep ~5% of their memory free by evicting the
+//!   least useful replicas; views with a single replica are never evicted.
+//! * **Proxies and routing** — each user has a read proxy and a write proxy
+//!   hosted on brokers; proxies migrate towards the data they access, and
+//!   reads are routed to the closest replica
+//!   ([`routing`](crate::routing)).
+//!
+//! The engine implements
+//! [`PlacementEngine`](dynasore_sim::PlacementEngine), so it can be driven
+//! by the simulator in `dynasore-sim` and compared against the baselines in
+//! `dynasore-baselines`.
+//!
+//! # Example
+//!
+//! ```
+//! use dynasore_core::{DynaSoReEngine, InitialPlacement};
+//! use dynasore_graph::{GraphPreset, SocialGraph};
+//! use dynasore_sim::Simulation;
+//! use dynasore_topology::Topology;
+//! use dynasore_types::MemoryBudget;
+//! use dynasore_workload::SyntheticTraceGenerator;
+//!
+//! # fn main() -> Result<(), dynasore_types::Error> {
+//! let graph = SocialGraph::generate(GraphPreset::TwitterLike, 400, 42)?;
+//! let topology = Topology::tree(2, 2, 5, 1)?;
+//! let engine = DynaSoReEngine::builder()
+//!     .topology(topology.clone())
+//!     .budget(MemoryBudget::with_extra_percent(graph.user_count(), 30))
+//!     .initial_placement(InitialPlacement::HierarchicalMetis { seed: 1 })
+//!     .build(&graph)?;
+//!
+//! let trace = SyntheticTraceGenerator::paper_defaults(&graph, 1, 7)?;
+//! let mut sim = Simulation::new(topology, engine, &graph);
+//! let report = sim.run(trace)?;
+//! assert!(report.top_switch_total() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod counters;
+mod engine;
+pub mod placement;
+pub mod routing;
+mod server;
+mod stats;
+mod utility;
+
+pub use config::{DynaSoReConfig, InitialPlacement};
+pub use counters::RotatingCounter;
+pub use engine::{DynaSoReEngine, DynaSoReEngineBuilder};
+pub use server::ServerState;
+pub use stats::ReplicaStats;
+pub use utility::{estimate_creation_profit, estimate_profit, replica_utility};

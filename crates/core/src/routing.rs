@@ -1,0 +1,163 @@
+//! Routing policy and proxy placement.
+//!
+//! * **Routing policy** (§3.2, *Routing policy*): when several servers store
+//!   a view, a broker reads the one with which it shares the lowest common
+//!   ancestor, i.e. the replica reached through the fewest switches; ties
+//!   are broken by server identifier.
+//! * **Proxy placement** (§3.2, *Proxy placement*): after executing a
+//!   request, the proxy walks down from the root of the tree, at every step
+//!   following the branch from which most view data was transferred, until
+//!   it reaches a broker. If that broker differs from the current one, the
+//!   proxy migrates.
+
+use std::collections::HashMap;
+
+use dynasore_topology::{Topology, TopologyKind};
+use dynasore_types::{BrokerId, MachineId, SubtreeId};
+
+/// Selects the replica a broker should read, following the lowest-common-
+/// ancestor policy with server-id tie-breaking. Returns `None` when
+/// `replicas` is empty.
+pub fn closest_replica(
+    topology: &Topology,
+    broker: MachineId,
+    replicas: &[MachineId],
+) -> Option<MachineId> {
+    replicas
+        .iter()
+        .copied()
+        .min_by_key(|&server| (topology.distance(broker, server), server.index()))
+}
+
+/// Computes the broker that minimises network transfers for a proxy whose
+/// requests fetched `transferred[server]` views from each server, by walking
+/// down the tree from the root along the heaviest branch (§3.2, *Proxy
+/// placement*). Returns `None` if nothing was transferred.
+pub fn optimal_proxy_broker(
+    topology: &Topology,
+    transferred: &HashMap<MachineId, u64>,
+) -> Option<BrokerId> {
+    if transferred.is_empty() || transferred.values().all(|&w| w == 0) {
+        return None;
+    }
+    match topology.kind() {
+        TopologyKind::Flat => {
+            // In a flat cluster every machine is a broker: co-locate the
+            // proxy with the heaviest server (ties by machine id).
+            let (&machine, _) = transferred
+                .iter()
+                .filter(|&(_, &w)| w > 0)
+                .min_by_key(|&(m, &w)| (std::cmp::Reverse(w), m.index()))?;
+            Some(BrokerId::new(machine))
+        }
+        TopologyKind::Tree => {
+            let mut subtree = SubtreeId::Root;
+            loop {
+                let children = topology.children(subtree);
+                if children.is_empty() {
+                    break;
+                }
+                // Weight of each child = views transferred from servers
+                // under it.
+                let best = children
+                    .into_iter()
+                    .map(|child| {
+                        let weight: u64 = transferred
+                            .iter()
+                            .filter(|&(&m, _)| topology.subtree_contains(child, m))
+                            .map(|(_, &w)| w)
+                            .sum();
+                        (child, weight)
+                    })
+                    .max_by_key(|&(child, weight)| (weight, std::cmp::Reverse(subtree_order(child))))?;
+                if best.1 == 0 {
+                    break;
+                }
+                subtree = best.0;
+                // Stop once we reach a rack: the proxy runs on that rack's
+                // broker.
+                if matches!(subtree, SubtreeId::Rack(_)) {
+                    break;
+                }
+            }
+            match subtree {
+                SubtreeId::Rack(_) | SubtreeId::Intermediate(_) | SubtreeId::Root => topology
+                    .brokers_in_subtree(subtree)
+                    .first()
+                    .copied(),
+                SubtreeId::Machine(m) => topology.local_broker(MachineId::new(m)).ok(),
+            }
+        }
+    }
+}
+
+/// Stable ordering key for tie-breaking between sibling sub-trees.
+fn subtree_order(subtree: SubtreeId) -> u32 {
+    match subtree {
+        SubtreeId::Root => 0,
+        SubtreeId::Intermediate(i) => i,
+        SubtreeId::Rack(r) => r,
+        SubtreeId::Machine(m) => m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: u32) -> MachineId {
+        MachineId::new(i)
+    }
+
+    #[test]
+    fn closest_replica_prefers_lower_common_ancestor() {
+        let topo = Topology::paper_tree().unwrap();
+        let broker = m(0); // rack 0
+        // Candidate replicas: same rack (1), same intermediate (11), remote (51).
+        let replicas = vec![m(51), m(11), m(1)];
+        assert_eq!(closest_replica(&topo, broker, &replicas), Some(m(1)));
+        let replicas = vec![m(51), m(11)];
+        assert_eq!(closest_replica(&topo, broker, &replicas), Some(m(11)));
+        assert_eq!(closest_replica(&topo, broker, &[]), None);
+    }
+
+    #[test]
+    fn closest_replica_breaks_ties_by_server_id() {
+        let topo = Topology::paper_tree().unwrap();
+        let broker = m(0);
+        // Machines 1 and 2 are both in rack 0 at distance 1.
+        assert_eq!(closest_replica(&topo, broker, &[m(2), m(1)]), Some(m(1)));
+    }
+
+    #[test]
+    fn proxy_walks_to_the_heaviest_rack() {
+        let topo = Topology::paper_tree().unwrap();
+        // 3 views transferred from rack 6 (machines 60..), 1 from rack 0.
+        let mut transferred = HashMap::new();
+        transferred.insert(m(61), 2u64);
+        transferred.insert(m(62), 1u64);
+        transferred.insert(m(1), 1u64);
+        let broker = optimal_proxy_broker(&topo, &transferred).unwrap();
+        assert_eq!(topo.rack_of(broker.machine()).unwrap().index(), 6);
+        assert!(topo.is_broker(broker.machine()));
+    }
+
+    #[test]
+    fn proxy_stays_put_when_nothing_was_transferred() {
+        let topo = Topology::paper_tree().unwrap();
+        assert!(optimal_proxy_broker(&topo, &HashMap::new()).is_none());
+        let mut zeros = HashMap::new();
+        zeros.insert(m(1), 0u64);
+        assert!(optimal_proxy_broker(&topo, &zeros).is_none());
+    }
+
+    #[test]
+    fn flat_topology_colocates_proxy_with_heaviest_server() {
+        let topo = Topology::flat(10).unwrap();
+        let mut transferred = HashMap::new();
+        transferred.insert(m(3), 5u64);
+        transferred.insert(m(7), 2u64);
+        let broker = optimal_proxy_broker(&topo, &transferred).unwrap();
+        assert_eq!(broker.machine(), m(3));
+    }
+}

@@ -1,0 +1,223 @@
+//! Per-server storage state.
+//!
+//! A DynaSoRe server is "an in-memory key-value store implementing a memory
+//! management policy. A server has a fixed memory capacity, expressed as the
+//! number of views it can store" (§3.2, *Storage management*). Alongside
+//! each stored view the server keeps the replica's access statistics and an
+//! admission threshold that gates the creation of new replicas on it.
+
+use std::collections::HashMap;
+
+use dynasore_types::{MachineId, UserId};
+
+use crate::stats::ReplicaStats;
+
+/// The storage state of one view server.
+#[derive(Debug, Clone)]
+pub struct ServerState {
+    machine: MachineId,
+    capacity: usize,
+    window_slots: usize,
+    views: HashMap<UserId, ReplicaStats>,
+    admission_threshold: f64,
+}
+
+impl ServerState {
+    /// Creates an empty server with room for `capacity` views, using
+    /// rotating statistics windows of `window_slots` periods.
+    pub fn new(machine: MachineId, capacity: usize, window_slots: usize) -> Self {
+        ServerState {
+            machine,
+            capacity,
+            window_slots,
+            views: HashMap::new(),
+            admission_threshold: 0.0,
+        }
+    }
+
+    /// The machine this server runs on.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// Maximum number of views this server can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of views currently stored.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether the server stores no views.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Whether the server has reached its capacity.
+    pub fn is_full(&self) -> bool {
+        self.views.len() >= self.capacity
+    }
+
+    /// Fraction of the capacity in use.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            1.0
+        } else {
+            self.views.len() as f64 / self.capacity as f64
+        }
+    }
+
+    /// Whether a replica of `view` is stored here.
+    pub fn contains(&self, view: UserId) -> bool {
+        self.views.contains_key(&view)
+    }
+
+    /// Stores a new (empty-statistics) replica of `view`. Returns `false` if
+    /// the view was already present.
+    ///
+    /// Capacity is *not* enforced here: the engine decides whether to evict
+    /// first or to refuse the replica, because only it knows which views are
+    /// safe to evict.
+    pub fn insert(&mut self, view: UserId) -> bool {
+        if self.views.contains_key(&view) {
+            return false;
+        }
+        self.views.insert(view, ReplicaStats::new(self.window_slots));
+        true
+    }
+
+    /// Removes the replica of `view`. Returns `false` if it was not stored.
+    pub fn remove(&mut self, view: UserId) -> bool {
+        self.views.remove(&view).is_some()
+    }
+
+    /// The statistics of the replica of `view`, if stored here.
+    pub fn stats(&self, view: UserId) -> Option<&ReplicaStats> {
+        self.views.get(&view)
+    }
+
+    /// Mutable statistics of the replica of `view`, if stored here.
+    pub fn stats_mut(&mut self, view: UserId) -> Option<&mut ReplicaStats> {
+        self.views.get_mut(&view)
+    }
+
+    /// Iterates over the stored views and their statistics.
+    pub fn views(&self) -> impl Iterator<Item = (UserId, &ReplicaStats)> {
+        self.views.iter().map(|(&u, s)| (u, s))
+    }
+
+    /// The ids of the stored views.
+    pub fn view_ids(&self) -> Vec<UserId> {
+        self.views.keys().copied().collect()
+    }
+
+    /// Rotates the access counters of every stored replica.
+    pub fn rotate_counters(&mut self) {
+        for stats in self.views.values_mut() {
+            stats.rotate();
+        }
+    }
+
+    /// The current admission threshold: the minimum utility a new replica
+    /// must have to be admitted to this server (§3.2, *Replication of
+    /// views*).
+    pub fn admission_threshold(&self) -> f64 {
+        self.admission_threshold
+    }
+
+    /// Updates the admission threshold from the sorted utilities of the
+    /// views currently stored: the threshold is chosen so that
+    /// `fill_target` of the memory is occupied by views whose utility is
+    /// above it, and 0 if less memory than that is used.
+    pub fn update_admission_threshold(&mut self, mut utilities: Vec<f64>, fill_target: f64) {
+        let protected = ((self.capacity as f64) * fill_target).floor() as usize;
+        if protected == 0 || utilities.len() < protected {
+            self.admission_threshold = 0.0;
+            return;
+        }
+        utilities.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let threshold = utilities[protected - 1];
+        self.admission_threshold = if threshold.is_finite() { threshold.max(0.0) } else { 0.0 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasore_types::SubtreeId;
+
+    fn server(cap: usize) -> ServerState {
+        ServerState::new(MachineId::new(7), cap, 4)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = server(2);
+        assert!(s.is_empty());
+        assert!(s.insert(UserId::new(1)));
+        assert!(!s.insert(UserId::new(1)));
+        assert!(s.insert(UserId::new(2)));
+        assert!(s.is_full());
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(UserId::new(1)));
+        assert!((s.occupancy() - 1.0).abs() < 1e-12);
+        assert!(s.remove(UserId::new(1)));
+        assert!(!s.remove(UserId::new(1)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.machine(), MachineId::new(7));
+        assert_eq!(s.capacity(), 2);
+        assert_eq!(s.view_ids(), vec![UserId::new(2)]);
+    }
+
+    #[test]
+    fn stats_are_per_view_and_rotate_together() {
+        let mut s = server(4);
+        s.insert(UserId::new(1));
+        s.insert(UserId::new(2));
+        s.stats_mut(UserId::new(1)).unwrap().record_read(SubtreeId::Rack(0));
+        s.stats_mut(UserId::new(2)).unwrap().record_write();
+        assert_eq!(s.stats(UserId::new(1)).unwrap().total_reads(), 1);
+        assert_eq!(s.stats(UserId::new(2)).unwrap().total_writes(), 1);
+        assert!(s.stats(UserId::new(3)).is_none());
+        for _ in 0..4 {
+            s.rotate_counters();
+        }
+        assert!(s.stats(UserId::new(1)).unwrap().is_idle());
+        assert!(s.stats(UserId::new(2)).unwrap().is_idle());
+        assert_eq!(s.views().count(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_server_reports_full_occupancy() {
+        let s = server(0);
+        assert!((s.occupancy() - 1.0).abs() < 1e-12);
+        assert!(s.is_full());
+    }
+
+    #[test]
+    fn admission_threshold_protects_the_fill_target() {
+        let mut s = server(10);
+        // 9 views stored with utilities 1..=9; fill target 0.9 → protect 9
+        // views → threshold = 9th highest utility = 1.
+        let utilities: Vec<f64> = (1..=9).map(|v| v as f64).collect();
+        for i in 0..9 {
+            s.insert(UserId::new(i));
+        }
+        s.update_admission_threshold(utilities, 0.9);
+        assert!((s.admission_threshold() - 1.0).abs() < 1e-12);
+
+        // With fewer views than the protected amount the threshold is 0.
+        s.update_admission_threshold(vec![5.0, 6.0], 0.9);
+        assert_eq!(s.admission_threshold(), 0.0);
+
+        // Infinite utilities (sole replicas) never become the threshold.
+        s.update_admission_threshold(vec![f64::INFINITY; 9], 0.9);
+        assert_eq!(s.admission_threshold(), 0.0);
+
+        // Negative thresholds are clamped to zero.
+        s.update_admission_threshold(vec![-5.0; 9], 0.9);
+        assert_eq!(s.admission_threshold(), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-replica access statistics.
+//!
+//! Each replica stores, alongside the view itself, how often it is read from
+//! each coarse origin (the sibling racks of its own intermediate switch and
+//! the other intermediate switches — see
+//! [`Topology::access_origin`](dynasore_topology::Topology::access_origin))
+//! and how often it is written (§3.2, *Access statistics*). These rates feed
+//! the utility estimation of Algorithm 1.
+
+use std::collections::BTreeMap;
+
+use dynasore_types::SubtreeId;
+
+use crate::counters::RotatingCounter;
+
+/// Access statistics of one replica of one view on one server.
+///
+/// Origins are kept in a `BTreeMap` so that iteration order — and therefore
+/// every placement decision derived from it — is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStats {
+    window_slots: usize,
+    reads_by_origin: BTreeMap<SubtreeId, RotatingCounter>,
+    writes: RotatingCounter,
+}
+
+impl ReplicaStats {
+    /// Creates empty statistics using a rotating window of `window_slots`
+    /// periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_slots` is zero.
+    pub fn new(window_slots: usize) -> Self {
+        ReplicaStats {
+            window_slots,
+            reads_by_origin: BTreeMap::new(),
+            writes: RotatingCounter::new(window_slots),
+        }
+    }
+
+    /// Records one read arriving from `origin`.
+    pub fn record_read(&mut self, origin: SubtreeId) {
+        self.record_reads(origin, 1);
+    }
+
+    /// Records `count` reads arriving from `origin` in one go. Used when a
+    /// newly created replica inherits the read history of the origins it
+    /// takes over from the source replica.
+    pub fn record_reads(&mut self, origin: SubtreeId, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.reads_by_origin
+            .entry(origin)
+            .or_insert_with(|| RotatingCounter::new(self.window_slots))
+            .record(count);
+    }
+
+    /// Removes the read history of `origin` and returns how many reads it
+    /// held. Used when another replica takes over serving that origin, so
+    /// the source replica does not keep proposing new replicas for readers
+    /// it no longer serves.
+    pub fn take_origin(&mut self, origin: SubtreeId) -> u64 {
+        self.reads_by_origin
+            .remove(&origin)
+            .map(|c| c.total())
+            .unwrap_or(0)
+    }
+
+    /// Records one write (replica update).
+    pub fn record_write(&mut self) {
+        self.writes.record(1);
+    }
+
+    /// Rotates every counter to the next period.
+    pub fn rotate(&mut self) {
+        for counter in self.reads_by_origin.values_mut() {
+            counter.rotate();
+        }
+        self.writes.rotate();
+        // Drop origins that have gone completely quiet to keep the map small.
+        self.reads_by_origin.retain(|_, c| !c.is_idle());
+    }
+
+    /// Iterates over `(origin, reads in window)` pairs with a non-zero
+    /// count.
+    pub fn reads(&self) -> impl Iterator<Item = (SubtreeId, u64)> + '_ {
+        self.reads_by_origin
+            .iter()
+            .map(|(&origin, counter)| (origin, counter.total()))
+            .filter(|&(_, reads)| reads > 0)
+    }
+
+    /// Reads in the window coming from one specific origin.
+    pub fn reads_from(&self, origin: SubtreeId) -> u64 {
+        self.reads_by_origin
+            .get(&origin)
+            .map(RotatingCounter::total)
+            .unwrap_or(0)
+    }
+
+    /// Total reads in the window, over all origins.
+    pub fn total_reads(&self) -> u64 {
+        self.reads_by_origin.values().map(RotatingCounter::total).sum()
+    }
+
+    /// Total writes (replica updates) in the window.
+    pub fn total_writes(&self) -> u64 {
+        self.writes.total()
+    }
+
+    /// Whether the replica saw no traffic at all during the window.
+    pub fn is_idle(&self) -> bool {
+        self.total_reads() == 0 && self.total_writes() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_are_grouped_by_origin() {
+        let mut s = ReplicaStats::new(4);
+        s.record_read(SubtreeId::Rack(0));
+        s.record_read(SubtreeId::Rack(0));
+        s.record_read(SubtreeId::Intermediate(2));
+        s.record_write();
+        assert_eq!(s.reads_from(SubtreeId::Rack(0)), 2);
+        assert_eq!(s.reads_from(SubtreeId::Intermediate(2)), 1);
+        assert_eq!(s.reads_from(SubtreeId::Rack(9)), 0);
+        assert_eq!(s.total_reads(), 3);
+        assert_eq!(s.total_writes(), 1);
+        assert!(!s.is_idle());
+        let mut origins: Vec<_> = s.reads().collect();
+        origins.sort();
+        assert_eq!(
+            origins,
+            vec![(SubtreeId::Intermediate(2), 1), (SubtreeId::Rack(0), 2)]
+        );
+    }
+
+    #[test]
+    fn rotation_forgets_old_activity() {
+        let mut s = ReplicaStats::new(2);
+        s.record_read(SubtreeId::Rack(1));
+        s.record_write();
+        s.rotate();
+        // Still within the window.
+        assert_eq!(s.total_reads(), 1);
+        assert_eq!(s.total_writes(), 1);
+        s.rotate();
+        // Both slots cleared now.
+        assert_eq!(s.total_reads(), 0);
+        assert_eq!(s.total_writes(), 0);
+        assert!(s.is_idle());
+        // Idle origins are pruned from the map.
+        assert_eq!(s.reads().count(), 0);
+    }
+
+    #[test]
+    fn take_origin_moves_history() {
+        let mut s = ReplicaStats::new(4);
+        s.record_reads(SubtreeId::Rack(3), 5);
+        s.record_read(SubtreeId::Intermediate(1));
+        assert_eq!(s.take_origin(SubtreeId::Rack(3)), 5);
+        assert_eq!(s.take_origin(SubtreeId::Rack(3)), 0);
+        assert_eq!(s.total_reads(), 1);
+        // Bulk-recording zero reads is a no-op.
+        s.record_reads(SubtreeId::Rack(9), 0);
+        assert_eq!(s.reads_from(SubtreeId::Rack(9)), 0);
+    }
+
+    #[test]
+    fn new_stats_are_idle() {
+        let s = ReplicaStats::new(24);
+        assert!(s.is_idle());
+        assert_eq!(s.total_reads(), 0);
+        assert_eq!(s.total_writes(), 0);
+    }
+}

@@ -1,0 +1,400 @@
+//! The directed social graph.
+
+use std::collections::HashSet;
+
+use dynasore_types::{Error, Result, UserId};
+
+/// A directed social graph over densely numbered users.
+///
+/// The edge `u → v` means *"u follows v"*: a read request from `u` fetches
+/// the view of `v` (together with every other user `u` follows), and a write
+/// by `v` is eventually read by `u`. Both directions are indexed:
+/// [`followees`](SocialGraph::followees) returns the views a user reads,
+/// [`followers`](SocialGraph::followers) returns the readers of a user's
+/// view.
+///
+/// The graph is mutable — social networks evolve over time, and both SPAR and
+/// the flash-event experiment (§4.6) add and remove edges while the system is
+/// running.
+///
+/// # Example
+///
+/// ```
+/// use dynasore_graph::SocialGraph;
+/// use dynasore_types::UserId;
+///
+/// let mut g = SocialGraph::new(3);
+/// let (a, b, c) = (UserId::new(0), UserId::new(1), UserId::new(2));
+/// g.add_edge(a, b);
+/// g.add_edge(a, c);
+/// g.add_edge(b, c);
+/// assert_eq!(g.out_degree(a), 2);
+/// assert_eq!(g.in_degree(c), 2);
+/// assert_eq!(g.edge_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocialGraph {
+    /// `out[u]` = users that `u` follows (sorted, deduplicated).
+    out: Vec<Vec<UserId>>,
+    /// `inc[v]` = users that follow `v` (sorted, deduplicated).
+    inc: Vec<Vec<UserId>>,
+    edge_count: usize,
+}
+
+impl SocialGraph {
+    /// Creates an empty graph over `user_count` users numbered
+    /// `0..user_count`.
+    pub fn new(user_count: usize) -> Self {
+        SocialGraph {
+            out: vec![Vec::new(); user_count],
+            inc: vec![Vec::new(); user_count],
+            edge_count: 0,
+        }
+    }
+
+    /// Builds a graph from an iterator of `(follower, followee)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownUser`] if any endpoint is outside
+    /// `0..user_count`.
+    pub fn from_edges<I>(user_count: usize, edges: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (UserId, UserId)>,
+    {
+        let mut graph = SocialGraph::new(user_count);
+        for (u, v) in edges {
+            graph.try_add_edge(u, v)?;
+        }
+        Ok(graph)
+    }
+
+    /// Number of users in the graph.
+    pub fn user_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of directed edges currently in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edge_count == 0
+    }
+
+    /// Returns an iterator over all user ids.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.out.len() as u32).map(UserId::new)
+    }
+
+    /// Returns `true` if `user` is a valid id for this graph.
+    pub fn contains_user(&self, user: UserId) -> bool {
+        user.as_usize() < self.out.len()
+    }
+
+    fn check_user(&self, user: UserId) -> Result<()> {
+        if self.contains_user(user) {
+            Ok(())
+        } else {
+            Err(Error::UnknownUser(user))
+        }
+    }
+
+    /// Adds the edge `follower → followee`. Returns `true` if the edge was
+    /// inserted, `false` if it already existed or is a self-loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range; use
+    /// [`try_add_edge`](SocialGraph::try_add_edge) for fallible insertion.
+    pub fn add_edge(&mut self, follower: UserId, followee: UserId) -> bool {
+        self.try_add_edge(follower, followee)
+            .expect("user id out of range")
+    }
+
+    /// Fallible version of [`add_edge`](SocialGraph::add_edge).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownUser`] if either endpoint is out of range.
+    pub fn try_add_edge(&mut self, follower: UserId, followee: UserId) -> Result<bool> {
+        self.check_user(follower)?;
+        self.check_user(followee)?;
+        if follower == followee {
+            return Ok(false);
+        }
+        let out = &mut self.out[follower.as_usize()];
+        match out.binary_search(&followee) {
+            Ok(_) => Ok(false),
+            Err(pos) => {
+                out.insert(pos, followee);
+                let inc = &mut self.inc[followee.as_usize()];
+                let ipos = inc.binary_search(&follower).unwrap_err();
+                inc.insert(ipos, follower);
+                self.edge_count += 1;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Removes the edge `follower → followee`. Returns `true` if the edge
+    /// existed.
+    pub fn remove_edge(&mut self, follower: UserId, followee: UserId) -> bool {
+        if !self.contains_user(follower) || !self.contains_user(followee) {
+            return false;
+        }
+        let out = &mut self.out[follower.as_usize()];
+        if let Ok(pos) = out.binary_search(&followee) {
+            out.remove(pos);
+            let inc = &mut self.inc[followee.as_usize()];
+            if let Ok(ipos) = inc.binary_search(&follower) {
+                inc.remove(ipos);
+            }
+            self.edge_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `true` if the edge `follower → followee` exists.
+    pub fn contains_edge(&self, follower: UserId, followee: UserId) -> bool {
+        self.contains_user(follower)
+            && self.out[follower.as_usize()].binary_search(&followee).is_ok()
+    }
+
+    /// The users that `user` follows — the views fetched by a read request
+    /// from `user` (§2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn followees(&self, user: UserId) -> &[UserId] {
+        &self.out[user.as_usize()]
+    }
+
+    /// The users that follow `user` — the readers affected by a write from
+    /// `user`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn followers(&self, user: UserId) -> &[UserId] {
+        &self.inc[user.as_usize()]
+    }
+
+    /// Out-degree of `user` (number of views her reads fetch).
+    pub fn out_degree(&self, user: UserId) -> usize {
+        self.out[user.as_usize()].len()
+    }
+
+    /// In-degree of `user` (number of users whose reads fetch her view).
+    pub fn in_degree(&self, user: UserId) -> usize {
+        self.inc[user.as_usize()].len()
+    }
+
+    /// Iterates over every directed edge as `(follower, followee)` pairs.
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter {
+            graph: self,
+            user: 0,
+            pos: 0,
+        }
+    }
+
+    /// Adds a new isolated user and returns its id. Used when new users join
+    /// the system (§3.3, *Managing the social network*).
+    pub fn add_user(&mut self) -> UserId {
+        let id = UserId::new(self.out.len() as u32);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        id
+    }
+
+    /// Returns the undirected neighbourhood of `user`: the union of followers
+    /// and followees. Used by partitioning, which operates on the undirected
+    /// structure.
+    pub fn neighbours(&self, user: UserId) -> Vec<UserId> {
+        let mut set: HashSet<UserId> = self.out[user.as_usize()].iter().copied().collect();
+        set.extend(self.inc[user.as_usize()].iter().copied());
+        let mut v: Vec<UserId> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Validates internal consistency (forward and reverse indices agree).
+    /// Intended for tests and debug assertions; runs in `O(V + E log E)`.
+    pub fn validate(&self) -> Result<()> {
+        let mut forward = 0usize;
+        for (u, outs) in self.out.iter().enumerate() {
+            forward += outs.len();
+            for &v in outs {
+                if !self.contains_user(v) {
+                    return Err(Error::UnknownUser(v));
+                }
+                if self.inc[v.as_usize()]
+                    .binary_search(&UserId::new(u as u32))
+                    .is_err()
+                {
+                    return Err(Error::invalid_config(format!(
+                        "edge {u} -> {} missing from reverse index",
+                        v.index()
+                    )));
+                }
+            }
+        }
+        let reverse: usize = self.inc.iter().map(Vec::len).sum();
+        if forward != reverse || forward != self.edge_count {
+            return Err(Error::invalid_config(format!(
+                "edge count mismatch: forward={forward} reverse={reverse} cached={}",
+                self.edge_count
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over all directed edges of a [`SocialGraph`].
+#[derive(Debug)]
+pub struct EdgeIter<'a> {
+    graph: &'a SocialGraph,
+    user: usize,
+    pos: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (UserId, UserId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.user < self.graph.out.len() {
+            let outs = &self.graph.out[self.user];
+            if self.pos < outs.len() {
+                let item = (UserId::new(self.user as u32), outs[self.pos]);
+                self.pos += 1;
+                return Some(item);
+            }
+            self.user += 1;
+            self.pos = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u32) -> UserId {
+        UserId::new(i)
+    }
+
+    #[test]
+    fn new_graph_is_empty() {
+        let g = SocialGraph::new(5);
+        assert_eq!(g.user_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.users().count(), 5);
+    }
+
+    #[test]
+    fn add_edge_updates_both_directions() {
+        let mut g = SocialGraph::new(4);
+        assert!(g.add_edge(u(0), u(1)));
+        assert!(g.add_edge(u(2), u(1)));
+        assert_eq!(g.followees(u(0)), &[u(1)]);
+        assert_eq!(g.followers(u(1)), &[u(0), u(2)]);
+        assert_eq!(g.out_degree(u(0)), 1);
+        assert_eq!(g.in_degree(u(1)), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_are_ignored() {
+        let mut g = SocialGraph::new(3);
+        assert!(g.add_edge(u(0), u(1)));
+        assert!(!g.add_edge(u(0), u(1)));
+        assert!(!g.add_edge(u(2), u(2)));
+        assert_eq!(g.edge_count(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_edges_error() {
+        let mut g = SocialGraph::new(2);
+        assert!(g.try_add_edge(u(0), u(5)).is_err());
+        assert!(g.try_add_edge(u(5), u(0)).is_err());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn remove_edge_round_trip() {
+        let mut g = SocialGraph::new(3);
+        g.add_edge(u(0), u(1));
+        g.add_edge(u(0), u(2));
+        assert!(g.remove_edge(u(0), u(1)));
+        assert!(!g.remove_edge(u(0), u(1)));
+        assert!(!g.contains_edge(u(0), u(1)));
+        assert!(g.contains_edge(u(0), u(2)));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.followers(u(1)), &[] as &[UserId]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_edge_out_of_range_is_false() {
+        let mut g = SocialGraph::new(2);
+        assert!(!g.remove_edge(u(0), u(9)));
+        assert!(!g.remove_edge(u(9), u(0)));
+    }
+
+    #[test]
+    fn from_edges_builds_graph() {
+        let g = SocialGraph::from_edges(3, vec![(u(0), u(1)), (u(1), u(2)), (u(0), u(2))]).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.contains_edge(u(1), u(2)));
+        assert!(SocialGraph::from_edges(2, vec![(u(0), u(7))]).is_err());
+    }
+
+    #[test]
+    fn edge_iterator_visits_every_edge_once() {
+        let edges = vec![(u(0), u(1)), (u(0), u(2)), (u(2), u(1)), (u(3), u(0))];
+        let g = SocialGraph::from_edges(4, edges.clone()).unwrap();
+        let mut seen: Vec<(UserId, UserId)> = g.edges().collect();
+        seen.sort();
+        let mut expected = edges;
+        expected.sort();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn add_user_grows_graph() {
+        let mut g = SocialGraph::new(2);
+        let id = g.add_user();
+        assert_eq!(id, u(2));
+        assert_eq!(g.user_count(), 3);
+        g.add_edge(u(2), u(0));
+        assert_eq!(g.followers(u(0)), &[u(2)]);
+    }
+
+    #[test]
+    fn neighbours_are_union_of_directions() {
+        let mut g = SocialGraph::new(4);
+        g.add_edge(u(0), u(1));
+        g.add_edge(u(2), u(0));
+        g.add_edge(u(0), u(2));
+        assert_eq!(g.neighbours(u(0)), vec![u(1), u(2)]);
+        assert_eq!(g.neighbours(u(3)), Vec::<UserId>::new());
+    }
+
+    #[test]
+    fn followees_are_sorted() {
+        let mut g = SocialGraph::new(5);
+        g.add_edge(u(0), u(4));
+        g.add_edge(u(0), u(2));
+        g.add_edge(u(0), u(3));
+        assert_eq!(g.followees(u(0)), &[u(2), u(3), u(4)]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Graph partitioning substrate: a from-scratch multilevel k-way partitioner
+//! standing in for METIS, plus the hierarchical variant used by the paper's
+//! *hMETIS* baseline.
+//!
+//! The paper uses graph partitioning twice:
+//!
+//! * as the **METIS baseline** — partition the social graph into one part per
+//!   server and place each user's view on her part's server (§4.1);
+//! * as the **hierarchical METIS (hMETIS) baseline and DynaSoRe warm start** —
+//!   first partition across intermediate switches, then recursively
+//!   re-partition each part across racks and then servers, so that friends
+//!   split across servers still tend to share a rack or an intermediate
+//!   switch (§4.1, §4.4).
+//!
+//! The implementation follows the classic multilevel scheme used by METIS:
+//! heavy-edge-matching coarsening, greedy region-growing initial partition,
+//! and boundary Kernighan–Lin refinement during uncoarsening.
+//!
+//! # Example
+//!
+//! ```
+//! use dynasore_graph::{GraphPreset, SocialGraph};
+//! use dynasore_partition::Partitioner;
+//!
+//! let graph = SocialGraph::generate(GraphPreset::FacebookLike, 600, 3).unwrap();
+//! let partitioning = Partitioner::new(8).seed(42).partition(&graph).unwrap();
+//! assert_eq!(partitioning.part_count(), 8);
+//! assert_eq!(partitioning.part_sizes().iter().sum::<usize>(), 600);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hierarchy;
+mod multilevel;
+mod partitioner;
+
+pub use hierarchy::{hierarchical, HierarchicalPartitioning, TreeShape};
+pub use partitioner::{Partitioner, Partitioning, DEFAULT_IMBALANCE};

@@ -1,0 +1,84 @@
+//! Cluster simulator and measurement harness.
+//!
+//! The paper evaluates every system with a cluster simulator that
+//! "represents all the servers and network devices in order to simulate
+//! their message exchanges and measure them" (§4.3). This crate is that
+//! simulator:
+//!
+//! * [`PlacementEngine`] — the interface every view-placement strategy
+//!   implements (DynaSoRe itself and the Random/METIS/hMETIS/SPAR
+//!   baselines). For each read or write request the engine decides which
+//!   broker executes it and which servers are contacted, and reports the
+//!   resulting [`Message`]s.
+//! * [`Simulation`] — drives a request trace through an engine, applies
+//!   scheduled social-graph mutations (flash events), periodically ticks the
+//!   engine for maintenance (counter rotation, eviction sweeps), charges
+//!   every message to the switches it traverses and produces a
+//!   [`SimReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use dynasore_sim::{Message, MemoryUsage, PlacementEngine, Simulation};
+//! use dynasore_graph::{GraphPreset, SocialGraph};
+//! use dynasore_topology::Topology;
+//! use dynasore_types::{SimTime, UserId};
+//! use dynasore_workload::SyntheticTraceGenerator;
+//!
+//! /// A deliberately naive engine: every view lives on server 0 and every
+//! /// request is executed by the first broker.
+//! struct Centralised {
+//!     topology: Topology,
+//! }
+//!
+//! impl PlacementEngine for Centralised {
+//!     fn name(&self) -> &str {
+//!         "centralised"
+//!     }
+//!     fn handle_read(
+//!         &mut self,
+//!         _user: UserId,
+//!         targets: &[UserId],
+//!         _time: SimTime,
+//!         out: &mut Vec<Message>,
+//!     ) {
+//!         let broker = self.topology.brokers()[0].machine();
+//!         let server = self.topology.servers()[0].machine();
+//!         for _ in targets {
+//!             out.push(Message::application(broker, server));
+//!             out.push(Message::application(server, broker));
+//!         }
+//!     }
+//!     fn handle_write(&mut self, _user: UserId, _time: SimTime, out: &mut Vec<Message>) {
+//!         let broker = self.topology.brokers()[0].machine();
+//!         let server = self.topology.servers()[0].machine();
+//!         out.push(Message::application(broker, server));
+//!     }
+//!     fn replica_count(&self, _user: UserId) -> usize {
+//!         1
+//!     }
+//!     fn memory_usage(&self) -> MemoryUsage {
+//!         MemoryUsage { used_slots: 0, capacity_slots: 0 }
+//!     }
+//! }
+//!
+//! let graph = SocialGraph::generate(GraphPreset::TwitterLike, 100, 1).unwrap();
+//! let topology = Topology::tree(2, 2, 3, 1).unwrap();
+//! let engine = Centralised { topology: topology.clone() };
+//! let trace = SyntheticTraceGenerator::paper_defaults(&graph, 1, 2).unwrap();
+//! let mut sim = Simulation::new(topology, engine, &graph);
+//! let report = sim.run(trace).unwrap();
+//! assert!(report.read_count() > 0);
+//! assert!(report.traffic().grand_total() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod report;
+mod simulation;
+
+pub use engine::{MemoryUsage, Message, PlacementEngine};
+pub use report::SimReport;
+pub use simulation::{switch_counts, Simulation, SimulationConfig};

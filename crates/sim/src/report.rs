@@ -1,0 +1,205 @@
+//! Simulation results.
+
+use dynasore_topology::{Tier, TierTraffic, TrafficAccount};
+use dynasore_types::{SimTime, TrafficUnits};
+
+use crate::engine::MemoryUsage;
+
+/// The measurements produced by one simulation run.
+///
+/// All of the paper's figures and tables are derived from these quantities:
+/// per-tier traffic (Figure 3, Tables 2–3), the top-switch time series split
+/// into application and system traffic (Figures 4 and 6), and request
+/// counts.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    engine_name: String,
+    traffic: TrafficAccount,
+    reads: u64,
+    writes: u64,
+    application_messages: u64,
+    protocol_messages: u64,
+    end_time: SimTime,
+    memory: MemoryUsage,
+    /// Switch counts per tier `[top, intermediate, rack]`, used to compute
+    /// per-switch averages.
+    switch_counts: [usize; 3],
+}
+
+impl SimReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        engine_name: String,
+        traffic: TrafficAccount,
+        reads: u64,
+        writes: u64,
+        application_messages: u64,
+        protocol_messages: u64,
+        end_time: SimTime,
+        memory: MemoryUsage,
+        switch_counts: [usize; 3],
+    ) -> Self {
+        SimReport {
+            engine_name,
+            traffic,
+            reads,
+            writes,
+            application_messages,
+            protocol_messages,
+            end_time,
+            memory,
+            switch_counts,
+        }
+    }
+
+    /// Name of the engine that produced this report.
+    pub fn engine_name(&self) -> &str {
+        &self.engine_name
+    }
+
+    /// The full per-switch traffic account.
+    pub fn traffic(&self) -> &TrafficAccount {
+        &self.traffic
+    }
+
+    /// Number of read requests executed.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write requests executed.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of application messages exchanged (including machine-local
+    /// ones, which cross no switch).
+    pub fn total_application_messages(&self) -> u64 {
+        self.application_messages
+    }
+
+    /// Number of protocol messages exchanged.
+    pub fn total_protocol_messages(&self) -> u64 {
+        self.protocol_messages
+    }
+
+    /// Simulated time of the last processed event.
+    pub fn end_time(&self) -> SimTime {
+        self.end_time
+    }
+
+    /// Memory usage of the engine at the end of the run.
+    pub fn memory_usage(&self) -> MemoryUsage {
+        self.memory
+    }
+
+    /// Total traffic (application + protocol) through the top switch — the
+    /// headline quantity of the paper.
+    pub fn top_switch_total(&self) -> TrafficUnits {
+        self.traffic.tier_total(Tier::Top).total()
+    }
+
+    /// Traffic through the top switch, split by class.
+    pub fn top_switch_traffic(&self) -> TierTraffic {
+        self.traffic.tier_total(Tier::Top)
+    }
+
+    /// Average per-switch traffic of a tier, the quantity reported in
+    /// Tables 2 and 3.
+    pub fn tier_average(&self, tier: Tier) -> f64 {
+        self.traffic
+            .tier_average(tier, self.switch_counts[tier.index()])
+    }
+
+    /// Hourly (or configured-bucket) time series of top-switch traffic,
+    /// as plotted in Figures 4 and 6.
+    pub fn top_switch_series(&self) -> Vec<TierTraffic> {
+        self.traffic.top_switch_series()
+    }
+
+    /// Ratio of this run's top-switch traffic to a baseline run's, the
+    /// normalisation used throughout the evaluation ("traffic normalised
+    /// with respect to Random").
+    pub fn normalized_top_traffic(&self, baseline: &SimReport) -> f64 {
+        let base = baseline.top_switch_total();
+        if base == 0 {
+            return 0.0;
+        }
+        self.top_switch_total() as f64 / base as f64
+    }
+
+    /// Ratio of this run's per-switch tier average to a baseline's.
+    pub fn normalized_tier_average(&self, tier: Tier, baseline: &SimReport) -> f64 {
+        let base = baseline.tier_average(tier);
+        if base == 0.0 {
+            return 0.0;
+        }
+        self.tier_average(tier) / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasore_topology::Switch;
+    use dynasore_types::MessageClass;
+
+    fn report_with_top_units(units_messages: u64) -> SimReport {
+        let mut traffic = TrafficAccount::hourly();
+        for _ in 0..units_messages {
+            traffic.record(
+                &[Switch::Rack(0), Switch::Intermediate(0), Switch::Top],
+                MessageClass::Application,
+                SimTime::ZERO,
+            );
+        }
+        SimReport::new(
+            "test".into(),
+            traffic,
+            10,
+            5,
+            15,
+            2,
+            SimTime::from_hours(1),
+            MemoryUsage {
+                used_slots: 10,
+                capacity_slots: 20,
+            },
+            [1, 5, 25],
+        )
+    }
+
+    #[test]
+    fn accessors_expose_run_counters() {
+        let r = report_with_top_units(3);
+        assert_eq!(r.engine_name(), "test");
+        assert_eq!(r.read_count(), 10);
+        assert_eq!(r.write_count(), 5);
+        assert_eq!(r.total_application_messages(), 15);
+        assert_eq!(r.total_protocol_messages(), 2);
+        assert_eq!(r.end_time(), SimTime::from_hours(1));
+        assert_eq!(r.memory_usage().used_slots, 10);
+        assert_eq!(r.top_switch_total(), 30);
+        assert_eq!(r.top_switch_traffic().application, 30);
+        assert_eq!(r.top_switch_series().len(), 1);
+    }
+
+    #[test]
+    fn tier_average_uses_switch_counts() {
+        let r = report_with_top_units(5);
+        assert!((r.tier_average(Tier::Top) - 50.0).abs() < 1e-9);
+        assert!((r.tier_average(Tier::Intermediate) - 10.0).abs() < 1e-9);
+        assert!((r.tier_average(Tier::Rack) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalisation_against_baseline() {
+        let baseline = report_with_top_units(10);
+        let better = report_with_top_units(1);
+        assert!((better.normalized_top_traffic(&baseline) - 0.1).abs() < 1e-9);
+        assert!((better.normalized_tier_average(Tier::Top, &baseline) - 0.1).abs() < 1e-9);
+        let empty = report_with_top_units(0);
+        assert_eq!(better.normalized_top_traffic(&empty), 0.0);
+        assert_eq!(better.normalized_tier_average(Tier::Top, &empty), 0.0);
+    }
+}

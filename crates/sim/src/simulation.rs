@@ -1,0 +1,467 @@
+//! The trace-driven cluster simulation.
+
+use dynasore_graph::SocialGraph;
+use dynasore_topology::{Topology, TopologyKind, TrafficAccount};
+use dynasore_types::{MessageClass, Result, SimTime, HOUR_SECS};
+use dynasore_workload::{GraphMutation, Request, TimedMutation};
+
+use crate::engine::{Message, PlacementEngine};
+use crate::report::SimReport;
+
+/// Simulation timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimulationConfig {
+    /// Interval between engine maintenance ticks (counter rotation,
+    /// threshold refresh, eviction sweeps). The paper rotates statistics
+    /// hourly (§4.3), which is the default.
+    pub tick_secs: u64,
+    /// Width of the traffic time-series buckets (default: one hour).
+    pub traffic_bucket_secs: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            tick_secs: HOUR_SECS,
+            traffic_bucket_secs: HOUR_SECS,
+        }
+    }
+}
+
+/// Drives a request trace through a [`PlacementEngine`] over a [`Topology`]
+/// and measures the traffic of every switch.
+///
+/// The simulation owns a copy of the social graph so that scheduled
+/// mutations (flash events, §4.6) can be applied mid-run; read requests look
+/// up the *current* followee list at execution time.
+#[derive(Debug)]
+pub struct Simulation<E> {
+    topology: Topology,
+    engine: E,
+    graph: SocialGraph,
+    mutations: Vec<TimedMutation>,
+    config: SimulationConfig,
+}
+
+impl<E: PlacementEngine> Simulation<E> {
+    /// Creates a simulation over `topology` driving `engine`, with a private
+    /// copy of `graph`.
+    pub fn new(topology: Topology, engine: E, graph: &SocialGraph) -> Self {
+        Simulation {
+            topology,
+            engine,
+            graph: graph.clone(),
+            mutations: Vec::new(),
+            config: SimulationConfig::default(),
+        }
+    }
+
+    /// Schedules social-graph mutations to be applied during the run
+    /// (unsorted input is accepted and sorted by time).
+    pub fn with_mutations(mut self, mut mutations: Vec<TimedMutation>) -> Self {
+        mutations.sort_by_key(|m| m.time);
+        self.mutations = mutations;
+        self
+    }
+
+    /// Overrides the timing configuration.
+    pub fn with_config(mut self, config: SimulationConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The engine being driven.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Mutable access to the engine (useful between staged runs).
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// The simulation's current view of the social graph.
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// The topology the simulation runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Runs the whole trace and returns the measurements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine or configuration errors (none are produced by the
+    /// built-in engines, but custom engines may fail).
+    pub fn run<I>(&mut self, trace: I) -> Result<SimReport>
+    where
+        I: IntoIterator<Item = Request>,
+    {
+        self.run_with_probe(trace, u64::MAX, |_, _, _| {})
+    }
+
+    /// Runs the trace, invoking `probe` every `probe_secs` of simulated time
+    /// with the current time, engine and graph. Used by experiments that
+    /// track engine state over time (e.g. the replica count of a view during
+    /// a flash event, Figure 5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine or configuration errors.
+    pub fn run_with_probe<I, F>(&mut self, trace: I, probe_secs: u64, mut probe: F) -> Result<SimReport>
+    where
+        I: IntoIterator<Item = Request>,
+        F: FnMut(SimTime, &E, &SocialGraph),
+    {
+        let mut traffic = TrafficAccount::new(self.config.traffic_bucket_secs);
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut app_messages = 0u64;
+        let mut proto_messages = 0u64;
+        let mut out: Vec<Message> = Vec::with_capacity(256);
+
+        let mut mutation_idx = 0usize;
+        let mut next_tick = self.config.tick_secs;
+        let mut next_probe = if probe_secs == u64::MAX { u64::MAX } else { probe_secs };
+        let mut now = SimTime::ZERO;
+
+        for request in trace {
+            now = request.time;
+
+            // Apply pending graph mutations.
+            while mutation_idx < self.mutations.len()
+                && self.mutations[mutation_idx].time <= request.time
+            {
+                let m = self.mutations[mutation_idx];
+                match m.mutation {
+                    GraphMutation::AddEdge { follower, followee } => {
+                        let _ = self.graph.try_add_edge(follower, followee);
+                    }
+                    GraphMutation::RemoveEdge { follower, followee } => {
+                        self.graph.remove_edge(follower, followee);
+                    }
+                }
+                out.clear();
+                self.engine.on_graph_change(m.mutation, m.time, &mut out);
+                Self::charge(
+                    &self.topology,
+                    &mut traffic,
+                    &out,
+                    m.time,
+                    &mut app_messages,
+                    &mut proto_messages,
+                );
+                mutation_idx += 1;
+            }
+
+            // Engine maintenance ticks.
+            while next_tick <= request.time.as_secs() {
+                let tick_time = SimTime::from_secs(next_tick);
+                out.clear();
+                self.engine.on_tick(tick_time, &mut out);
+                Self::charge(
+                    &self.topology,
+                    &mut traffic,
+                    &out,
+                    tick_time,
+                    &mut app_messages,
+                    &mut proto_messages,
+                );
+                next_tick += self.config.tick_secs;
+            }
+
+            // Probes.
+            while next_probe <= request.time.as_secs() {
+                probe(SimTime::from_secs(next_probe), &self.engine, &self.graph);
+                next_probe = next_probe.saturating_add(probe_secs);
+            }
+
+            // Execute the request.
+            out.clear();
+            if request.is_read() {
+                reads += 1;
+                let targets = self.graph.followees(request.user).to_vec();
+                self.engine
+                    .handle_read(request.user, &targets, request.time, &mut out);
+            } else {
+                writes += 1;
+                self.engine.handle_write(request.user, request.time, &mut out);
+            }
+            Self::charge(
+                &self.topology,
+                &mut traffic,
+                &out,
+                request.time,
+                &mut app_messages,
+                &mut proto_messages,
+            );
+        }
+
+        // Final probe at the end of the trace.
+        if probe_secs != u64::MAX {
+            probe(now, &self.engine, &self.graph);
+        }
+
+        let switch_counts = match self.topology.kind() {
+            TopologyKind::Flat => [1, 0, 0],
+            TopologyKind::Tree => [
+                1,
+                self.topology.intermediate_count(),
+                self.topology.rack_count(),
+            ],
+        };
+
+        Ok(SimReport::new(
+            self.engine.name().to_string(),
+            traffic,
+            reads,
+            writes,
+            app_messages,
+            proto_messages,
+            now,
+            self.engine.memory_usage(),
+            switch_counts,
+        ))
+    }
+
+    fn charge(
+        topology: &Topology,
+        traffic: &mut TrafficAccount,
+        messages: &[Message],
+        time: SimTime,
+        app_messages: &mut u64,
+        proto_messages: &mut u64,
+    ) {
+        for message in messages {
+            match message.class {
+                MessageClass::Application => *app_messages += 1,
+                MessageClass::Protocol => *proto_messages += 1,
+            }
+            if message.is_local() {
+                continue;
+            }
+            let path = topology.path_switches(message.from, message.to);
+            traffic.record(&path, message.class, time);
+        }
+    }
+}
+
+/// Convenience: the number of switches per tier of a topology, `[top,
+/// intermediate, rack]`, as used by [`SimReport::tier_average`].
+pub fn switch_counts(topology: &Topology) -> [usize; 3] {
+    match topology.kind() {
+        TopologyKind::Flat => [1, 0, 0],
+        TopologyKind::Tree => [1, topology.intermediate_count(), topology.rack_count()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MemoryUsage;
+    use dynasore_graph::GraphPreset;
+    use dynasore_topology::Tier;
+    use dynasore_types::{MachineId, UserId};
+    use dynasore_workload::{FlashEventPlan, SyntheticTraceGenerator};
+
+    /// Test engine: view of user `u` lives on server `u % server_count`;
+    /// requests are executed by the broker in the view's rack. Ticks and
+    /// graph changes emit one protocol message each so their accounting can
+    /// be asserted.
+    struct ModuloEngine {
+        topology: Topology,
+        ticks: u64,
+        graph_changes: u64,
+    }
+
+    impl ModuloEngine {
+        fn new(topology: Topology) -> Self {
+            ModuloEngine {
+                topology,
+                ticks: 0,
+                graph_changes: 0,
+            }
+        }
+
+        fn server_of(&self, user: UserId) -> MachineId {
+            let servers = self.topology.servers();
+            servers[user.as_usize() % servers.len()].machine()
+        }
+
+        fn broker_of(&self, user: UserId) -> MachineId {
+            self.topology
+                .local_broker(self.server_of(user))
+                .expect("server has a broker")
+                .machine()
+        }
+    }
+
+    impl PlacementEngine for ModuloEngine {
+        fn name(&self) -> &str {
+            "modulo"
+        }
+
+        fn handle_read(
+            &mut self,
+            user: UserId,
+            targets: &[UserId],
+            _time: SimTime,
+            out: &mut Vec<Message>,
+        ) {
+            let broker = self.broker_of(user);
+            for &t in targets {
+                let server = self.server_of(t);
+                out.push(Message::application(broker, server));
+                out.push(Message::application(server, broker));
+            }
+        }
+
+        fn handle_write(&mut self, user: UserId, _time: SimTime, out: &mut Vec<Message>) {
+            let broker = self.broker_of(user);
+            out.push(Message::application(broker, self.server_of(user)));
+        }
+
+        fn on_tick(&mut self, _time: SimTime, out: &mut Vec<Message>) {
+            self.ticks += 1;
+            let brokers = self.topology.brokers();
+            out.push(Message::protocol(
+                brokers[0].machine(),
+                brokers[1].machine(),
+            ));
+        }
+
+        fn on_graph_change(
+            &mut self,
+            _mutation: GraphMutation,
+            _time: SimTime,
+            out: &mut Vec<Message>,
+        ) {
+            self.graph_changes += 1;
+            let brokers = self.topology.brokers();
+            out.push(Message::protocol(
+                brokers[0].machine(),
+                brokers[0].machine(),
+            ));
+        }
+
+        fn replica_count(&self, _user: UserId) -> usize {
+            1
+        }
+
+        fn memory_usage(&self) -> MemoryUsage {
+            MemoryUsage {
+                used_slots: 42,
+                capacity_slots: 100,
+            }
+        }
+    }
+
+    fn small_setup() -> (SocialGraph, Topology) {
+        let graph = SocialGraph::generate(GraphPreset::TwitterLike, 120, 3).unwrap();
+        let topology = Topology::tree(2, 2, 4, 1).unwrap();
+        (graph, topology)
+    }
+
+    #[test]
+    fn run_counts_requests_and_traffic() {
+        let (graph, topology) = small_setup();
+        let engine = ModuloEngine::new(topology.clone());
+        let trace = SyntheticTraceGenerator::paper_defaults(&graph, 1, 5).unwrap();
+        let expected_requests = trace.request_count();
+        let mut sim = Simulation::new(topology, engine, &graph);
+        let report = sim.run(trace).unwrap();
+        assert_eq!(report.read_count() + report.write_count(), expected_requests);
+        assert!(report.traffic().grand_total() > 0);
+        assert!(report.top_switch_total() > 0);
+        assert_eq!(report.engine_name(), "modulo");
+        assert_eq!(report.memory_usage().used_slots, 42);
+        // Hourly ticks over one day of trace.
+        assert!(sim.engine().ticks >= 22, "ticks: {}", sim.engine().ticks);
+    }
+
+    #[test]
+    fn local_messages_produce_no_switch_traffic() {
+        let (graph, topology) = small_setup();
+        // Flat single-rack topology variant: use a tree where the engine
+        // sends machine-local protocol messages on graph change (see
+        // ModuloEngine::on_graph_change) and verify they are counted as
+        // messages but not as traffic.
+        let engine = ModuloEngine::new(topology.clone());
+        let plan = FlashEventPlan::random(
+            &graph,
+            UserId::new(0),
+            5,
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+            1,
+        )
+        .unwrap();
+        let trace = vec![
+            Request::read(SimTime::from_secs(5), UserId::new(1)),
+            Request::read(SimTime::from_secs(30), UserId::new(2)),
+        ];
+        let mut sim = Simulation::new(topology, engine, &graph).with_mutations(plan.mutations());
+        let report = sim.run(trace).unwrap();
+        // 10 mutations (5 adds + 5 removes) → 10 local protocol messages.
+        assert_eq!(sim.engine().graph_changes, 10);
+        assert_eq!(report.total_protocol_messages(), 10);
+        // Local protocol messages cross no switch.
+        assert_eq!(report.traffic().tier_total(Tier::Top).protocol, 0);
+    }
+
+    #[test]
+    fn mutations_change_read_targets() {
+        // User 0 follows nobody initially; after the mutation she follows
+        // user 1, so her second read generates traffic.
+        let mut graph = SocialGraph::new(4);
+        graph.add_edge(UserId::new(2), UserId::new(3));
+        let topology = Topology::tree(2, 2, 4, 1).unwrap();
+        let engine = ModuloEngine::new(topology.clone());
+        let mutation = TimedMutation {
+            time: SimTime::from_secs(50),
+            mutation: GraphMutation::AddEdge {
+                follower: UserId::new(0),
+                followee: UserId::new(1),
+            },
+        };
+        let trace = vec![
+            Request::read(SimTime::from_secs(10), UserId::new(0)),
+            Request::read(SimTime::from_secs(100), UserId::new(0)),
+        ];
+        let mut sim = Simulation::new(topology, engine, &graph).with_mutations(vec![mutation]);
+        let report = sim.run(trace).unwrap();
+        // Only the second read touched a followee: 2 application messages.
+        assert_eq!(report.total_application_messages(), 2);
+    }
+
+    #[test]
+    fn probe_is_invoked_periodically() {
+        let (graph, topology) = small_setup();
+        let engine = ModuloEngine::new(topology.clone());
+        let trace = SyntheticTraceGenerator::paper_defaults(&graph, 1, 7).unwrap();
+        let mut sim = Simulation::new(topology, engine, &graph);
+        let mut probes = 0usize;
+        let report = sim
+            .run_with_probe(trace, 6 * HOUR_SECS, |_, engine, graph| {
+                probes += 1;
+                assert_eq!(engine.replica_count(UserId::new(0)), 1);
+                assert_eq!(graph.user_count(), 120);
+            })
+            .unwrap();
+        // 4 probes within the day (6h, 12h, 18h) — at least 3 — plus the
+        // final probe at the end of the trace.
+        assert!(probes >= 4, "probes: {probes}");
+        assert!(report.end_time().as_secs() > 0);
+    }
+
+    #[test]
+    fn switch_counts_helper() {
+        let tree = Topology::paper_tree().unwrap();
+        assert_eq!(switch_counts(&tree), [1, 5, 25]);
+        let flat = Topology::flat(10).unwrap();
+        assert_eq!(switch_counts(&flat), [1, 0, 0]);
+    }
+}

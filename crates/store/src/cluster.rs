@@ -1,0 +1,365 @@
+//! The client-facing cluster: broker logic + placement engine + server
+//! threads + persistent store.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use dynasore_core::{routing::closest_replica, DynaSoReEngine, InitialPlacement};
+use dynasore_graph::SocialGraph;
+use dynasore_sim::PlacementEngine;
+use dynasore_topology::Topology;
+use dynasore_types::{Error, Event, MachineId, MemoryBudget, Result, SimTime, UserId, View};
+
+use crate::persistent::MockPersistentStore;
+use crate::server::ServerHandle;
+
+/// Configuration of a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Extra memory percentage available for replication (30% is the
+    /// paper's headline configuration).
+    pub extra_memory_percent: u32,
+    /// Initial placement of views on servers.
+    pub placement: InitialPlacement,
+    /// Seed for any randomised decisions.
+    pub seed: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            extra_memory_percent: 30,
+            placement: InitialPlacement::Random { seed: 0 },
+            seed: 0,
+        }
+    }
+}
+
+/// Runtime counters of a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Reads served from a cache server.
+    pub cache_hits: u64,
+    /// Reads that had to fall back to the persistent store.
+    pub cache_misses: u64,
+    /// Events appended to the persistent store.
+    pub persistent_writes: u64,
+    /// Fetches served by the persistent store (misses + recovery).
+    pub persistent_reads: u64,
+    /// Views currently cached across all servers.
+    pub cached_views: usize,
+}
+
+/// A running in-memory view store: one thread per cache server, routed by a
+/// DynaSoRe placement engine, backed by a mock persistent store.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Cluster {
+    topology: Topology,
+    graph: SocialGraph,
+    engine: Mutex<DynaSoReEngine>,
+    servers: Vec<ServerHandle>,
+    server_index: HashMap<MachineId, usize>,
+    persistent: MockPersistentStore,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Cluster {
+    /// Spawns the cluster: builds the placement engine for `graph` over
+    /// `topology` and starts one thread per view server.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the engine cannot be built (empty graph,
+    /// insufficient capacity, invalid placement).
+    pub fn spawn(graph: &SocialGraph, topology: Topology, config: StoreConfig) -> Result<Self> {
+        let engine = DynaSoReEngine::builder()
+            .topology(topology.clone())
+            .budget(MemoryBudget::with_extra_percent(
+                graph.user_count(),
+                config.extra_memory_percent,
+            ))
+            .initial_placement(config.placement.clone())
+            .build(graph)?;
+
+        let servers: Vec<ServerHandle> = topology
+            .servers()
+            .iter()
+            .map(|s| ServerHandle::spawn(s.machine()))
+            .collect();
+        let server_index = servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.machine, i))
+            .collect();
+
+        Ok(Cluster {
+            topology,
+            graph: graph.clone(),
+            engine: Mutex::new(engine),
+            servers,
+            server_index,
+            persistent: MockPersistentStore::new(),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_secs(self.clock.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn check_user(&self, user: UserId) -> Result<()> {
+        if self.graph.contains_user(user) {
+            Ok(())
+        } else {
+            Err(Error::UnknownUser(user))
+        }
+    }
+
+    /// The paper's `Write(u)` operation: persists a new event for `user` and
+    /// updates every cached replica of her view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownUser`] if the user is not in the social
+    /// graph.
+    pub fn write(&self, user: UserId, payload: Vec<u8>) -> Result<()> {
+        self.check_user(user)?;
+        // 1. The persistent store generates the new version of the view.
+        let view = self.persistent.append(user, payload);
+        // 2. The write proxy updates the placement statistics and pushes the
+        //    new version to every replica (§3.3).
+        let replicas = {
+            let mut engine = self.engine.lock();
+            let mut messages = Vec::new();
+            engine.handle_write(user, self.now(), &mut messages);
+            engine.replica_servers(user)
+        };
+        for machine in replicas.iter() {
+            if let Some(&idx) = self.server_index.get(machine) {
+                self.servers[idx].put(user, view.clone());
+            }
+        }
+        // Cached copies on servers the placement engine no longer lists as
+        // replicas are stale replicas that were evicted or migrated away;
+        // drop them so the cache mirrors the placement.
+        for server in &self.servers {
+            if !replicas.contains(&server.machine) && server.get(user).is_some() {
+                server.evict(user);
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's `Read(u, L)` operation: returns the views of every user
+    /// in `targets`, served from the cache and demand-filled from the
+    /// persistent store on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownUser`] if `user` is not in the social graph
+    /// (unknown *targets* are skipped, mirroring a cache that simply has
+    /// nothing for them).
+    pub fn read(&self, user: UserId, targets: &[UserId]) -> Result<Vec<View>> {
+        self.check_user(user)?;
+        // Update statistics and (possibly) placement, then capture routing
+        // decisions while holding the engine lock.
+        let routed: Vec<(UserId, Option<MachineId>)> = {
+            let mut engine = self.engine.lock();
+            let mut messages = Vec::new();
+            engine.handle_read(user, targets, self.now(), &mut messages);
+            let proxy = engine
+                .read_proxy(user)
+                .map(|b| b.machine())
+                .unwrap_or_else(|| self.topology.brokers()[0].machine());
+            targets
+                .iter()
+                .filter(|t| self.graph.contains_user(**t))
+                .map(|&t| {
+                    let replicas = engine.replica_servers(t);
+                    (t, closest_replica(&self.topology, proxy, &replicas))
+                })
+                .collect()
+        };
+
+        let mut views = Vec::with_capacity(routed.len());
+        for (target, server) in routed {
+            let Some(machine) = server else { continue };
+            let Some(&idx) = self.server_index.get(&machine) else {
+                continue;
+            };
+            match self.servers[idx].get(target) {
+                Some(view) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    views.push(view);
+                }
+                None => {
+                    // Cache miss: demand-fill from the persistent store.
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let view = self.persistent.fetch(target);
+                    self.servers[idx].put(target, view.clone());
+                    views.push(view);
+                }
+            }
+        }
+        Ok(views)
+    }
+
+    /// Returns `user`'s social feed: the events of all the users she
+    /// follows, newest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownUser`] if the user is not in the social
+    /// graph.
+    pub fn read_feed(&self, user: UserId) -> Result<Vec<Event>> {
+        self.check_user(user)?;
+        let targets = self.graph.followees(user).to_vec();
+        let views = self.read(user, &targets)?;
+        let mut events: Vec<Event> = views
+            .into_iter()
+            .flat_map(|v| v.iter().cloned().collect::<Vec<_>>())
+            .collect();
+        events.sort_by(|a, b| b.timestamp().cmp(&a.timestamp()));
+        Ok(events)
+    }
+
+    /// Number of replicas the placement engine currently keeps for `user`'s
+    /// view.
+    pub fn replica_count(&self, user: UserId) -> usize {
+        self.engine.lock().replica_count(user)
+    }
+
+    /// The social graph the cluster serves.
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// The topology the cluster runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            persistent_writes: self.persistent.write_count(),
+            persistent_reads: self.persistent.read_count(),
+            cached_views: self.servers.iter().map(ServerHandle::len).sum(),
+        }
+    }
+
+    /// Stops every server thread. Dropping the cluster has the same effect;
+    /// this method only makes the teardown explicit.
+    pub fn shutdown(mut self) {
+        for server in &mut self.servers {
+            server.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasore_graph::GraphPreset;
+
+    fn cluster() -> (Cluster, SocialGraph) {
+        let graph = SocialGraph::generate(GraphPreset::TwitterLike, 150, 3).unwrap();
+        let topology = Topology::tree(2, 2, 4, 1).unwrap();
+        let cluster = Cluster::spawn(&graph, topology, StoreConfig::default()).unwrap();
+        (cluster, graph)
+    }
+
+    #[test]
+    fn read_your_writes_through_a_follower() {
+        let (cluster, graph) = cluster();
+        // Find an author who has at least one follower.
+        let author = graph.users().find(|&u| !graph.followers(u).is_empty()).unwrap();
+        let reader = graph.followers(author)[0];
+        cluster.write(author, b"first post".to_vec()).unwrap();
+        cluster.write(author, b"second post".to_vec()).unwrap();
+        let feed = cluster.read_feed(reader).unwrap();
+        assert!(feed.iter().any(|e| e.payload() == b"second post"));
+        // Newest first.
+        let author_events: Vec<&Event> =
+            feed.iter().filter(|e| e.author() == author).collect();
+        assert_eq!(author_events[0].payload(), b"second post");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn misses_fill_the_cache_and_turn_into_hits() {
+        let (cluster, graph) = cluster();
+        let author = graph.users().find(|&u| !graph.followers(u).is_empty()).unwrap();
+        let reader = graph.followers(author)[0];
+        // Read before any write: every fetched view is a miss.
+        let _ = cluster.read(reader, &[author]).unwrap();
+        let after_first = cluster.stats();
+        assert!(after_first.cache_misses >= 1);
+        // Reading the same view again hits the cache.
+        let _ = cluster.read(reader, &[author]).unwrap();
+        let after_second = cluster.stats();
+        assert!(after_second.cache_hits >= 1);
+        assert_eq!(after_second.cache_misses, after_first.cache_misses);
+        assert!(after_second.cached_views >= 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn unknown_users_are_rejected() {
+        let (cluster, _) = cluster();
+        let ghost = UserId::new(9_999);
+        assert!(matches!(cluster.write(ghost, vec![]), Err(Error::UnknownUser(_))));
+        assert!(matches!(cluster.read(ghost, &[]), Err(Error::UnknownUser(_))));
+        assert!(matches!(cluster.read_feed(ghost), Err(Error::UnknownUser(_))));
+        // Unknown targets are skipped, not errors.
+        let known = UserId::new(0);
+        let views = cluster.read(known, &[ghost]).unwrap();
+        assert!(views.is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn writes_reach_every_replica() {
+        let (cluster, graph) = cluster();
+        let author = graph.users().find(|&u| !graph.followers(u).is_empty()).unwrap();
+        cluster.write(author, b"v1".to_vec()).unwrap();
+        assert!(cluster.replica_count(author) >= 1);
+        let stats = cluster.stats();
+        assert_eq!(stats.persistent_writes, 1);
+        assert!(stats.cached_views >= 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_make_progress() {
+        let graph = SocialGraph::generate(GraphPreset::TwitterLike, 100, 9).unwrap();
+        let topology = Topology::tree(2, 2, 4, 1).unwrap();
+        let cluster = Cluster::spawn(&graph, topology, StoreConfig::default()).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let cluster = &cluster;
+                scope.spawn(move || {
+                    for i in 0..50u32 {
+                        let user = UserId::new((t * 25 + i) % 100);
+                        cluster.write(user, vec![t as u8, i as u8]).unwrap();
+                        let _ = cluster.read_feed(user).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = cluster.stats();
+        assert_eq!(stats.persistent_writes, 200);
+        assert!(stats.cache_hits + stats.cache_misses > 0);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,54 @@
+//! A runnable, multi-threaded in-memory view store built on the DynaSoRe
+//! placement engine.
+//!
+//! The simulator in `dynasore-sim` reproduces the paper's *measurements*;
+//! this crate demonstrates the paper's *API* (§3.1) as an actual system you
+//! can embed: a [`Cluster`] spawns one thread per view server, connected by
+//! channels, backed by a [`MockPersistentStore`] (the durable store of
+//! §3.3), and routed by a [`DynaSoReEngine`](dynasore_core::DynaSoReEngine)
+//! that replicates hot views close to their readers.
+//!
+//! The API mirrors the paper's memcache-compatible interface:
+//!
+//! * `Write(u)` — [`Cluster::write`] persists a new event for `u` and pushes
+//!   the new version of `u`'s view to every cached replica;
+//! * `Read(u, L)` — [`Cluster::read`] returns the views of the users in `L`,
+//!   served from the cache servers and demand-filled from the persistent
+//!   store on a miss;
+//! * [`Cluster::read_feed`] is the convenience social-feed call: it reads
+//!   the views of all of `u`'s connections and merges them by timestamp.
+//!
+//! # Example
+//!
+//! ```
+//! use dynasore_graph::{GraphPreset, SocialGraph};
+//! use dynasore_store::{Cluster, StoreConfig};
+//! use dynasore_topology::Topology;
+//! use dynasore_types::UserId;
+//!
+//! # fn main() -> Result<(), dynasore_types::Error> {
+//! let graph = SocialGraph::generate(GraphPreset::TwitterLike, 200, 7)?;
+//! let topology = Topology::tree(2, 2, 4, 1)?;
+//! let cluster = Cluster::spawn(&graph, topology, StoreConfig::default())?;
+//!
+//! let alice = UserId::new(0);
+//! let follower = graph.followers(alice).first().copied();
+//! cluster.write(alice, b"hello world".to_vec())?;
+//! if let Some(reader) = follower {
+//!     let feed = cluster.read_feed(reader)?;
+//!     assert!(feed.iter().any(|e| e.payload() == b"hello world"));
+//! }
+//! cluster.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod persistent;
+mod server;
+
+pub use cluster::{Cluster, StoreConfig, StoreStats};
+pub use persistent::MockPersistentStore;

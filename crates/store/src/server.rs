@@ -1,0 +1,174 @@
+//! Cache-server threads.
+//!
+//! Each view server of the topology runs as one thread owning a plain
+//! `HashMap<UserId, View>`. Brokers (which in the paper only orchestrate
+//! requests) are folded into the client call path; the server threads are
+//! the stateful part that benefits from isolation.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+
+use dynasore_types::{MachineId, UserId, View};
+
+/// Commands understood by a cache-server thread.
+#[derive(Debug)]
+pub(crate) enum ServerCommand {
+    /// Return the cached view of a user, if present.
+    Get(UserId, Sender<Option<View>>),
+    /// Insert or refresh the cached view of a user (newer versions win).
+    Put(UserId, View),
+    /// Drop the cached view of a user (replica eviction).
+    Evict(UserId),
+    /// Return the number of cached views.
+    Len(Sender<usize>),
+    /// Stop the thread.
+    Shutdown,
+}
+
+/// Handle to a running cache-server thread.
+#[derive(Debug)]
+pub(crate) struct ServerHandle {
+    pub machine: MachineId,
+    pub sender: Sender<ServerCommand>,
+    pub join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Spawns the server thread for `machine`.
+    pub fn spawn(machine: MachineId) -> ServerHandle {
+        let (sender, receiver) = unbounded::<ServerCommand>();
+        let join = std::thread::Builder::new()
+            .name(format!("dynasore-server-{}", machine.index()))
+            .spawn(move || {
+                let mut views: HashMap<UserId, View> = HashMap::new();
+                while let Ok(command) = receiver.recv() {
+                    match command {
+                        ServerCommand::Get(user, reply) => {
+                            let _ = reply.send(views.get(&user).cloned());
+                        }
+                        ServerCommand::Put(user, view) => match views.get_mut(&user) {
+                            Some(existing) => existing.replace_from(&view),
+                            None => {
+                                views.insert(user, view);
+                            }
+                        },
+                        ServerCommand::Evict(user) => {
+                            views.remove(&user);
+                        }
+                        ServerCommand::Len(reply) => {
+                            let _ = reply.send(views.len());
+                        }
+                        ServerCommand::Shutdown => break,
+                    }
+                }
+            })
+            .expect("failed to spawn server thread");
+        ServerHandle {
+            machine,
+            sender,
+            join: Some(join),
+        }
+    }
+
+    /// Fetches a cached view, blocking on the server thread.
+    pub fn get(&self, user: UserId) -> Option<View> {
+        let (reply, response) = bounded(1);
+        if self.sender.send(ServerCommand::Get(user, reply)).is_err() {
+            return None;
+        }
+        response.recv().ok().flatten()
+    }
+
+    /// Pushes a view into the cache.
+    pub fn put(&self, user: UserId, view: View) {
+        let _ = self.sender.send(ServerCommand::Put(user, view));
+    }
+
+    /// Removes a cached view.
+    pub fn evict(&self, user: UserId) {
+        let _ = self.sender.send(ServerCommand::Evict(user));
+    }
+
+    /// Number of views currently cached on this server.
+    pub fn len(&self) -> usize {
+        let (reply, response) = bounded(1);
+        if self.sender.send(ServerCommand::Len(reply)).is_err() {
+            return 0;
+        }
+        response.recv().unwrap_or(0)
+    }
+
+    /// Asks the thread to stop and waits for it.
+    pub fn shutdown(&mut self) {
+        let _ = self.sender.send(ServerCommand::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Destructors must not fail or block indefinitely: send the shutdown
+        // command (ignoring errors) and detach if the thread already exited.
+        let _ = self.sender.send(ServerCommand::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasore_types::{Event, SimTime};
+
+    fn view_with(user: UserId, payload: &[u8], version_bumps: u32) -> View {
+        let mut v = View::new(user);
+        for i in 0..version_bumps {
+            v.push(Event::new(
+                user,
+                SimTime::from_secs(i as u64),
+                payload.to_vec(),
+            ));
+        }
+        v
+    }
+
+    #[test]
+    fn get_put_evict_round_trip() {
+        let mut server = ServerHandle::spawn(MachineId::new(1));
+        let u = UserId::new(5);
+        assert!(server.get(u).is_none());
+        server.put(u, view_with(u, b"x", 1));
+        let cached = server.get(u).expect("cached view");
+        assert_eq!(cached.len(), 1);
+        assert_eq!(server.len(), 1);
+        server.evict(u);
+        assert!(server.get(u).is_none());
+        assert_eq!(server.len(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stale_puts_do_not_overwrite_newer_views() {
+        let mut server = ServerHandle::spawn(MachineId::new(2));
+        let u = UserId::new(1);
+        server.put(u, view_with(u, b"new", 3));
+        server.put(u, view_with(u, b"old", 1));
+        let cached = server.get(u).unwrap();
+        assert_eq!(cached.len(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut server = ServerHandle::spawn(MachineId::new(3));
+        server.shutdown();
+        server.shutdown();
+        assert!(server.get(UserId::new(1)).is_none());
+        assert_eq!(server.len(), 0);
+    }
+}

@@ -1,0 +1,846 @@
+//! Cluster layout: machines, racks, switches, distances and sub-trees.
+
+use dynasore_types::{BrokerId, Error, MachineId, MachineKind, RackId, Result, ServerId, SubtreeId};
+
+/// A network switch, identified by its tier and index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Switch {
+    /// The core (top-level) switch. A tree has exactly one; a flat topology
+    /// uses it as its single switch.
+    Top,
+    /// An intermediate switch, connecting a group of racks.
+    Intermediate(u32),
+    /// A rack (edge) switch, connecting the machines of one rack.
+    Rack(u32),
+}
+
+impl Switch {
+    /// The tier this switch belongs to.
+    pub fn tier(self) -> Tier {
+        match self {
+            Switch::Top => Tier::Top,
+            Switch::Intermediate(_) => Tier::Intermediate,
+            Switch::Rack(_) => Tier::Rack,
+        }
+    }
+}
+
+impl std::fmt::Display for Switch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Switch::Top => write!(f, "ST"),
+            Switch::Intermediate(i) => write!(f, "SI{i}"),
+            Switch::Rack(r) => write!(f, "SR{r}"),
+        }
+    }
+}
+
+/// The three switch tiers of the network tree (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tier {
+    /// The core tier (top switch).
+    Top,
+    /// The intermediate tier.
+    Intermediate,
+    /// The edge tier (rack switches).
+    Rack,
+}
+
+impl Tier {
+    /// All tiers, top first.
+    pub fn all() -> [Tier; 3] {
+        [Tier::Top, Tier::Intermediate, Tier::Rack]
+    }
+
+    /// Dense index used by traffic accounting tables.
+    pub fn index(self) -> usize {
+        match self {
+            Tier::Top => 0,
+            Tier::Intermediate => 1,
+            Tier::Rack => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tier::Top => write!(f, "top"),
+            Tier::Intermediate => write!(f, "intermediate"),
+            Tier::Rack => write!(f, "rack"),
+        }
+    }
+}
+
+/// Whether the cluster is the paper's three-level tree or the flat
+/// single-switch layout of §4.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Three-level tree: top switch → intermediate switches → rack switches.
+    Tree,
+    /// All machines behind a single switch; every machine is both a server
+    /// and a broker.
+    Flat,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MachineInfo {
+    rack: u32,
+    is_server: bool,
+    is_broker: bool,
+}
+
+/// The cluster layout.
+///
+/// Machines are numbered densely, rack by rack; within a rack the brokers
+/// come first. Racks are numbered densely, intermediate switch by
+/// intermediate switch, so `intermediate = rack / racks_per_intermediate`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    kind: TopologyKind,
+    intermediate_count: usize,
+    racks_per_intermediate: usize,
+    machines_per_rack: usize,
+    brokers_per_rack: usize,
+    machines: Vec<MachineInfo>,
+    servers: Vec<ServerId>,
+    brokers: Vec<BrokerId>,
+}
+
+impl Topology {
+    /// Builds the paper's evaluation tree (§4.3): 5 intermediate switches,
+    /// 5 racks each, 10 machines per rack of which 1 is a broker and 9 are
+    /// servers — 225 servers and 25 brokers in total.
+    pub fn paper_tree() -> Result<Self> {
+        Topology::tree(5, 5, 10, 1)
+    }
+
+    /// Builds the paper's flat evaluation cluster (§4.5): 250 machines
+    /// behind a single switch, each acting as both cache and broker.
+    pub fn paper_flat() -> Result<Self> {
+        Topology::flat(250)
+    }
+
+    /// Builds a three-level tree.
+    ///
+    /// * `intermediate_count` — number of intermediate switches;
+    /// * `racks_per_intermediate` — racks under each intermediate switch;
+    /// * `machines_per_rack` — machines in each rack;
+    /// * `brokers_per_rack` — how many of those machines are brokers (the
+    ///   rest are view servers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if any count is zero or a rack would
+    /// contain no servers.
+    pub fn tree(
+        intermediate_count: usize,
+        racks_per_intermediate: usize,
+        machines_per_rack: usize,
+        brokers_per_rack: usize,
+    ) -> Result<Self> {
+        if intermediate_count == 0 || racks_per_intermediate == 0 || machines_per_rack == 0 {
+            return Err(Error::invalid_config(
+                "tree topology dimensions must be positive",
+            ));
+        }
+        if brokers_per_rack == 0 {
+            return Err(Error::invalid_config("each rack needs at least one broker"));
+        }
+        if brokers_per_rack >= machines_per_rack {
+            return Err(Error::invalid_config(
+                "each rack needs at least one server (brokers_per_rack < machines_per_rack)",
+            ));
+        }
+        let rack_count = intermediate_count * racks_per_intermediate;
+        let mut machines = Vec::with_capacity(rack_count * machines_per_rack);
+        let mut servers = Vec::new();
+        let mut brokers = Vec::new();
+        for rack in 0..rack_count {
+            for slot in 0..machines_per_rack {
+                let id = MachineId::new(machines.len() as u32);
+                let is_broker = slot < brokers_per_rack;
+                machines.push(MachineInfo {
+                    rack: rack as u32,
+                    is_server: !is_broker,
+                    is_broker,
+                });
+                if is_broker {
+                    brokers.push(BrokerId::new(id));
+                } else {
+                    servers.push(ServerId::new(id));
+                }
+            }
+        }
+        Ok(Topology {
+            kind: TopologyKind::Tree,
+            intermediate_count,
+            racks_per_intermediate,
+            machines_per_rack,
+            brokers_per_rack,
+            machines,
+            servers,
+            brokers,
+        })
+    }
+
+    /// Builds a flat topology: `machine_count` machines behind one switch,
+    /// each machine acting as both a server and a broker (§4.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if `machine_count` is zero.
+    pub fn flat(machine_count: usize) -> Result<Self> {
+        if machine_count == 0 {
+            return Err(Error::invalid_config("flat topology needs machines"));
+        }
+        let mut machines = Vec::with_capacity(machine_count);
+        let mut servers = Vec::with_capacity(machine_count);
+        let mut brokers = Vec::with_capacity(machine_count);
+        for i in 0..machine_count {
+            let id = MachineId::new(i as u32);
+            machines.push(MachineInfo {
+                rack: 0,
+                is_server: true,
+                is_broker: true,
+            });
+            servers.push(ServerId::new(id));
+            brokers.push(BrokerId::new(id));
+        }
+        Ok(Topology {
+            kind: TopologyKind::Flat,
+            intermediate_count: 1,
+            racks_per_intermediate: 1,
+            machines_per_rack: machine_count,
+            brokers_per_rack: machine_count,
+            machines,
+            servers,
+            brokers,
+        })
+    }
+
+    /// Whether this is a tree or flat layout.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Total number of machines (servers + brokers).
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Number of view servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of brokers.
+    pub fn broker_count(&self) -> usize {
+        self.brokers.len()
+    }
+
+    /// Number of racks.
+    pub fn rack_count(&self) -> usize {
+        self.intermediate_count * self.racks_per_intermediate
+    }
+
+    /// Number of intermediate switches.
+    pub fn intermediate_count(&self) -> usize {
+        self.intermediate_count
+    }
+
+    /// Number of racks under each intermediate switch.
+    pub fn racks_per_intermediate(&self) -> usize {
+        self.racks_per_intermediate
+    }
+
+    /// All view servers, in machine order.
+    pub fn servers(&self) -> &[ServerId] {
+        &self.servers
+    }
+
+    /// All brokers, in machine order.
+    pub fn brokers(&self) -> &[BrokerId] {
+        &self.brokers
+    }
+
+    /// Whether `machine` exists in this topology.
+    pub fn contains(&self, machine: MachineId) -> bool {
+        machine.as_usize() < self.machines.len()
+    }
+
+    fn info(&self, machine: MachineId) -> Result<&MachineInfo> {
+        self.machines
+            .get(machine.as_usize())
+            .ok_or(Error::UnknownMachine(machine))
+    }
+
+    /// The roles of `machine` (a flat-topology machine is both).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`] for out-of-range ids.
+    pub fn kinds_of(&self, machine: MachineId) -> Result<Vec<MachineKind>> {
+        let info = self.info(machine)?;
+        let mut kinds = Vec::with_capacity(2);
+        if info.is_server {
+            kinds.push(MachineKind::Server);
+        }
+        if info.is_broker {
+            kinds.push(MachineKind::Broker);
+        }
+        Ok(kinds)
+    }
+
+    /// Whether `machine` stores views.
+    pub fn is_server(&self, machine: MachineId) -> bool {
+        self.machines
+            .get(machine.as_usize())
+            .map(|m| m.is_server)
+            .unwrap_or(false)
+    }
+
+    /// Whether `machine` executes requests.
+    pub fn is_broker(&self, machine: MachineId) -> bool {
+        self.machines
+            .get(machine.as_usize())
+            .map(|m| m.is_broker)
+            .unwrap_or(false)
+    }
+
+    /// The rack a machine belongs to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`] for out-of-range ids.
+    pub fn rack_of(&self, machine: MachineId) -> Result<RackId> {
+        Ok(RackId::new(self.info(machine)?.rack))
+    }
+
+    /// The intermediate switch above a rack.
+    pub fn intermediate_of_rack(&self, rack: RackId) -> u32 {
+        rack.index() / self.racks_per_intermediate as u32
+    }
+
+    /// The intermediate switch above a machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`] for out-of-range ids.
+    pub fn intermediate_of(&self, machine: MachineId) -> Result<u32> {
+        Ok(self.intermediate_of_rack(self.rack_of(machine)?))
+    }
+
+    /// The brokers located in `rack`, in machine order.
+    pub fn brokers_in_rack(&self, rack: RackId) -> Vec<BrokerId> {
+        self.brokers
+            .iter()
+            .copied()
+            .filter(|b| self.machines[b.machine().as_usize()].rack == rack.index())
+            .collect()
+    }
+
+    /// The servers located in `rack`, in machine order.
+    pub fn servers_in_rack(&self, rack: RackId) -> Vec<ServerId> {
+        self.servers
+            .iter()
+            .copied()
+            .filter(|s| self.machines[s.machine().as_usize()].rack == rack.index())
+            .collect()
+    }
+
+    /// Network distance between two machines: the number of switches on the
+    /// path connecting them (§2.2, *Locality*). Zero when `a == b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either machine is out of range.
+    pub fn distance(&self, a: MachineId, b: MachineId) -> u32 {
+        if a == b {
+            return 0;
+        }
+        match self.kind {
+            TopologyKind::Flat => 1,
+            TopologyKind::Tree => {
+                let ra = self.machines[a.as_usize()].rack;
+                let rb = self.machines[b.as_usize()].rack;
+                if ra == rb {
+                    1
+                } else if ra / self.racks_per_intermediate as u32
+                    == rb / self.racks_per_intermediate as u32
+                {
+                    3
+                } else {
+                    5
+                }
+            }
+        }
+    }
+
+    /// The switches a message from `a` to `b` traverses, in path order.
+    /// Empty when `a == b` (local delivery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either machine is out of range.
+    pub fn path_switches(&self, a: MachineId, b: MachineId) -> Vec<Switch> {
+        if a == b {
+            return Vec::new();
+        }
+        match self.kind {
+            TopologyKind::Flat => vec![Switch::Top],
+            TopologyKind::Tree => {
+                let ra = self.machines[a.as_usize()].rack;
+                let rb = self.machines[b.as_usize()].rack;
+                let ia = ra / self.racks_per_intermediate as u32;
+                let ib = rb / self.racks_per_intermediate as u32;
+                if ra == rb {
+                    vec![Switch::Rack(ra)]
+                } else if ia == ib {
+                    vec![Switch::Rack(ra), Switch::Intermediate(ia), Switch::Rack(rb)]
+                } else {
+                    vec![
+                        Switch::Rack(ra),
+                        Switch::Intermediate(ia),
+                        Switch::Top,
+                        Switch::Intermediate(ib),
+                        Switch::Rack(rb),
+                    ]
+                }
+            }
+        }
+    }
+
+    /// Lowest common ancestor of two machines in the switch tree, expressed
+    /// as a [`SubtreeId`]. Used by the routing policy: among the servers
+    /// storing a view, a broker picks the one with which it shares the
+    /// lowest common ancestor (§3.2, *Routing policy*).
+    pub fn lowest_common_ancestor(&self, a: MachineId, b: MachineId) -> SubtreeId {
+        if a == b {
+            return SubtreeId::Machine(a.index());
+        }
+        match self.kind {
+            TopologyKind::Flat => SubtreeId::Root,
+            TopologyKind::Tree => {
+                let ra = self.machines[a.as_usize()].rack;
+                let rb = self.machines[b.as_usize()].rack;
+                if ra == rb {
+                    return SubtreeId::Rack(ra);
+                }
+                let ia = ra / self.racks_per_intermediate as u32;
+                let ib = rb / self.racks_per_intermediate as u32;
+                if ia == ib {
+                    SubtreeId::Intermediate(ia)
+                } else {
+                    SubtreeId::Root
+                }
+            }
+        }
+    }
+
+    /// The sub-tree containing exactly `machine`.
+    pub fn machine_subtree(&self, machine: MachineId) -> SubtreeId {
+        SubtreeId::Machine(machine.index())
+    }
+
+    /// Whether `machine` lies under `subtree`.
+    pub fn subtree_contains(&self, subtree: SubtreeId, machine: MachineId) -> bool {
+        if !self.contains(machine) {
+            return false;
+        }
+        match subtree {
+            SubtreeId::Root => true,
+            SubtreeId::Intermediate(i) => {
+                self.kind == TopologyKind::Tree
+                    && self.machines[machine.as_usize()].rack / self.racks_per_intermediate as u32 == i
+            }
+            SubtreeId::Rack(r) => self.machines[machine.as_usize()].rack == r,
+            SubtreeId::Machine(m) => machine.index() == m,
+        }
+    }
+
+    /// The parent of a sub-tree (the root's parent is the root itself).
+    pub fn parent(&self, subtree: SubtreeId) -> SubtreeId {
+        match subtree {
+            SubtreeId::Root => SubtreeId::Root,
+            SubtreeId::Intermediate(_) => SubtreeId::Root,
+            SubtreeId::Rack(r) => match self.kind {
+                TopologyKind::Flat => SubtreeId::Root,
+                TopologyKind::Tree => {
+                    SubtreeId::Intermediate(r / self.racks_per_intermediate as u32)
+                }
+            },
+            SubtreeId::Machine(m) => {
+                let rack = self.machines[m as usize].rack;
+                SubtreeId::Rack(rack)
+            }
+        }
+    }
+
+    /// Child sub-trees of `subtree`, in index order. Machines have no
+    /// children.
+    pub fn children(&self, subtree: SubtreeId) -> Vec<SubtreeId> {
+        match (self.kind, subtree) {
+            (TopologyKind::Flat, SubtreeId::Root) => (0..self.machines.len() as u32)
+                .map(SubtreeId::Machine)
+                .collect(),
+            (TopologyKind::Flat, SubtreeId::Rack(_)) | (TopologyKind::Flat, SubtreeId::Intermediate(_)) => {
+                Vec::new()
+            }
+            (TopologyKind::Tree, SubtreeId::Root) => (0..self.intermediate_count as u32)
+                .map(SubtreeId::Intermediate)
+                .collect(),
+            (TopologyKind::Tree, SubtreeId::Intermediate(i)) => {
+                let first = i * self.racks_per_intermediate as u32;
+                (first..first + self.racks_per_intermediate as u32)
+                    .map(SubtreeId::Rack)
+                    .collect()
+            }
+            (TopologyKind::Tree, SubtreeId::Rack(r)) => self
+                .machines
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.rack == r)
+                .map(|(i, _)| SubtreeId::Machine(i as u32))
+                .collect(),
+            (_, SubtreeId::Machine(_)) => Vec::new(),
+        }
+    }
+
+    /// All machines under a sub-tree.
+    pub fn machines_in_subtree(&self, subtree: SubtreeId) -> Vec<MachineId> {
+        (0..self.machines.len() as u32)
+            .map(MachineId::new)
+            .filter(|&m| self.subtree_contains(subtree, m))
+            .collect()
+    }
+
+    /// All view servers under a sub-tree.
+    pub fn servers_in_subtree(&self, subtree: SubtreeId) -> Vec<ServerId> {
+        self.servers
+            .iter()
+            .copied()
+            .filter(|s| self.subtree_contains(subtree, s.machine()))
+            .collect()
+    }
+
+    /// All brokers under a sub-tree.
+    pub fn brokers_in_subtree(&self, subtree: SubtreeId) -> Vec<BrokerId> {
+        self.brokers
+            .iter()
+            .copied()
+            .filter(|b| self.subtree_contains(subtree, b.machine()))
+            .collect()
+    }
+
+    /// The coarse *origin* a server records for an access coming from
+    /// `requester` (§3.2, *Access statistics*).
+    ///
+    /// A server keeps one counter per rack switch under its own intermediate
+    /// switch (including its own rack) and one counter per sibling
+    /// intermediate switch — `m − 1 + n` origins instead of `m × n`. In a
+    /// flat topology the origin is the requesting machine itself.
+    pub fn access_origin(&self, server: MachineId, requester: MachineId) -> SubtreeId {
+        match self.kind {
+            TopologyKind::Flat => SubtreeId::Machine(requester.index()),
+            TopologyKind::Tree => {
+                let rs = self.machines[server.as_usize()].rack;
+                let rr = self.machines[requester.as_usize()].rack;
+                let is_ = rs / self.racks_per_intermediate as u32;
+                let ir = rr / self.racks_per_intermediate as u32;
+                if is_ == ir {
+                    SubtreeId::Rack(rr)
+                } else {
+                    SubtreeId::Intermediate(ir)
+                }
+            }
+        }
+    }
+
+    /// All origins a server may observe, own rack first. Useful for
+    /// pre-sizing statistics tables.
+    pub fn possible_origins(&self, server: MachineId) -> Vec<SubtreeId> {
+        match self.kind {
+            TopologyKind::Flat => (0..self.machines.len() as u32)
+                .map(SubtreeId::Machine)
+                .collect(),
+            TopologyKind::Tree => {
+                let rs = self.machines[server.as_usize()].rack;
+                let is_ = rs / self.racks_per_intermediate as u32;
+                let mut origins = Vec::new();
+                let first_rack = is_ * self.racks_per_intermediate as u32;
+                for r in first_rack..first_rack + self.racks_per_intermediate as u32 {
+                    origins.push(SubtreeId::Rack(r));
+                }
+                for i in 0..self.intermediate_count as u32 {
+                    if i != is_ {
+                        origins.push(SubtreeId::Intermediate(i));
+                    }
+                }
+                origins
+            }
+        }
+    }
+
+    /// Number of switches a message crosses between `machine` and a
+    /// representative machine of `origin`. Used when estimating the network
+    /// cost of serving an origin's reads from a given server (Algorithm 1).
+    pub fn origin_distance(&self, machine: MachineId, origin: SubtreeId) -> u32 {
+        match self.kind {
+            TopologyKind::Flat => match origin {
+                SubtreeId::Machine(m) if m == machine.index() => 0,
+                _ => 1,
+            },
+            TopologyKind::Tree => {
+                let rm = self.machines[machine.as_usize()].rack;
+                let im = rm / self.racks_per_intermediate as u32;
+                match origin {
+                    SubtreeId::Machine(m) => self.distance(machine, MachineId::new(m)),
+                    SubtreeId::Rack(r) => {
+                        if r == rm {
+                            1
+                        } else if r / self.racks_per_intermediate as u32 == im {
+                            3
+                        } else {
+                            5
+                        }
+                    }
+                    SubtreeId::Intermediate(i) => {
+                        if i == im {
+                            3
+                        } else {
+                            5
+                        }
+                    }
+                    SubtreeId::Root => 5,
+                }
+            }
+        }
+    }
+
+    /// The first broker in the same rack as `machine` — the default place to
+    /// deploy a user's proxies when her view lives on `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`] if the machine is out of range.
+    pub fn local_broker(&self, machine: MachineId) -> Result<BrokerId> {
+        let rack = self.rack_of(machine)?;
+        if self.kind == TopologyKind::Flat {
+            // In a flat topology every machine is its own broker.
+            return Ok(BrokerId::new(machine));
+        }
+        self.brokers_in_rack(rack)
+            .first()
+            .copied()
+            .ok_or(Error::UnknownMachine(machine))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: u32) -> MachineId {
+        MachineId::new(i)
+    }
+
+    #[test]
+    fn paper_tree_dimensions() {
+        let t = Topology::paper_tree().unwrap();
+        assert_eq!(t.kind(), TopologyKind::Tree);
+        assert_eq!(t.machine_count(), 250);
+        assert_eq!(t.server_count(), 225);
+        assert_eq!(t.broker_count(), 25);
+        assert_eq!(t.rack_count(), 25);
+        assert_eq!(t.intermediate_count(), 5);
+        assert_eq!(t.racks_per_intermediate(), 5);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(Topology::tree(0, 5, 10, 1).is_err());
+        assert!(Topology::tree(5, 0, 10, 1).is_err());
+        assert!(Topology::tree(5, 5, 0, 1).is_err());
+        assert!(Topology::tree(5, 5, 10, 0).is_err());
+        assert!(Topology::tree(5, 5, 2, 2).is_err());
+        assert!(Topology::flat(0).is_err());
+    }
+
+    #[test]
+    fn machine_roles_follow_rack_layout() {
+        let t = Topology::tree(2, 2, 3, 1).unwrap();
+        // Machines 0..3 are rack 0: machine 0 is the broker.
+        assert!(t.is_broker(m(0)));
+        assert!(!t.is_server(m(0)));
+        assert!(t.is_server(m(1)));
+        assert!(t.is_server(m(2)));
+        assert_eq!(t.rack_of(m(4)).unwrap(), RackId::new(1));
+        assert_eq!(t.brokers_in_rack(RackId::new(1)), vec![BrokerId::new(m(3))]);
+        assert_eq!(t.servers_in_rack(RackId::new(0)).len(), 2);
+        assert_eq!(
+            t.kinds_of(m(0)).unwrap(),
+            vec![dynasore_types::MachineKind::Broker]
+        );
+        assert!(t.kinds_of(m(99)).is_err());
+        assert!(t.rack_of(m(99)).is_err());
+    }
+
+    #[test]
+    fn tree_distances_follow_the_paper() {
+        let t = Topology::paper_tree().unwrap();
+        // Same machine.
+        assert_eq!(t.distance(m(1), m(1)), 0);
+        // Same rack (machines 1 and 2 are servers of rack 0): 1 rack switch.
+        assert_eq!(t.distance(m(1), m(2)), 1);
+        // Same intermediate, different rack (rack 0 and rack 1): 3 switches.
+        assert_eq!(t.distance(m(1), m(11)), 3);
+        // Different intermediates (rack 0 and rack 5): 5 switches.
+        assert_eq!(t.distance(m(1), m(51)), 5);
+        // Distance is symmetric.
+        assert_eq!(t.distance(m(51), m(1)), 5);
+    }
+
+    #[test]
+    fn path_switches_match_distance() {
+        let t = Topology::paper_tree().unwrap();
+        for (a, b) in [(1u32, 1u32), (1, 2), (1, 11), (1, 51), (240, 3)] {
+            let path = t.path_switches(m(a), m(b));
+            assert_eq!(path.len() as u32, t.distance(m(a), m(b)), "{a}->{b}");
+        }
+        let cross = t.path_switches(m(1), m(51));
+        assert_eq!(
+            cross,
+            vec![
+                Switch::Rack(0),
+                Switch::Intermediate(0),
+                Switch::Top,
+                Switch::Intermediate(1),
+                Switch::Rack(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn flat_topology_is_one_hop() {
+        let t = Topology::paper_flat().unwrap();
+        assert_eq!(t.kind(), TopologyKind::Flat);
+        assert_eq!(t.machine_count(), 250);
+        // Everyone is both server and broker.
+        assert_eq!(t.server_count(), 250);
+        assert_eq!(t.broker_count(), 250);
+        assert_eq!(t.distance(m(0), m(249)), 1);
+        assert_eq!(t.distance(m(3), m(3)), 0);
+        assert_eq!(t.path_switches(m(0), m(1)), vec![Switch::Top]);
+        assert_eq!(t.lowest_common_ancestor(m(0), m(1)), SubtreeId::Root);
+        assert_eq!(t.local_broker(m(7)).unwrap(), BrokerId::new(m(7)));
+    }
+
+    #[test]
+    fn lowest_common_ancestor_levels() {
+        let t = Topology::paper_tree().unwrap();
+        assert_eq!(t.lowest_common_ancestor(m(1), m(1)), SubtreeId::Machine(1));
+        assert_eq!(t.lowest_common_ancestor(m(1), m(2)), SubtreeId::Rack(0));
+        assert_eq!(
+            t.lowest_common_ancestor(m(1), m(11)),
+            SubtreeId::Intermediate(0)
+        );
+        assert_eq!(t.lowest_common_ancestor(m(1), m(51)), SubtreeId::Root);
+    }
+
+    #[test]
+    fn subtree_containment_and_children() {
+        let t = Topology::tree(2, 2, 3, 1).unwrap();
+        assert!(t.subtree_contains(SubtreeId::Root, m(0)));
+        assert!(t.subtree_contains(SubtreeId::Intermediate(0), m(5)));
+        assert!(!t.subtree_contains(SubtreeId::Intermediate(0), m(6)));
+        assert!(t.subtree_contains(SubtreeId::Rack(1), m(4)));
+        assert!(!t.subtree_contains(SubtreeId::Rack(1), m(7)));
+        assert!(t.subtree_contains(SubtreeId::Machine(3), m(3)));
+        assert!(!t.subtree_contains(SubtreeId::Machine(3), m(4)));
+
+        assert_eq!(
+            t.children(SubtreeId::Root),
+            vec![SubtreeId::Intermediate(0), SubtreeId::Intermediate(1)]
+        );
+        assert_eq!(
+            t.children(SubtreeId::Intermediate(1)),
+            vec![SubtreeId::Rack(2), SubtreeId::Rack(3)]
+        );
+        assert_eq!(t.children(SubtreeId::Rack(0)).len(), 3);
+        assert!(t.children(SubtreeId::Machine(0)).is_empty());
+
+        assert_eq!(t.machines_in_subtree(SubtreeId::Intermediate(0)).len(), 6);
+        assert_eq!(t.servers_in_subtree(SubtreeId::Rack(0)).len(), 2);
+        assert_eq!(t.brokers_in_subtree(SubtreeId::Root).len(), 4);
+    }
+
+    #[test]
+    fn parents_walk_up_the_tree() {
+        let t = Topology::tree(2, 2, 3, 1).unwrap();
+        assert_eq!(t.parent(SubtreeId::Machine(4)), SubtreeId::Rack(1));
+        assert_eq!(t.parent(SubtreeId::Rack(3)), SubtreeId::Intermediate(1));
+        assert_eq!(t.parent(SubtreeId::Intermediate(1)), SubtreeId::Root);
+        assert_eq!(t.parent(SubtreeId::Root), SubtreeId::Root);
+    }
+
+    #[test]
+    fn coarse_origins_match_the_paper() {
+        // Figure 1 example: server S111 records accesses from SR11..SR1n and
+        // from SI2..SIm — its sibling racks individually, remote
+        // intermediates in aggregate.
+        let t = Topology::paper_tree().unwrap();
+        let server = m(1); // rack 0, intermediate 0
+        let local_broker = m(0); // same rack
+        let nearby_broker = m(10); // rack 1, same intermediate
+        let far_broker = m(60); // rack 6, intermediate 1
+        assert_eq!(t.access_origin(server, local_broker), SubtreeId::Rack(0));
+        assert_eq!(t.access_origin(server, nearby_broker), SubtreeId::Rack(1));
+        assert_eq!(
+            t.access_origin(server, far_broker),
+            SubtreeId::Intermediate(1)
+        );
+        let origins = t.possible_origins(server);
+        // 5 racks under its own intermediate + 4 sibling intermediates.
+        assert_eq!(origins.len(), 5 + 4);
+        assert!(origins.contains(&SubtreeId::Rack(0)));
+        assert!(origins.contains(&SubtreeId::Intermediate(4)));
+        assert!(!origins.contains(&SubtreeId::Intermediate(0)));
+    }
+
+    #[test]
+    fn origin_distance_reflects_switch_hops() {
+        let t = Topology::paper_tree().unwrap();
+        let server = m(1); // rack 0, intermediate 0
+        assert_eq!(t.origin_distance(server, SubtreeId::Rack(0)), 1);
+        assert_eq!(t.origin_distance(server, SubtreeId::Rack(1)), 3);
+        assert_eq!(t.origin_distance(server, SubtreeId::Rack(6)), 5);
+        assert_eq!(t.origin_distance(server, SubtreeId::Intermediate(0)), 3);
+        assert_eq!(t.origin_distance(server, SubtreeId::Intermediate(3)), 5);
+        assert_eq!(t.origin_distance(server, SubtreeId::Root), 5);
+        assert_eq!(t.origin_distance(server, SubtreeId::Machine(1)), 0);
+        assert_eq!(t.origin_distance(server, SubtreeId::Machine(2)), 1);
+    }
+
+    #[test]
+    fn local_broker_is_in_the_same_rack() {
+        let t = Topology::paper_tree().unwrap();
+        let server = m(13); // rack 1
+        let broker = t.local_broker(server).unwrap();
+        assert_eq!(t.rack_of(broker.machine()).unwrap(), t.rack_of(server).unwrap());
+        assert!(t.is_broker(broker.machine()));
+        assert!(t.local_broker(m(9_999)).is_err());
+    }
+
+    #[test]
+    fn switch_and_tier_helpers() {
+        assert_eq!(Switch::Top.tier(), Tier::Top);
+        assert_eq!(Switch::Intermediate(2).tier(), Tier::Intermediate);
+        assert_eq!(Switch::Rack(4).tier(), Tier::Rack);
+        assert_eq!(Switch::Top.to_string(), "ST");
+        assert_eq!(Switch::Intermediate(1).to_string(), "SI1");
+        assert_eq!(Switch::Rack(3).to_string(), "SR3");
+        assert_eq!(Tier::all().map(|t| t.index()), [0, 1, 2]);
+        assert_eq!(Tier::Top.to_string(), "top");
+    }
+}

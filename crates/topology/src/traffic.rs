@@ -1,0 +1,289 @@
+//! Per-switch traffic accounting.
+//!
+//! Every experiment in the paper reports traffic as the number of message
+//! units traversing switches: Figure 3 and Figure 4 report the traffic of
+//! the top switch, Tables 2 and 3 the average per-switch traffic of each
+//! tier, and Figure 6 splits application from system (protocol) traffic.
+//! [`TrafficAccount`] accumulates exactly those quantities.
+
+use std::collections::HashMap;
+
+use dynasore_types::{MessageClass, SimTime, TrafficUnits, HOUR_SECS};
+
+use crate::layout::{Switch, Tier};
+
+/// Traffic accumulated at one tier, split by message class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierTraffic {
+    /// Units of application traffic (reads/writes and their answers).
+    pub application: TrafficUnits,
+    /// Units of protocol traffic (replica management, notifications).
+    pub protocol: TrafficUnits,
+}
+
+impl TierTraffic {
+    /// Application + protocol units.
+    pub fn total(&self) -> TrafficUnits {
+        self.application + self.protocol
+    }
+
+    fn add(&mut self, class: MessageClass, units: TrafficUnits) {
+        match class {
+            MessageClass::Application => self.application += units,
+            MessageClass::Protocol => self.protocol += units,
+        }
+    }
+}
+
+/// Records the traffic of every switch of a topology over time.
+///
+/// # Example
+///
+/// ```
+/// use dynasore_topology::{Switch, Tier, TrafficAccount};
+/// use dynasore_types::{MessageClass, SimTime};
+///
+/// let mut account = TrafficAccount::new(3_600);
+/// account.record(
+///     &[Switch::Rack(0), Switch::Intermediate(0), Switch::Top],
+///     MessageClass::Application,
+///     SimTime::from_secs(10),
+/// );
+/// assert_eq!(account.tier_total(Tier::Top).application, 10);
+/// assert_eq!(account.switch_total(Switch::Rack(0)), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficAccount {
+    bucket_secs: u64,
+    tier_totals: [TierTraffic; 3],
+    switch_totals: HashMap<Switch, TrafficUnits>,
+    /// `series[bucket][tier]`, grown on demand.
+    series: Vec<[TierTraffic; 3]>,
+    messages: u64,
+}
+
+impl TrafficAccount {
+    /// Creates an account whose time series uses buckets of `bucket_secs`
+    /// seconds (the paper plots hourly to daily curves; the default
+    /// constructor [`TrafficAccount::hourly`] uses one hour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_secs` is zero.
+    pub fn new(bucket_secs: u64) -> Self {
+        assert!(bucket_secs > 0, "bucket width must be positive");
+        TrafficAccount {
+            bucket_secs,
+            tier_totals: [TierTraffic::default(); 3],
+            switch_totals: HashMap::new(),
+            series: Vec::new(),
+            messages: 0,
+        }
+    }
+
+    /// Creates an account with one-hour buckets.
+    pub fn hourly() -> Self {
+        TrafficAccount::new(HOUR_SECS)
+    }
+
+    /// The width of a time-series bucket, in seconds.
+    pub fn bucket_secs(&self) -> u64 {
+        self.bucket_secs
+    }
+
+    /// Records one message of `class` traversing the given switches at time
+    /// `time`. A message with an empty path (local delivery) costs nothing.
+    pub fn record(&mut self, path: &[Switch], class: MessageClass, time: SimTime) {
+        if path.is_empty() {
+            return;
+        }
+        self.messages += 1;
+        let units = class.units();
+        let bucket = time.bucket(self.bucket_secs) as usize;
+        if bucket >= self.series.len() {
+            self.series.resize(bucket + 1, [TierTraffic::default(); 3]);
+        }
+        for &switch in path {
+            let tier = switch.tier().index();
+            self.tier_totals[tier].add(class, units);
+            self.series[bucket][tier].add(class, units);
+            *self.switch_totals.entry(switch).or_insert(0) += units;
+        }
+    }
+
+    /// Number of (non-local) messages recorded.
+    pub fn message_count(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total traffic accumulated at a tier (summed over all its switches).
+    pub fn tier_total(&self, tier: Tier) -> TierTraffic {
+        self.tier_totals[tier.index()]
+    }
+
+    /// Total traffic through one specific switch.
+    pub fn switch_total(&self, switch: Switch) -> TrafficUnits {
+        self.switch_totals.get(&switch).copied().unwrap_or(0)
+    }
+
+    /// Average per-switch traffic of a tier, given how many switches that
+    /// tier has in the topology (Tables 2 and 3 report this quantity).
+    pub fn tier_average(&self, tier: Tier, switch_count: usize) -> f64 {
+        if switch_count == 0 {
+            return 0.0;
+        }
+        self.tier_total(tier).total() as f64 / switch_count as f64
+    }
+
+    /// The per-bucket time series of a tier. Buckets with no traffic are
+    /// zero-filled up to the last bucket that saw any message.
+    pub fn tier_series(&self, tier: Tier) -> Vec<TierTraffic> {
+        self.series.iter().map(|b| b[tier.index()]).collect()
+    }
+
+    /// Time series of the top switch only, the quantity plotted by
+    /// Figures 4 and 6.
+    pub fn top_switch_series(&self) -> Vec<TierTraffic> {
+        self.tier_series(Tier::Top)
+    }
+
+    /// Grand total over every switch and class.
+    pub fn grand_total(&self) -> TrafficUnits {
+        self.tier_totals.iter().map(TierTraffic::total).sum()
+    }
+
+    /// Merges another account (same bucket width) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket widths differ.
+    pub fn merge(&mut self, other: &TrafficAccount) {
+        assert_eq!(
+            self.bucket_secs, other.bucket_secs,
+            "cannot merge accounts with different bucket widths"
+        );
+        for tier in 0..3 {
+            self.tier_totals[tier].application += other.tier_totals[tier].application;
+            self.tier_totals[tier].protocol += other.tier_totals[tier].protocol;
+        }
+        for (&sw, &units) in &other.switch_totals {
+            *self.switch_totals.entry(sw).or_insert(0) += units;
+        }
+        if other.series.len() > self.series.len() {
+            self.series
+                .resize(other.series.len(), [TierTraffic::default(); 3]);
+        }
+        for (bucket, tiers) in other.series.iter().enumerate() {
+            for tier in 0..3 {
+                self.series[bucket][tier].application += tiers[tier].application;
+                self.series[bucket][tier].protocol += tiers[tier].protocol;
+            }
+        }
+        self.messages += other.messages;
+    }
+}
+
+impl Default for TrafficAccount {
+    fn default() -> Self {
+        TrafficAccount::hourly()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cross_cluster_path() -> Vec<Switch> {
+        vec![
+            Switch::Rack(0),
+            Switch::Intermediate(0),
+            Switch::Top,
+            Switch::Intermediate(1),
+            Switch::Rack(5),
+        ]
+    }
+
+    #[test]
+    fn record_accumulates_per_tier_and_switch() {
+        let mut acc = TrafficAccount::hourly();
+        acc.record(&cross_cluster_path(), MessageClass::Application, SimTime::ZERO);
+        acc.record(&[Switch::Rack(0)], MessageClass::Protocol, SimTime::ZERO);
+
+        assert_eq!(acc.message_count(), 2);
+        assert_eq!(acc.tier_total(Tier::Top).application, 10);
+        assert_eq!(acc.tier_total(Tier::Top).protocol, 0);
+        // Two intermediate switches were crossed by the application message.
+        assert_eq!(acc.tier_total(Tier::Intermediate).application, 20);
+        assert_eq!(acc.tier_total(Tier::Rack).application, 20);
+        assert_eq!(acc.tier_total(Tier::Rack).protocol, 1);
+        assert_eq!(acc.switch_total(Switch::Rack(0)), 11);
+        assert_eq!(acc.switch_total(Switch::Rack(5)), 10);
+        assert_eq!(acc.switch_total(Switch::Rack(9)), 0);
+        assert_eq!(acc.grand_total(), 51);
+    }
+
+    #[test]
+    fn local_messages_cost_nothing() {
+        let mut acc = TrafficAccount::hourly();
+        acc.record(&[], MessageClass::Application, SimTime::ZERO);
+        assert_eq!(acc.message_count(), 0);
+        assert_eq!(acc.grand_total(), 0);
+    }
+
+    #[test]
+    fn series_is_bucketed_by_time() {
+        let mut acc = TrafficAccount::new(60);
+        acc.record(&[Switch::Top], MessageClass::Application, SimTime::from_secs(30));
+        acc.record(&[Switch::Top], MessageClass::Application, SimTime::from_secs(90));
+        acc.record(&[Switch::Top], MessageClass::Protocol, SimTime::from_secs(95));
+        let series = acc.top_switch_series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].application, 10);
+        assert_eq!(series[1].application, 10);
+        assert_eq!(series[1].protocol, 1);
+        assert_eq!(acc.bucket_secs(), 60);
+    }
+
+    #[test]
+    fn tier_average_divides_by_switch_count() {
+        let mut acc = TrafficAccount::hourly();
+        acc.record(&cross_cluster_path(), MessageClass::Application, SimTime::ZERO);
+        // 20 units over 2 intermediate switches observed, but the cluster has
+        // 5 intermediate switches in total.
+        assert!((acc.tier_average(Tier::Intermediate, 5) - 4.0).abs() < 1e-9);
+        assert_eq!(acc.tier_average(Tier::Top, 0), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = TrafficAccount::new(60);
+        let mut b = TrafficAccount::new(60);
+        a.record(&[Switch::Top], MessageClass::Application, SimTime::from_secs(10));
+        b.record(&[Switch::Top], MessageClass::Protocol, SimTime::from_secs(70));
+        b.record(&[Switch::Rack(1)], MessageClass::Application, SimTime::from_secs(70));
+        a.merge(&b);
+        assert_eq!(a.message_count(), 3);
+        assert_eq!(a.tier_total(Tier::Top).application, 10);
+        assert_eq!(a.tier_total(Tier::Top).protocol, 1);
+        assert_eq!(a.switch_total(Switch::Rack(1)), 10);
+        assert_eq!(a.top_switch_series().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket widths")]
+    fn merge_rejects_mismatched_buckets() {
+        let mut a = TrafficAccount::new(60);
+        let b = TrafficAccount::new(120);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn tier_traffic_total() {
+        let t = TierTraffic {
+            application: 30,
+            protocol: 4,
+        };
+        assert_eq!(t.total(), 34);
+        assert_eq!(TierTraffic::default().total(), 0);
+    }
+}

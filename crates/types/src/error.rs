@@ -1,0 +1,125 @@
+//! Error handling shared by the DynaSoRe crates.
+
+use std::fmt;
+
+use crate::{MachineId, UserId};
+
+/// Convenience result alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced by the DynaSoRe crates.
+///
+/// The variants are intentionally coarse: most APIs validate their inputs
+/// eagerly and report a descriptive configuration error rather than failing
+/// deep inside an experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value is invalid (zero-sized cluster, empty graph,
+    /// impossible memory budget, …).
+    InvalidConfig(String),
+    /// A user id does not exist in the social graph or placement tables.
+    UnknownUser(UserId),
+    /// A machine id does not exist in the topology, or has the wrong role
+    /// (e.g. a broker where a server was expected).
+    UnknownMachine(MachineId),
+    /// The cluster does not have enough memory to store one copy of every
+    /// view; the paper explicitly excludes this trivial case (§2.3).
+    InsufficientCapacity {
+        /// Slots required to hold one copy of every view.
+        required: usize,
+        /// Slots actually available in the cluster.
+        available: usize,
+    },
+    /// A server was asked to hold more views than its capacity.
+    ServerFull(MachineId),
+    /// A view that must exist (every view has at least one replica) could
+    /// not be found on any server. Indicates a placement-invariant
+    /// violation.
+    ViewLost(UserId),
+    /// An I/O error occurred while reading or writing a dataset file.
+    Io(String),
+}
+
+impl Error {
+    /// Builds an [`Error::InvalidConfig`] from any displayable message.
+    pub fn invalid_config(msg: impl Into<String>) -> Self {
+        Error::InvalidConfig(msg.into())
+    }
+
+    /// Builds an [`Error::Io`] from any displayable message.
+    pub fn io(msg: impl fmt::Display) -> Self {
+        Error::Io(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::UnknownUser(u) => write!(f, "unknown user {u}"),
+            Error::UnknownMachine(m) => write!(f, "unknown machine {m}"),
+            Error::InsufficientCapacity {
+                required,
+                available,
+            } => write!(
+                f,
+                "insufficient cluster capacity: {required} view slots required, {available} available"
+            ),
+            Error::ServerFull(m) => write!(f, "server {m} is full"),
+            Error::ViewLost(u) => write!(f, "view of user {u} has no replica"),
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(err: std::io::Error) -> Self {
+        Error::io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_descriptive() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::invalid_config("bad"), "invalid configuration: bad"),
+            (Error::UnknownUser(UserId::new(3)), "unknown user u3"),
+            (
+                Error::UnknownMachine(MachineId::new(4)),
+                "unknown machine m4",
+            ),
+            (
+                Error::InsufficientCapacity {
+                    required: 10,
+                    available: 5,
+                },
+                "insufficient cluster capacity: 10 view slots required, 5 available",
+            ),
+            (Error::ServerFull(MachineId::new(2)), "server m2 is full"),
+            (Error::ViewLost(UserId::new(9)), "view of user u9 has no replica"),
+            (Error::Io("boom".into()), "i/o error: boom"),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<Error>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: Error = io.into();
+        assert!(matches!(err, Error::Io(_)));
+    }
+}

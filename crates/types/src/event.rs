@@ -1,0 +1,241 @@
+//! Events and producer-pivoted views.
+//!
+//! The paper treats an event as an application-specific array of bytes
+//! (§1) and a view as a list of events produced by a single user, possibly
+//! ordered by timestamp (§2.1). Events are assumed to have a fixed, small
+//! size (e.g. 140-character tweets); heavy content lives in dedicated
+//! servers, not in the cache (§3.2, *Storage management*).
+
+use crate::{SimTime, UserId};
+
+/// Default maximum number of events retained per view.
+///
+/// Social feeds only ever display the most recent items, so views are
+/// truncated to a bounded number of events, mirroring how production caches
+/// cap per-key value sizes.
+pub const DEFAULT_VIEW_CAPACITY: usize = 128;
+
+/// A single piece of content produced by a user (status update, micro-blog,
+/// picture reference, …).
+///
+/// The format of the payload is application specific; DynaSoRe treats it as
+/// an opaque array of bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Event {
+    author: UserId,
+    timestamp: SimTime,
+    payload: Vec<u8>,
+}
+
+impl Event {
+    /// Creates a new event.
+    pub fn new(author: UserId, timestamp: SimTime, payload: Vec<u8>) -> Self {
+        Event {
+            author,
+            timestamp,
+            payload,
+        }
+    }
+
+    /// The user who produced the event.
+    pub fn author(&self) -> UserId {
+        self.author
+    }
+
+    /// When the event was produced.
+    pub fn timestamp(&self) -> SimTime {
+        self.timestamp
+    }
+
+    /// The opaque application payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Size of the payload in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+/// A producer-pivoted view: the list of events produced by one user, newest
+/// last, truncated to a bounded capacity.
+///
+/// # Example
+///
+/// ```
+/// use dynasore_types::{Event, SimTime, UserId, View};
+///
+/// let u = UserId::new(9);
+/// let mut view = View::with_capacity(u, 2);
+/// for i in 0..3 {
+///     view.push(Event::new(u, SimTime::from_secs(i), vec![i as u8]));
+/// }
+/// // Oldest event was truncated.
+/// assert_eq!(view.len(), 2);
+/// assert_eq!(view.latest().unwrap().timestamp(), SimTime::from_secs(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    owner: UserId,
+    capacity: usize,
+    events: Vec<Event>,
+    /// Monotonically increasing version, bumped on every update. Mirrors the
+    /// "new version fetched from the persistent store" of the paper's write
+    /// path (§3.3).
+    version: u64,
+}
+
+impl View {
+    /// Creates an empty view with the default capacity.
+    pub fn new(owner: UserId) -> Self {
+        View::with_capacity(owner, DEFAULT_VIEW_CAPACITY)
+    }
+
+    /// Creates an empty view retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(owner: UserId, capacity: usize) -> Self {
+        assert!(capacity > 0, "view capacity must be positive");
+        View {
+            owner,
+            capacity,
+            events: Vec::new(),
+            version: 0,
+        }
+    }
+
+    /// The user this view belongs to.
+    pub fn owner(&self) -> UserId {
+        self.owner
+    }
+
+    /// The number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the view holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The maximum number of events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current version of the view. Starts at 0 and increases by one on
+    /// every [`push`](View::push) or [`replace_from`](View::replace_from).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Appends an event, evicting the oldest one if the view is full.
+    pub fn push(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.remove(0);
+        }
+        self.events.push(event);
+        self.version += 1;
+    }
+
+    /// Replaces the content of this view with the content of `other`,
+    /// adopting its version if newer. This is the replica-update path: the
+    /// write proxy fetches the new version from the persistent store and
+    /// pushes it to every replica.
+    pub fn replace_from(&mut self, other: &View) {
+        if other.version > self.version {
+            self.events = other.events.clone();
+            self.version = other.version;
+        }
+    }
+
+    /// The most recent event, if any.
+    pub fn latest(&self) -> Option<&Event> {
+        self.events.last()
+    }
+
+    /// Iterates over events from oldest to newest.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// Returns the `n` most recent events, newest first.
+    pub fn latest_n(&self, n: usize) -> Vec<&Event> {
+        self.events.iter().rev().take(n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(u: u32, t: u64) -> Event {
+        Event::new(UserId::new(u), SimTime::from_secs(t), vec![t as u8])
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = Event::new(UserId::new(1), SimTime::from_secs(5), b"abc".to_vec());
+        assert_eq!(e.author(), UserId::new(1));
+        assert_eq!(e.timestamp(), SimTime::from_secs(5));
+        assert_eq!(e.payload(), b"abc");
+        assert_eq!(e.payload_len(), 3);
+    }
+
+    #[test]
+    fn view_push_and_truncate() {
+        let mut v = View::with_capacity(UserId::new(1), 3);
+        assert!(v.is_empty());
+        for t in 0..5 {
+            v.push(ev(1, t));
+        }
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.capacity(), 3);
+        let ts: Vec<u64> = v.iter().map(|e| e.timestamp().as_secs()).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+        assert_eq!(v.latest().unwrap().timestamp().as_secs(), 4);
+        assert_eq!(v.version(), 5);
+    }
+
+    #[test]
+    fn view_latest_n_is_newest_first() {
+        let mut v = View::new(UserId::new(2));
+        for t in 0..4 {
+            v.push(ev(2, t));
+        }
+        let latest: Vec<u64> = v.latest_n(2).iter().map(|e| e.timestamp().as_secs()).collect();
+        assert_eq!(latest, vec![3, 2]);
+    }
+
+    #[test]
+    fn replace_from_adopts_newer_versions_only() {
+        let mut primary = View::new(UserId::new(3));
+        let mut replica = View::new(UserId::new(3));
+        primary.push(ev(3, 1));
+        primary.push(ev(3, 2));
+        replica.replace_from(&primary);
+        assert_eq!(replica.len(), 2);
+        assert_eq!(replica.version(), primary.version());
+
+        // An older view never overwrites a newer replica.
+        let stale = View::new(UserId::new(3));
+        replica.replace_from(&stale);
+        assert_eq!(replica.len(), 2);
+    }
+
+    #[test]
+    fn default_capacity_applies() {
+        let v = View::new(UserId::new(4));
+        assert_eq!(v.capacity(), DEFAULT_VIEW_CAPACITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "view capacity must be positive")]
+    fn zero_capacity_panics() {
+        View::with_capacity(UserId::new(1), 0);
+    }
+}

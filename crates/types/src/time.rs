@@ -1,0 +1,190 @@
+//! Simulated time.
+//!
+//! The simulator and every trace generator express time as whole seconds
+//! from the start of the experiment. The paper's experiments span days
+//! (rotating access counters shift every hour, traces last 2–14 days), so a
+//! `u64` second counter is ample.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Number of seconds in a minute.
+pub const MINUTE_SECS: u64 = 60;
+/// Number of seconds in an hour.
+pub const HOUR_SECS: u64 = 3_600;
+/// Number of seconds in a day.
+pub const DAY_SECS: u64 = 86_400;
+
+/// A point in simulated time, measured in seconds from the experiment start.
+///
+/// # Example
+///
+/// ```
+/// use dynasore_types::SimTime;
+///
+/// let t = SimTime::from_days(2) + SimTime::from_hours(3);
+/// assert_eq!(t.as_secs(), 2 * 86_400 + 3 * 3_600);
+/// assert_eq!(t.whole_days(), 2);
+/// assert_eq!(t.whole_hours(), 51);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero: the start of the experiment.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from a number of seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Creates a time from a number of minutes.
+    pub fn from_minutes(minutes: u64) -> Self {
+        SimTime(minutes * MINUTE_SECS)
+    }
+
+    /// Creates a time from a number of hours.
+    pub fn from_hours(hours: u64) -> Self {
+        SimTime(hours * HOUR_SECS)
+    }
+
+    /// Creates a time from a number of days.
+    pub fn from_days(days: u64) -> Self {
+        SimTime(days * DAY_SECS)
+    }
+
+    /// Returns the number of whole seconds since the experiment start.
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the number of complete hours elapsed.
+    pub fn whole_hours(self) -> u64 {
+        self.0 / HOUR_SECS
+    }
+
+    /// Returns the number of complete days elapsed.
+    pub fn whole_days(self) -> u64 {
+        self.0 / DAY_SECS
+    }
+
+    /// Returns the fraction of the current day in `[0, 1)`, useful for
+    /// diurnal (day/night) rate modulation.
+    pub fn day_fraction(self) -> f64 {
+        (self.0 % DAY_SECS) as f64 / DAY_SECS as f64
+    }
+
+    /// Saturating subtraction of two times, returning the difference in
+    /// seconds.
+    pub fn saturating_secs_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Returns the index of the time bucket of width `bucket_secs` that this
+    /// instant falls in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_secs` is zero.
+    pub fn bucket(self, bucket_secs: u64) -> u64 {
+        assert!(bucket_secs > 0, "bucket width must be positive");
+        self.0 / bucket_secs
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let days = self.whole_days();
+        let rem = self.0 % DAY_SECS;
+        let hours = rem / HOUR_SECS;
+        let rem = rem % HOUR_SECS;
+        let minutes = rem / MINUTE_SECS;
+        let secs = rem % MINUTE_SECS;
+        write!(f, "{days}d {hours:02}:{minutes:02}:{secs:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::from_secs(5).as_secs(), 5);
+        assert_eq!(SimTime::from_minutes(2).as_secs(), 120);
+        assert_eq!(SimTime::from_hours(2).as_secs(), 7_200);
+        assert_eq!(SimTime::from_days(1).as_secs(), 86_400);
+        assert_eq!(SimTime::ZERO.as_secs(), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_hours(1) + SimTime::from_minutes(30);
+        assert_eq!(t.as_secs(), 5_400);
+        let d = t - SimTime::from_minutes(30);
+        assert_eq!(d, SimTime::from_hours(1));
+        // Subtraction saturates instead of underflowing.
+        assert_eq!((SimTime::ZERO - SimTime::from_secs(10)).as_secs(), 0);
+        let mut acc = SimTime::ZERO;
+        acc += SimTime::from_secs(3);
+        assert_eq!(acc.as_secs(), 3);
+    }
+
+    #[test]
+    fn whole_units_and_day_fraction() {
+        let t = SimTime::from_days(3) + SimTime::from_hours(12);
+        assert_eq!(t.whole_days(), 3);
+        assert_eq!(t.whole_hours(), 84);
+        assert!((t.day_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucketing() {
+        let t = SimTime::from_secs(3_700);
+        assert_eq!(t.bucket(HOUR_SECS), 1);
+        assert_eq!(t.bucket(60), 61);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn bucket_zero_width_panics() {
+        SimTime::from_secs(1).bucket(0);
+    }
+
+    #[test]
+    fn display_format() {
+        let t = SimTime::from_days(1) + SimTime::from_hours(2) + SimTime::from_secs(61);
+        assert_eq!(t.to_string(), "1d 02:01:01");
+    }
+
+    #[test]
+    fn saturating_since() {
+        let a = SimTime::from_secs(100);
+        let b = SimTime::from_secs(40);
+        assert_eq!(a.saturating_secs_since(b), 60);
+        assert_eq!(b.saturating_secs_since(a), 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Flash-event planning (§4.6).
+//!
+//! The paper's flash-event experiment makes a randomly chosen user suddenly
+//! popular: at day 2 of the simulation, 100 random users start following her
+//! (and therefore reading her view); at day 7 they all unfollow. DynaSoRe is
+//! expected to create extra replicas of the view while it is hot and evict
+//! them within a day of the spike ending.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use dynasore_graph::SocialGraph;
+use dynasore_types::{Error, Result, SimTime, UserId};
+
+/// A timed modification of the social graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphMutation {
+    /// `follower` starts following `followee`.
+    AddEdge {
+        /// The user adding the connection.
+        follower: UserId,
+        /// The user being followed.
+        followee: UserId,
+    },
+    /// `follower` stops following `followee`.
+    RemoveEdge {
+        /// The user removing the connection.
+        follower: UserId,
+        /// The user being unfollowed.
+        followee: UserId,
+    },
+}
+
+/// A graph mutation scheduled at a specific simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedMutation {
+    /// When the mutation takes effect.
+    pub time: SimTime,
+    /// The mutation itself.
+    pub mutation: GraphMutation,
+}
+
+/// The plan of one flash event: a target user, the followers she gains, and
+/// the interval during which they follow her.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlashEventPlan {
+    target: UserId,
+    new_followers: Vec<UserId>,
+    start: SimTime,
+    end: SimTime,
+}
+
+impl FlashEventPlan {
+    /// Plans a flash event for `target`: `follower_count` users chosen
+    /// uniformly at random (excluding the target and her existing followers)
+    /// follow her at `start` and unfollow at `end`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if `end <= start`, the target is not
+    /// in the graph, or there are not enough candidate followers.
+    pub fn random(
+        graph: &SocialGraph,
+        target: UserId,
+        follower_count: usize,
+        start: SimTime,
+        end: SimTime,
+        seed: u64,
+    ) -> Result<Self> {
+        if !graph.contains_user(target) {
+            return Err(Error::UnknownUser(target));
+        }
+        if end <= start {
+            return Err(Error::invalid_config("flash event must end after it starts"));
+        }
+        let existing: std::collections::HashSet<UserId> =
+            graph.followers(target).iter().copied().collect();
+        let mut candidates: Vec<UserId> = graph
+            .users()
+            .filter(|&u| u != target && !existing.contains(&u))
+            .collect();
+        if candidates.len() < follower_count {
+            return Err(Error::invalid_config(format!(
+                "only {} candidate followers available, {follower_count} requested",
+                candidates.len()
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        candidates.shuffle(&mut rng);
+        candidates.truncate(follower_count);
+        candidates.sort_unstable();
+        Ok(FlashEventPlan {
+            target,
+            new_followers: candidates,
+            start,
+            end,
+        })
+    }
+
+    /// The paper's configuration: 100 new followers gained at day 2,
+    /// removed at day 7 (§4.6).
+    ///
+    /// # Errors
+    ///
+    /// See [`FlashEventPlan::random`].
+    pub fn paper_defaults(graph: &SocialGraph, target: UserId, seed: u64) -> Result<Self> {
+        FlashEventPlan::random(
+            graph,
+            target,
+            100,
+            SimTime::from_days(2),
+            SimTime::from_days(7),
+            seed,
+        )
+    }
+
+    /// The user who becomes popular.
+    pub fn target(&self) -> UserId {
+        self.target
+    }
+
+    /// The users who temporarily follow the target.
+    pub fn new_followers(&self) -> &[UserId] {
+        &self.new_followers
+    }
+
+    /// When the spike starts.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// When the spike ends.
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// The timed graph mutations implementing this plan, in time order.
+    pub fn mutations(&self) -> Vec<TimedMutation> {
+        let mut muts: Vec<TimedMutation> = self
+            .new_followers
+            .iter()
+            .map(|&f| TimedMutation {
+                time: self.start,
+                mutation: GraphMutation::AddEdge {
+                    follower: f,
+                    followee: self.target,
+                },
+            })
+            .collect();
+        muts.extend(self.new_followers.iter().map(|&f| TimedMutation {
+            time: self.end,
+            mutation: GraphMutation::RemoveEdge {
+                follower: f,
+                followee: self.target,
+            },
+        }));
+        muts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasore_graph::GraphPreset;
+
+    fn graph() -> SocialGraph {
+        SocialGraph::generate(GraphPreset::FacebookLike, 300, 1).unwrap()
+    }
+
+    #[test]
+    fn plan_selects_distinct_non_follower_users() {
+        let g = graph();
+        let target = UserId::new(5);
+        let plan = FlashEventPlan::paper_defaults(&g, target, 3).unwrap();
+        assert_eq!(plan.target(), target);
+        assert_eq!(plan.new_followers().len(), 100);
+        let existing: std::collections::HashSet<UserId> =
+            g.followers(target).iter().copied().collect();
+        for &f in plan.new_followers() {
+            assert_ne!(f, target);
+            assert!(!existing.contains(&f), "{f} already follows the target");
+        }
+        // No duplicates (sorted + dedup check).
+        let mut sorted = plan.new_followers().to_vec();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+    }
+
+    #[test]
+    fn mutations_add_then_remove() {
+        let g = graph();
+        let plan =
+            FlashEventPlan::random(&g, UserId::new(1), 5, SimTime::from_days(1), SimTime::from_days(2), 7)
+                .unwrap();
+        let muts = plan.mutations();
+        assert_eq!(muts.len(), 10);
+        assert!(muts[..5]
+            .iter()
+            .all(|m| m.time == SimTime::from_days(1)
+                && matches!(m.mutation, GraphMutation::AddEdge { .. })));
+        assert!(muts[5..]
+            .iter()
+            .all(|m| m.time == SimTime::from_days(2)
+                && matches!(m.mutation, GraphMutation::RemoveEdge { .. })));
+        assert_eq!(plan.start(), SimTime::from_days(1));
+        assert_eq!(plan.end(), SimTime::from_days(2));
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let g = graph();
+        // end before start
+        assert!(FlashEventPlan::random(
+            &g,
+            UserId::new(0),
+            5,
+            SimTime::from_days(3),
+            SimTime::from_days(2),
+            1
+        )
+        .is_err());
+        // unknown target
+        assert!(FlashEventPlan::paper_defaults(&g, UserId::new(9_999), 1).is_err());
+        // too many followers requested
+        assert!(FlashEventPlan::random(
+            &g,
+            UserId::new(0),
+            1_000,
+            SimTime::ZERO,
+            SimTime::from_days(1),
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = graph();
+        let a = FlashEventPlan::paper_defaults(&g, UserId::new(2), 11).unwrap();
+        let b = FlashEventPlan::paper_defaults(&g, UserId::new(2), 11).unwrap();
+        let c = FlashEventPlan::paper_defaults(&g, UserId::new(2), 12).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a.new_followers(), c.new_followers());
+    }
+}

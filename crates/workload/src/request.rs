@@ -1,0 +1,73 @@
+//! A single request of the trace.
+
+use dynasore_types::{Operation, SimTime, UserId};
+
+/// One user request: who, when, and whether it is a read or a write.
+///
+/// A read request from user `u` fetches the views of all of `u`'s social
+/// connections; a write request updates `u`'s own view (§2.1). The list of
+/// connections is *not* part of the request — DynaSoRe receives the list of
+/// users to read from the application (§3.3), which in the simulator is
+/// looked up in the social graph at execution time so that graph mutations
+/// (flash events) take effect immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// When the request is issued.
+    pub time: SimTime,
+    /// The user issuing the request.
+    pub user: UserId,
+    /// Read or write.
+    pub op: Operation,
+}
+
+impl Request {
+    /// Creates a read request.
+    pub fn read(time: SimTime, user: UserId) -> Self {
+        Request {
+            time,
+            user,
+            op: Operation::Read,
+        }
+    }
+
+    /// Creates a write request.
+    pub fn write(time: SimTime, user: UserId) -> Self {
+        Request {
+            time,
+            user,
+            op: Operation::Write,
+        }
+    }
+
+    /// Whether this is a read.
+    pub fn is_read(&self) -> bool {
+        self.op == Operation::Read
+    }
+}
+
+impl std::fmt::Display for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {} {}", self.time, self.op, self.user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_operation() {
+        let r = Request::read(SimTime::from_secs(1), UserId::new(2));
+        let w = Request::write(SimTime::from_secs(3), UserId::new(4));
+        assert!(r.is_read());
+        assert!(!w.is_read());
+        assert_eq!(r.user, UserId::new(2));
+        assert_eq!(w.time, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = Request::read(SimTime::from_secs(60), UserId::new(2));
+        assert_eq!(r.to_string(), "[0d 00:01:00] read u2");
+    }
+}

@@ -1,0 +1,127 @@
+//! Weighted sampling of users.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use dynasore_types::UserId;
+
+/// Samples users proportionally to fixed, non-negative weights using
+/// cumulative sums and binary search (`O(log n)` per sample).
+///
+/// # Example
+///
+/// ```
+/// use dynasore_workload::WeightedSampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let sampler = WeightedSampler::new(vec![0.0, 3.0, 1.0]).unwrap();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let picks: Vec<u32> = (0..100).map(|_| sampler.sample(&mut rng).index()).collect();
+/// // User 0 has zero weight and can never be drawn.
+/// assert!(picks.iter().all(|&u| u != 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedSampler {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedSampler {
+    /// Builds a sampler over users `0..weights.len()`.
+    ///
+    /// Returns `None` if the weights are empty, contain a negative or
+    /// non-finite value, or all sum to zero.
+    pub fn new(weights: Vec<f64>) -> Option<Self> {
+        if weights.is_empty() {
+            return None;
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return None;
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for w in &weights {
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return None;
+        }
+        Some(WeightedSampler { cumulative, total })
+    }
+
+    /// Number of users covered.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler covers no users (never true for a constructed
+    /// sampler).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Sum of all weights.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Draws one user.
+    pub fn sample(&self, rng: &mut StdRng) -> UserId {
+        let x: f64 = rng.gen_range(0.0..self.total);
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite weights"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        UserId::new(idx.min(self.cumulative.len() - 1) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_weights() {
+        assert!(WeightedSampler::new(vec![]).is_none());
+        assert!(WeightedSampler::new(vec![0.0, 0.0]).is_none());
+        assert!(WeightedSampler::new(vec![1.0, -1.0]).is_none());
+        assert!(WeightedSampler::new(vec![f64::NAN]).is_none());
+        assert!(WeightedSampler::new(vec![f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn accessors() {
+        let s = WeightedSampler::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!((s.total_weight() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_roughly_follows_weights() {
+        let s = WeightedSampler::new(vec![1.0, 9.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000;
+        let ones = (0..n).filter(|_| s.sample(&mut rng).index() == 1).count();
+        let fraction = ones as f64 / n as f64;
+        assert!(
+            (fraction - 0.9).abs() < 0.03,
+            "expected ~0.9, got {fraction}"
+        );
+    }
+
+    #[test]
+    fn zero_weight_users_are_never_drawn() {
+        let s = WeightedSampler::new(vec![0.0, 1.0, 0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let u = s.sample(&mut rng).index();
+            assert!(u == 1 || u == 3);
+        }
+    }
+}

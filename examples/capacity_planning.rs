@@ -1,0 +1,71 @@
+//! Capacity planning: how much extra memory is worth buying?
+//!
+//! The paper's headline result (Figure 3) is that DynaSoRe turns a modest
+//! memory overhead into a large reduction of core-network traffic. This
+//! example sweeps the extra-memory budget on a scaled-down cluster and
+//! prints the normalised top-switch traffic of every strategy, which is the
+//! table an operator would look at when sizing a deployment.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use dynasore::prelude::*;
+
+fn run<E: PlacementEngine>(
+    topology: &Topology,
+    engine: E,
+    graph: &SocialGraph,
+    days: u64,
+) -> Result<SimReport, Error> {
+    let trace = SyntheticTraceGenerator::paper_defaults(graph, days, 5)?;
+    Simulation::new(topology.clone(), engine, graph).run(trace)
+}
+
+fn main() -> Result<(), Error> {
+    let users = 2_000;
+    let days = 2;
+    let graph = SocialGraph::generate(GraphPreset::TwitterLike, users, 5)?;
+    let topology = Topology::tree(3, 3, 4, 1)?;
+
+    // The normalisation baseline: static random placement.
+    let random = StaticPlacement::random(&graph, &topology, 5)?;
+    let random_report = run(&topology, random, &graph, days)?;
+    println!(
+        "baseline (random placement): {} top-switch units over {days} day(s)",
+        random_report.top_switch_total()
+    );
+    println!();
+    println!(
+        "{:>12} {:>10} {:>22} {:>12}",
+        "extra memory", "SPAR", "DynaSoRe (from hMETIS)", "mem used"
+    );
+
+    for extra in [0u32, 30, 50, 100, 150] {
+        let budget = MemoryBudget::with_extra_percent(users, extra);
+
+        let spar = SparEngine::new(&graph, &topology, budget, 5)?;
+        let spar_report = run(&topology, spar, &graph, days)?;
+
+        let dynasore = DynaSoReEngine::builder()
+            .topology(topology.clone())
+            .budget(budget)
+            .initial_placement(InitialPlacement::HierarchicalMetis { seed: 5 })
+            .build(&graph)?;
+        let dynasore_report = run(&topology, dynasore, &graph, days)?;
+
+        println!(
+            "{:>11}% {:>10.3} {:>22.3} {:>11.0}%",
+            extra,
+            spar_report.normalized_top_traffic(&random_report),
+            dynasore_report.normalized_top_traffic(&random_report),
+            100.0 * dynasore_report.memory_usage().occupancy(),
+        );
+    }
+
+    println!();
+    println!("traffic is normalised to the random baseline (lower is better).");
+    Ok(())
+}

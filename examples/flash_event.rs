@@ -1,0 +1,64 @@
+//! Flash-event walkthrough (§4.6 of the paper): a user suddenly gains 100
+//! followers, DynaSoRe replicates her view near the new readers, and evicts
+//! the extra replicas once the spike is over.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example flash_event
+//! ```
+
+use dynasore::prelude::*;
+use dynasore::workload::TimedMutation;
+
+fn main() -> Result<(), Error> {
+    let users = 2_000;
+    let graph = SocialGraph::generate(GraphPreset::FacebookLike, users, 21)?;
+    let topology = Topology::tree(3, 3, 4, 1)?;
+    let budget = MemoryBudget::with_extra_percent(users, 30);
+
+    // The flash event: user 42 gains 100 random followers at day 2 and loses
+    // them at day 7, exactly as in the paper.
+    let target = UserId::new(42);
+    let plan = FlashEventPlan::paper_defaults(&graph, target, 21)?;
+    let mutations: Vec<TimedMutation> = plan.mutations();
+
+    let engine = DynaSoReEngine::builder()
+        .topology(topology.clone())
+        .budget(budget)
+        .initial_placement(InitialPlacement::HierarchicalMetis { seed: 21 })
+        .build(&graph)?;
+
+    let trace = SyntheticTraceGenerator::paper_defaults(&graph, 10, 21)?;
+    let mut sim = Simulation::new(topology, engine, &graph).with_mutations(mutations);
+
+    // Probe the replica count of the target view every 6 simulated hours.
+    let mut series: Vec<(SimTime, usize)> = Vec::new();
+    let report = sim.run_with_probe(trace, 6 * 3_600, |time, engine, _graph| {
+        series.push((time, engine.replica_count(target)));
+    })?;
+
+    println!("flash event for {target}: +100 followers at day 2, removed at day 7");
+    println!("{:>10} {:>9}", "time", "replicas");
+    for (time, replicas) in &series {
+        println!("{:>10} {:>9}", time.to_string(), replicas);
+    }
+
+    let during = series
+        .iter()
+        .filter(|(t, _)| *t >= plan.start() && *t < plan.end())
+        .map(|&(_, r)| r)
+        .max()
+        .unwrap_or(1);
+    let after = series.last().map(|&(_, r)| r).unwrap_or(1);
+    println!(
+        "peak replication during the spike: {during}; replicas after the spike ended: {after}"
+    );
+    println!(
+        "simulated {} reads / {} writes, top-switch traffic {} units",
+        report.read_count(),
+        report.write_count(),
+        report.top_switch_total()
+    );
+    Ok(())
+}

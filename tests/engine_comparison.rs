@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: drive every placement engine through the
+//! simulator on the same workload and check that the qualitative results of
+//! the paper hold (who wins, and in which direction more memory helps).
+
+use dynasore::prelude::*;
+
+const USERS: usize = 1_500;
+const SEED: u64 = 77;
+
+fn graph() -> SocialGraph {
+    SocialGraph::generate(GraphPreset::FacebookLike, USERS, SEED).unwrap()
+}
+
+fn topology() -> Topology {
+    // A scaled-down version of the paper's cluster: 3 intermediate switches,
+    // 3 racks each, 1 broker + 3 servers per rack.
+    Topology::tree(3, 3, 4, 1).unwrap()
+}
+
+/// Runs `engine` over `days` of synthetic traffic after a one-day warm-up
+/// (the paper measures traffic after convergence).
+fn run_after_warmup<E: PlacementEngine>(engine: E, days: u64) -> SimReport {
+    let graph = graph();
+    let topology = topology();
+    let mut sim = Simulation::new(topology, engine, &graph);
+    let warmup = SyntheticTraceGenerator::paper_defaults(&graph, 1, SEED).unwrap();
+    sim.run(warmup).unwrap();
+    let trace = SyntheticTraceGenerator::paper_defaults(&graph, days, SEED + 1).unwrap();
+    sim.run(trace).unwrap()
+}
+
+fn dynasore(extra: u32, placement: InitialPlacement) -> DynaSoReEngine {
+    DynaSoReEngine::builder()
+        .topology(topology())
+        .budget(MemoryBudget::with_extra_percent(USERS, extra))
+        .initial_placement(placement)
+        .build(&graph())
+        .unwrap()
+}
+
+#[test]
+fn all_engines_process_the_same_number_of_requests() {
+    let g = graph();
+    let t = topology();
+    let trace: Vec<Request> = SyntheticTraceGenerator::paper_defaults(&g, 1, SEED)
+        .unwrap()
+        .collect();
+    let expected = trace.len() as u64;
+
+    let engines: Vec<Box<dyn PlacementEngine>> = vec![
+        Box::new(StaticPlacement::random(&g, &t, SEED).unwrap()),
+        Box::new(StaticPlacement::metis(&g, &t, SEED).unwrap()),
+        Box::new(StaticPlacement::hierarchical_metis(&g, &t, SEED).unwrap()),
+        Box::new(SparEngine::new(&g, &t, MemoryBudget::with_extra_percent(USERS, 30), SEED).unwrap()),
+        Box::new(dynasore(30, InitialPlacement::Random { seed: SEED })),
+    ];
+    for engine in engines {
+        let name = engine.name().to_string();
+        let mut sim = Simulation::new(t.clone(), engine, &g);
+        let report = sim.run(trace.clone()).unwrap();
+        assert_eq!(
+            report.read_count() + report.write_count(),
+            expected,
+            "{name} dropped requests"
+        );
+        assert!(report.top_switch_total() > 0, "{name} produced no traffic");
+    }
+}
+
+#[test]
+fn partitioning_beats_random_and_hierarchical_beats_flat() {
+    let g = graph();
+    let t = topology();
+    let random = run_after_warmup(StaticPlacement::random(&g, &t, SEED).unwrap(), 1);
+    let metis = run_after_warmup(StaticPlacement::metis(&g, &t, SEED).unwrap(), 1);
+    let hmetis = run_after_warmup(StaticPlacement::hierarchical_metis(&g, &t, SEED).unwrap(), 1);
+
+    let metis_norm = metis.normalized_top_traffic(&random);
+    let hmetis_norm = hmetis.normalized_top_traffic(&random);
+    assert!(metis_norm < 1.0, "METIS should beat random: {metis_norm}");
+    assert!(
+        hmetis_norm < metis_norm,
+        "hierarchical METIS ({hmetis_norm}) should beat flat METIS ({metis_norm}) at the top switch"
+    );
+}
+
+#[test]
+fn dynasore_beats_every_baseline_at_30_percent_extra_memory() {
+    let g = graph();
+    let t = topology();
+    let random = run_after_warmup(StaticPlacement::random(&g, &t, SEED).unwrap(), 1);
+    let spar = run_after_warmup(
+        SparEngine::new(&g, &t, MemoryBudget::with_extra_percent(USERS, 30), SEED).unwrap(),
+        1,
+    );
+    let dyna = run_after_warmup(dynasore(30, InitialPlacement::HierarchicalMetis { seed: SEED }), 1);
+
+    let spar_norm = spar.normalized_top_traffic(&random);
+    let dyna_norm = dyna.normalized_top_traffic(&random);
+    assert!(
+        dyna_norm < spar_norm,
+        "DynaSoRe ({dyna_norm:.3}) should beat SPAR ({spar_norm:.3})"
+    );
+    assert!(
+        dyna_norm < 0.6,
+        "DynaSoRe with 30% extra memory should cut top-switch traffic substantially: {dyna_norm:.3}"
+    );
+}
+
+#[test]
+fn more_memory_never_hurts_dynasore() {
+    let low = run_after_warmup(dynasore(0, InitialPlacement::Random { seed: SEED }), 1);
+    let mid = run_after_warmup(dynasore(50, InitialPlacement::Random { seed: SEED }), 1);
+    let high = run_after_warmup(dynasore(150, InitialPlacement::Random { seed: SEED }), 1);
+    let random = run_after_warmup(
+        StaticPlacement::random(&graph(), &topology(), SEED).unwrap(),
+        1,
+    );
+    let low_n = low.normalized_top_traffic(&random);
+    let mid_n = mid.normalized_top_traffic(&random);
+    let high_n = high.normalized_top_traffic(&random);
+    assert!(mid_n <= low_n * 1.05, "50% ({mid_n}) vs 0% ({low_n})");
+    assert!(high_n <= mid_n * 1.05, "150% ({high_n}) vs 50% ({mid_n})");
+}
+
+#[test]
+fn dynasore_lowers_traffic_at_every_tier_not_just_the_top() {
+    let g = graph();
+    let t = topology();
+    let random = run_after_warmup(StaticPlacement::random(&g, &t, SEED).unwrap(), 1);
+    let dyna = run_after_warmup(dynasore(50, InitialPlacement::HierarchicalMetis { seed: SEED }), 1);
+    for tier in [Tier::Top, Tier::Intermediate, Tier::Rack] {
+        let norm = dyna.normalized_tier_average(tier, &random);
+        assert!(
+            norm < 1.0,
+            "DynaSoRe should not increase {tier} traffic (got {norm:.3})"
+        );
+    }
+    // The reduction is strongest at the top of the tree (Table 2's shape).
+    assert!(
+        dyna.normalized_tier_average(Tier::Top, &random)
+            <= dyna.normalized_tier_average(Tier::Rack, &random)
+    );
+}
+
+#[test]
+fn memory_budget_is_respected_after_a_full_run() {
+    let engine = dynasore(30, InitialPlacement::Random { seed: SEED });
+    let g = graph();
+    let t = topology();
+    let mut sim = Simulation::new(t, engine, &g);
+    let trace = SyntheticTraceGenerator::paper_defaults(&g, 2, SEED).unwrap();
+    let report = sim.run(trace).unwrap();
+    let usage = report.memory_usage();
+    assert!(usage.used_slots <= usage.capacity_slots);
+    // Every view still has at least one replica.
+    for user in g.users() {
+        assert!(sim.engine().replica_count(user) >= 1, "view of {user} lost");
+    }
+}

@@ -1,0 +1,68 @@
+//! Integration test of the flash-event behaviour (§4.6): DynaSoRe must
+//! replicate a suddenly popular view while the spike lasts and evict the
+//! extra replicas soon after it ends.
+
+use dynasore::prelude::*;
+use dynasore::workload::TimedMutation;
+
+#[test]
+fn flash_event_grows_and_then_shrinks_replication() {
+    let users = 1_200;
+    let seed = 5;
+    let graph = SocialGraph::generate(GraphPreset::FacebookLike, users, seed).unwrap();
+    let topology = Topology::tree(3, 3, 4, 1).unwrap();
+
+    let target = UserId::new(17);
+    // Compressed version of the paper's experiment: spike from day 1 to
+    // day 3 of a 5-day run.
+    let plan = FlashEventPlan::random(
+        &graph,
+        target,
+        100,
+        SimTime::from_days(1),
+        SimTime::from_days(3),
+        seed,
+    )
+    .unwrap();
+    let mutations: Vec<TimedMutation> = plan.mutations();
+
+    let engine = DynaSoReEngine::builder()
+        .topology(topology.clone())
+        .budget(MemoryBudget::with_extra_percent(users, 30))
+        .initial_placement(InitialPlacement::HierarchicalMetis { seed })
+        .build(&graph)
+        .unwrap();
+
+    let trace = SyntheticTraceGenerator::paper_defaults(&graph, 5, seed).unwrap();
+    let mut sim = Simulation::new(topology, engine, &graph).with_mutations(mutations);
+
+    let mut before_spike = Vec::new();
+    let mut during_spike = Vec::new();
+    let mut after_spike = Vec::new();
+    sim.run_with_probe(trace, 6 * 3_600, |time, engine, _graph| {
+        let replicas = engine.replica_count(target);
+        if time < SimTime::from_days(1) {
+            before_spike.push(replicas);
+        } else if time < SimTime::from_days(3) {
+            during_spike.push(replicas);
+        } else if time >= SimTime::from_days(4) {
+            // Give the system one day to react to the end of the spike, as
+            // in the paper ("eviction before the end of the following day").
+            after_spike.push(replicas);
+        }
+    })
+    .unwrap();
+
+    let base = before_spike.iter().copied().max().unwrap_or(1);
+    let peak = during_spike.iter().copied().max().unwrap_or(0);
+    let settled = after_spike.last().copied().unwrap_or(usize::MAX);
+
+    assert!(
+        peak > base,
+        "the spike should create replicas (before: {base}, peak: {peak})"
+    );
+    assert!(
+        settled <= base + 1,
+        "replicas should be evicted after the spike (peak: {peak}, settled: {settled})"
+    );
+}

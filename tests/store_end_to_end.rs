@@ -1,0 +1,122 @@
+//! End-to-end tests of the runnable store: correctness of the social-feed
+//! semantics on top of dynamic replica placement.
+
+use dynasore::prelude::*;
+
+fn spawn_cluster(users: usize, seed: u64) -> (Cluster, SocialGraph) {
+    let graph = SocialGraph::generate(GraphPreset::TwitterLike, users, seed).unwrap();
+    let topology = Topology::tree(2, 2, 4, 1).unwrap();
+    let cluster = Cluster::spawn(
+        &graph,
+        topology,
+        StoreConfig {
+            extra_memory_percent: 50,
+            placement: InitialPlacement::Metis { seed },
+            seed,
+        },
+    )
+    .unwrap();
+    (cluster, graph)
+}
+
+#[test]
+fn feeds_contain_exactly_the_followees_events_in_order() {
+    let (cluster, graph) = spawn_cluster(300, 3);
+    let reader = graph
+        .users()
+        .find(|&u| graph.followees(u).len() >= 2)
+        .expect("reader with at least two followees");
+    let followees = graph.followees(reader).to_vec();
+
+    for (i, &followee) in followees.iter().enumerate() {
+        cluster
+            .write(followee, format!("post-{i}-from-{followee}").into_bytes())
+            .unwrap();
+    }
+    // Someone the reader does not follow also posts; it must not leak into
+    // the feed.
+    let stranger = graph
+        .users()
+        .find(|&u| u != reader && !followees.contains(&u))
+        .unwrap();
+    cluster.write(stranger, b"noise".to_vec()).unwrap();
+
+    let feed = cluster.read_feed(reader).unwrap();
+    assert_eq!(feed.len(), followees.len());
+    assert!(feed.iter().all(|e| followees.contains(&e.author())));
+    // Newest first.
+    assert!(feed
+        .windows(2)
+        .all(|w| w[0].timestamp() >= w[1].timestamp()));
+    cluster.shutdown();
+}
+
+#[test]
+fn repeated_reads_are_served_from_cache() {
+    let (cluster, graph) = spawn_cluster(300, 9);
+    let reader = graph
+        .users()
+        .find(|&u| !graph.followees(u).is_empty())
+        .unwrap();
+    for _ in 0..5 {
+        cluster.read_feed(reader).unwrap();
+    }
+    let stats = cluster.stats();
+    assert!(
+        stats.cache_hits > stats.cache_misses,
+        "expected mostly cache hits, got {stats:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn hot_views_gain_replicas_in_the_live_store() {
+    let (cluster, graph) = spawn_cluster(400, 13);
+    // The most-followed user becomes hot: every follower refreshes her feed
+    // repeatedly.
+    let celebrity = graph
+        .users()
+        .max_by_key(|&u| graph.followers(u).len())
+        .unwrap();
+    cluster.write(celebrity, b"going viral".to_vec()).unwrap();
+    let before = cluster.replica_count(celebrity);
+    for _ in 0..30 {
+        for &fan in graph.followers(celebrity) {
+            cluster.read(fan, &[celebrity]).unwrap();
+        }
+    }
+    let after = cluster.replica_count(celebrity);
+    assert!(
+        after >= before,
+        "replication should not shrink under read pressure ({before} -> {after})"
+    );
+    // Reads still return the right content after any replication.
+    let fan = graph.followers(celebrity)[0];
+    let views = cluster.read(fan, &[celebrity]).unwrap();
+    assert_eq!(views.len(), 1);
+    assert_eq!(views[0].latest().unwrap().payload(), b"going viral");
+    cluster.shutdown();
+}
+
+#[test]
+fn writes_remain_visible_after_heavy_mixed_traffic() {
+    let (cluster, graph) = spawn_cluster(300, 21);
+    let author = graph
+        .users()
+        .find(|&u| !graph.followers(u).is_empty())
+        .unwrap();
+    let reader = graph.followers(author)[0];
+    for i in 0..50u32 {
+        cluster.write(author, format!("update {i}").into_bytes()).unwrap();
+        // Interleave unrelated traffic.
+        let other = UserId::new(i % 300);
+        let _ = cluster.read_feed(other);
+    }
+    let feed = cluster.read_feed(reader).unwrap();
+    let latest_from_author = feed
+        .iter()
+        .find(|e| e.author() == author)
+        .expect("author's events visible");
+    assert_eq!(latest_from_author.payload(), b"update 49");
+    cluster.shutdown();
+}
