@@ -14,7 +14,7 @@
 //!   as long as storage is available, which makes reads local but multiplies
 //!   the cost of writes.
 //!
-//! All engines implement [`PlacementEngine`](dynasore_sim::PlacementEngine)
+//! All engines implement [`PlacementEngine`](dynasore_types::PlacementEngine)
 //! and can be driven by the simulator interchangeably with
 //! [`DynaSoReEngine`](dynasore_core::DynaSoReEngine).
 

@@ -14,9 +14,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use dynasore_graph::SocialGraph;
-use dynasore_sim::{MemoryUsage, Message, PlacementEngine};
 use dynasore_topology::Topology;
 use dynasore_types::{Error, MachineId, MemoryBudget, Result, SimTime, UserId};
+use dynasore_types::{MemoryUsage, Message, PlacementEngine};
 use dynasore_workload::GraphMutation;
 
 /// Number of protocol messages modelling the transfer of one view when SPAR
@@ -44,7 +44,7 @@ impl SparServer {
 /// ```
 /// use dynasore_baselines::SparEngine;
 /// use dynasore_graph::{GraphPreset, SocialGraph};
-/// use dynasore_sim::PlacementEngine;
+/// use dynasore_types::PlacementEngine;
 /// use dynasore_topology::Topology;
 /// use dynasore_types::MemoryBudget;
 ///
@@ -89,7 +89,9 @@ impl SparEngine {
         seed: u64,
     ) -> Result<Self> {
         if graph.user_count() == 0 {
-            return Err(Error::invalid_config("cannot place views for an empty graph"));
+            return Err(Error::invalid_config(
+                "cannot place views for an empty graph",
+            ));
         }
         if budget.view_count() != graph.user_count() {
             return Err(Error::invalid_config(format!(
@@ -141,13 +143,7 @@ impl SparEngine {
         let mut edges: Vec<(UserId, UserId)> = graph.edges().collect();
         edges.shuffle(&mut rng);
         for (follower, followee) in edges {
-            Self::try_colocate_static(
-                &mut servers,
-                &primary,
-                &mut replicas,
-                follower,
-                followee,
-            );
+            Self::try_colocate_static(&mut servers, &primary, &mut replicas, follower, followee);
         }
 
         let proxies = primary
@@ -282,12 +278,7 @@ impl PlacementEngine for SparEngine {
         }
     }
 
-    fn on_graph_change(
-        &mut self,
-        mutation: GraphMutation,
-        _time: SimTime,
-        out: &mut Vec<Message>,
-    ) {
+    fn on_graph_change(&mut self, mutation: GraphMutation, _time: SimTime, out: &mut Vec<Message>) {
         if let GraphMutation::AddEdge { follower, followee } = mutation {
             // SPAR reacts to the evolution of the social network by
             // co-locating the new friend's view, if memory allows.
@@ -340,7 +331,9 @@ mod tests {
     #[test]
     fn construction_validates_inputs() {
         let (graph, topology) = setup();
-        assert!(SparEngine::new(&SocialGraph::new(0), &topology, MemoryBudget::exact(0), 1).is_err());
+        assert!(
+            SparEngine::new(&SocialGraph::new(0), &topology, MemoryBudget::exact(0), 1).is_err()
+        );
         assert!(SparEngine::new(&graph, &topology, MemoryBudget::exact(10), 1).is_err());
         assert!(SparEngine::new(&graph, &topology, MemoryBudget::exact(400), 1).is_ok());
     }
@@ -361,7 +354,10 @@ mod tests {
             assert!(server.views.len() <= capacity);
         }
         let usage = spar.memory_usage();
-        assert!(usage.used_slots > 400, "extra memory should be used for replication");
+        assert!(
+            usage.used_slots > 400,
+            "extra memory should be used for replication"
+        );
         assert!(usage.used_slots <= usage.capacity_slots);
     }
 
@@ -369,9 +365,13 @@ mod tests {
     fn more_memory_means_more_colocation() {
         let (graph, topology) = setup();
         let tight = SparEngine::new(&graph, &topology, MemoryBudget::exact(400), 3).unwrap();
-        let roomy =
-            SparEngine::new(&graph, &topology, MemoryBudget::with_extra_percent(400, 200), 3)
-                .unwrap();
+        let roomy = SparEngine::new(
+            &graph,
+            &topology,
+            MemoryBudget::with_extra_percent(400, 200),
+            3,
+        )
+        .unwrap();
         let tight_ratio = tight.colocation_ratio(&graph);
         let roomy_ratio = roomy.colocation_ratio(&graph);
         assert!(roomy_ratio > tight_ratio);
@@ -402,11 +402,15 @@ mod tests {
         assert_eq!(out.len(), 2 * targets.len());
         // At least one read stayed within the user's own rack.
         let broker = spar.proxies[user.as_usize()];
-        assert!(out.iter().any(|m| topology.distance(m.from, m.to) <= 1
-            && (m.from == broker || m.to == broker)));
+        assert!(out
+            .iter()
+            .any(|m| topology.distance(m.from, m.to) <= 1 && (m.from == broker || m.to == broker)));
 
         out.clear();
-        let writer = graph.users().max_by_key(|&u| spar.replica_count(u)).unwrap();
+        let writer = graph
+            .users()
+            .max_by_key(|&u| spar.replica_count(u))
+            .unwrap();
         spar.handle_write(writer, SimTime::ZERO, &mut out);
         assert_eq!(out.len(), spar.replica_count(writer));
         assert!(out.iter().all(|m| m.class == MessageClass::Application));
@@ -430,7 +434,9 @@ mod tests {
             .find(|&(u, v)| {
                 u != v
                     && !graph.contains_edge(u, v)
-                    && !spar.replica_servers(v).contains(&spar.primary_server(u).unwrap())
+                    && !spar
+                        .replica_servers(v)
+                        .contains(&spar.primary_server(u).unwrap())
                     && !spar.servers[spar.primary[u.as_usize()]].is_full()
             })
             .expect("some non-colocated pair with spare capacity");
@@ -462,10 +468,14 @@ mod tests {
     #[test]
     fn unknown_users_are_ignored() {
         let (graph, topology) = setup();
-        let mut spar =
-            SparEngine::new(&graph, &topology, MemoryBudget::exact(400), 7).unwrap();
+        let mut spar = SparEngine::new(&graph, &topology, MemoryBudget::exact(400), 7).unwrap();
         let mut out = Vec::new();
-        spar.handle_read(UserId::new(9_999), &[UserId::new(0)], SimTime::ZERO, &mut out);
+        spar.handle_read(
+            UserId::new(9_999),
+            &[UserId::new(0)],
+            SimTime::ZERO,
+            &mut out,
+        );
         spar.handle_write(UserId::new(9_999), SimTime::ZERO, &mut out);
         assert!(out.is_empty());
         assert_eq!(spar.replica_count(UserId::new(9_999)), 0);

@@ -2,9 +2,9 @@
 
 use dynasore_core::{placement::initial_assignment, InitialPlacement};
 use dynasore_graph::SocialGraph;
-use dynasore_sim::{MemoryUsage, Message, PlacementEngine};
 use dynasore_topology::Topology;
 use dynasore_types::{MachineId, Result, SimTime, UserId};
+use dynasore_types::{MemoryUsage, Message, PlacementEngine};
 
 /// A static view placement: every user's view is stored on exactly one
 /// server, chosen before the experiment starts and never changed.
@@ -19,7 +19,7 @@ use dynasore_types::{MachineId, Result, SimTime, UserId};
 /// ```
 /// use dynasore_baselines::StaticPlacement;
 /// use dynasore_graph::{GraphPreset, SocialGraph};
-/// use dynasore_sim::PlacementEngine;
+/// use dynasore_types::PlacementEngine;
 /// use dynasore_topology::Topology;
 ///
 /// let graph = SocialGraph::generate(GraphPreset::TwitterLike, 300, 1).unwrap();
@@ -74,7 +74,12 @@ impl StaticPlacement {
     /// Returns an error if the graph is empty or the topology has no
     /// servers.
     pub fn random(graph: &SocialGraph, topology: &Topology, seed: u64) -> Result<Self> {
-        StaticPlacement::build("random", &InitialPlacement::Random { seed }, graph, topology)
+        StaticPlacement::build(
+            "random",
+            &InitialPlacement::Random { seed },
+            graph,
+            topology,
+        )
     }
 
     /// Flat graph-partitioning placement (the paper's *METIS* baseline).
@@ -94,11 +99,7 @@ impl StaticPlacement {
     ///
     /// Returns an error if the graph has fewer users than the cluster has
     /// servers.
-    pub fn hierarchical_metis(
-        graph: &SocialGraph,
-        topology: &Topology,
-        seed: u64,
-    ) -> Result<Self> {
+    pub fn hierarchical_metis(graph: &SocialGraph, topology: &Topology, seed: u64) -> Result<Self> {
         StaticPlacement::build(
             "hmetis",
             &InitialPlacement::HierarchicalMetis { seed },
@@ -237,11 +238,21 @@ mod tests {
         let (graph, topology) = setup();
         let mut engine = StaticPlacement::metis(&graph, &topology, 3).unwrap();
         let mut out = Vec::new();
-        engine.handle_read(UserId::new(9_999), &[UserId::new(1)], SimTime::ZERO, &mut out);
+        engine.handle_read(
+            UserId::new(9_999),
+            &[UserId::new(1)],
+            SimTime::ZERO,
+            &mut out,
+        );
         engine.handle_write(UserId::new(9_999), SimTime::ZERO, &mut out);
         assert!(out.is_empty());
         out.clear();
-        engine.handle_read(UserId::new(0), &[UserId::new(9_999)], SimTime::ZERO, &mut out);
+        engine.handle_read(
+            UserId::new(0),
+            &[UserId::new(9_999)],
+            SimTime::ZERO,
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 

@@ -89,9 +89,13 @@ fn bench_engine_read(c: &mut Criterion) {
         )
     });
     group.bench_function("spar", |b| {
-        let engine =
-            SparEngine::new(&graph, &topology, MemoryBudget::with_extra_percent(USERS, 30), SEED)
-                .unwrap();
+        let engine = SparEngine::new(
+            &graph,
+            &topology,
+            MemoryBudget::with_extra_percent(USERS, 30),
+            SEED,
+        )
+        .unwrap();
         b.iter_batched(
             || engine.clone(),
             |mut engine| {

@@ -85,13 +85,8 @@ fn main() -> Result<(), dynasore_types::Error> {
                 InitialPlacement::HierarchicalMetis { seed: scale.seed },
             ] {
                 let engine = dynasore_engine(&graph, &topology, extra, placement)?;
-                let report = run_synthetic_after_warmup(
-                    engine,
-                    &graph,
-                    &topology,
-                    scale.days,
-                    scale.seed,
-                )?;
+                let report =
+                    run_synthetic_after_warmup(engine, &graph, &topology, scale.days, scale.seed)?;
                 row.push(fmt_norm(report.normalized_top_traffic(&random_baseline)));
             }
             print_row(row);

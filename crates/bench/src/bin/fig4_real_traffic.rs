@@ -12,7 +12,9 @@
 //! quality remains).
 
 use dynasore_baselines::{SparEngine, StaticPlacement};
-use dynasore_bench::{dataset, dynasore_engine, fmt_norm, paper_topology, print_row, ExperimentScale};
+use dynasore_bench::{
+    dataset, dynasore_engine, fmt_norm, paper_topology, print_row, ExperimentScale,
+};
 use dynasore_core::InitialPlacement;
 use dynasore_graph::{GraphPreset, SocialGraph};
 use dynasore_sim::{PlacementEngine, SimReport, Simulation};

@@ -86,7 +86,10 @@ fn main() -> Result<(), dynasore_types::Error> {
         ]);
     }
     println!("# expected shape: ~1 replica before day 2, several during the spike,");
-    println!("# and back to ~1 within a day of the spike ending at day {}.", 7.min(scale.days));
+    println!(
+        "# and back to ~1 within a day of the spike ending at day {}.",
+        7.min(scale.days)
+    );
     let _ = SimTime::ZERO; // keep the import used even if probes are skipped
     Ok(())
 }

@@ -9,7 +9,9 @@
 //! ```
 
 use dynasore_baselines::StaticPlacement;
-use dynasore_bench::{dataset, dynasore_engine, fmt_norm, paper_topology, print_row, ExperimentScale};
+use dynasore_bench::{
+    dataset, dynasore_engine, fmt_norm, paper_topology, print_row, ExperimentScale,
+};
 use dynasore_core::InitialPlacement;
 use dynasore_graph::{GraphPreset, SocialGraph};
 use dynasore_sim::{PlacementEngine, SimReport, Simulation};
@@ -110,7 +112,9 @@ fn main() -> Result<(), dynasore_types::Error> {
         scale.extra_memory,
         kind
     );
-    println!("# values are per-hour traffic normalised by Random's average hourly top-switch traffic");
+    println!(
+        "# values are per-hour traffic normalised by Random's average hourly top-switch traffic"
+    );
     print_row(
         [
             "hour",

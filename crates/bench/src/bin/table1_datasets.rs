@@ -15,7 +15,10 @@ use dynasore_graph::{metrics, GraphPreset, SocialGraph};
 fn main() -> Result<(), dynasore_types::Error> {
     let scale = ExperimentScale::from_args(ExperimentScale::default());
     println!("# Table 1: number of users and links in each dataset");
-    println!("# (paper values, followed by the synthetic stand-in generated at --users {})", scale.users);
+    println!(
+        "# (paper values, followed by the synthetic stand-in generated at --users {})",
+        scale.users
+    );
     print_row(
         [
             "dataset",

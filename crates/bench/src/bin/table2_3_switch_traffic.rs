@@ -25,9 +25,7 @@ fn main() -> Result<(), dynasore_types::Error> {
         "# Table {which_table}: per-switch traffic (normalised to Random) with {}% extra memory",
         scale.extra_memory
     );
-    print_row(
-        ["tier", "system", "Facebook", "Twitter", "LiveJournal"].map(String::from),
-    );
+    print_row(["tier", "system", "Facebook", "Twitter", "LiveJournal"].map(String::from));
 
     // Collect normalised per-tier averages per graph for both systems.
     let presets = [
@@ -73,7 +71,10 @@ fn main() -> Result<(), dynasore_types::Error> {
         }
     }
 
-    for (i, tier) in ["Top switch", "Inter switch", "Rack switch"].iter().enumerate() {
+    for (i, tier) in ["Top switch", "Inter switch", "Rack switch"]
+        .iter()
+        .enumerate()
+    {
         print_row(
             std::iter::once((*tier).to_string())
                 .chain(std::iter::once("DynaSoRe".to_string()))

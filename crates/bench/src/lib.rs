@@ -126,7 +126,10 @@ pub fn dynasore_engine(
 ) -> Result<DynaSoReEngine> {
     DynaSoReEngine::builder()
         .topology(topology.clone())
-        .budget(MemoryBudget::with_extra_percent(graph.user_count(), extra_memory))
+        .budget(MemoryBudget::with_extra_percent(
+            graph.user_count(),
+            extra_memory,
+        ))
         .initial_placement(placement)
         .build(graph)
 }
@@ -170,7 +173,10 @@ mod tests {
         assert_eq!(paper_topology().unwrap().server_count(), 225);
         assert_eq!(paper_flat_topology().unwrap().server_count(), 250);
         assert_eq!(topology_for(&scale).unwrap().server_count(), 225);
-        let flat = ExperimentScale { flat: true, ..scale };
+        let flat = ExperimentScale {
+            flat: true,
+            ..scale
+        };
         assert_eq!(topology_for(&flat).unwrap().server_count(), 250);
     }
 

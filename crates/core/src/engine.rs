@@ -9,11 +9,11 @@
 use std::collections::HashMap;
 
 use dynasore_graph::SocialGraph;
-use dynasore_sim::{MemoryUsage, Message, PlacementEngine};
 use dynasore_topology::Topology;
 use dynasore_types::{
     BrokerId, Error, MachineId, MemoryBudget, Result, SimTime, SubtreeId, UserId,
 };
+use dynasore_types::{MemoryUsage, Message, PlacementEngine};
 use dynasore_workload::GraphMutation;
 
 use crate::config::{DynaSoReConfig, InitialPlacement};
@@ -47,7 +47,7 @@ struct UserState {
 /// ```
 /// use dynasore_core::{DynaSoReEngine, InitialPlacement};
 /// use dynasore_graph::{GraphPreset, SocialGraph};
-/// use dynasore_sim::PlacementEngine;
+/// use dynasore_types::PlacementEngine;
 /// use dynasore_topology::Topology;
 /// use dynasore_types::MemoryBudget;
 ///
@@ -251,7 +251,12 @@ impl DynaSoReEngine {
     pub fn replica_servers(&self, user: UserId) -> Vec<MachineId> {
         self.users
             .get(user.as_usize())
-            .map(|u| u.replicas.iter().map(|&i| self.servers[i].machine()).collect())
+            .map(|u| {
+                u.replicas
+                    .iter()
+                    .map(|&i| self.servers[i].machine())
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -349,7 +354,11 @@ impl DynaSoReEngine {
             .copied()
             .filter(|&i| !self.servers[i].is_full())
             .min_by_key(|&i| self.servers[i].len())
-            .or_else(|| candidates.into_iter().min_by_key(|&i| self.servers[i].len()))
+            .or_else(|| {
+                candidates
+                    .into_iter()
+                    .min_by_key(|&i| self.servers[i].len())
+            })
     }
 
     /// The lowest admission threshold among the servers under `origin`
@@ -535,8 +544,13 @@ impl DynaSoReEngine {
                 None => continue,
             };
             let candidate_machine = self.servers[candidate].machine();
-            let profit =
-                estimate_profit(&self.topology, &stats, candidate_machine, nearest, write_proxy);
+            let profit = estimate_profit(
+                &self.topology,
+                &stats,
+                candidate_machine,
+                nearest,
+                write_proxy,
+            );
             let threshold = self.admission_threshold_of(origin);
             if profit > best_profit && (profit as f64) > threshold {
                 best_profit = profit;
@@ -919,7 +933,12 @@ mod tests {
             for u in (0..400u32).step_by(7) {
                 let user = UserId::new(u);
                 let targets: Vec<UserId> = graph.followees(user).to_vec();
-                engine.handle_read(user, &targets, SimTime::from_secs(round * 100 + u as u64), &mut out);
+                engine.handle_read(
+                    user,
+                    &targets,
+                    SimTime::from_secs(round * 100 + u as u64),
+                    &mut out,
+                );
             }
             engine.on_tick(SimTime::from_hours(round + 1), &mut out);
             out.clear();
@@ -1008,9 +1027,19 @@ mod tests {
     fn unknown_users_are_ignored_gracefully() {
         let (mut engine, _graph, _topology) = engine_with_extra(30);
         let mut out = Vec::new();
-        engine.handle_read(UserId::new(9_999), &[UserId::new(1)], SimTime::ZERO, &mut out);
+        engine.handle_read(
+            UserId::new(9_999),
+            &[UserId::new(1)],
+            SimTime::ZERO,
+            &mut out,
+        );
         engine.handle_write(UserId::new(9_999), SimTime::ZERO, &mut out);
-        engine.handle_read(UserId::new(1), &[UserId::new(9_999)], SimTime::ZERO, &mut out);
+        engine.handle_read(
+            UserId::new(1),
+            &[UserId::new(9_999)],
+            SimTime::ZERO,
+            &mut out,
+        );
         assert_eq!(engine.replica_count(UserId::new(9_999)), 0);
         // Only the valid read produced messages (none for unknown targets).
         assert!(out.iter().all(|m| !m.is_local()));

@@ -27,7 +27,7 @@
 //!   ([`routing`](crate::routing)).
 //!
 //! The engine implements
-//! [`PlacementEngine`](dynasore_sim::PlacementEngine), so it can be driven
+//! [`PlacementEngine`](dynasore_types::PlacementEngine), so it can be driven
 //! by the simulator in `dynasore-sim` and compared against the baselines in
 //! `dynasore-baselines`.
 //!
@@ -36,24 +36,25 @@
 //! ```
 //! use dynasore_core::{DynaSoReEngine, InitialPlacement};
 //! use dynasore_graph::{GraphPreset, SocialGraph};
-//! use dynasore_sim::Simulation;
 //! use dynasore_topology::Topology;
-//! use dynasore_types::MemoryBudget;
-//! use dynasore_workload::SyntheticTraceGenerator;
+//! use dynasore_types::{MemoryBudget, PlacementEngine, SimTime, UserId};
 //!
 //! # fn main() -> Result<(), dynasore_types::Error> {
 //! let graph = SocialGraph::generate(GraphPreset::TwitterLike, 400, 42)?;
 //! let topology = Topology::tree(2, 2, 5, 1)?;
-//! let engine = DynaSoReEngine::builder()
+//! let mut engine = DynaSoReEngine::builder()
 //!     .topology(topology.clone())
 //!     .budget(MemoryBudget::with_extra_percent(graph.user_count(), 30))
 //!     .initial_placement(InitialPlacement::HierarchicalMetis { seed: 1 })
 //!     .build(&graph)?;
 //!
-//! let trace = SyntheticTraceGenerator::paper_defaults(&graph, 1, 7)?;
-//! let mut sim = Simulation::new(topology, engine, &graph);
-//! let report = sim.run(trace)?;
-//! assert!(report.top_switch_total() > 0);
+//! // Drive one read through the engine directly (the `dynasore-sim` crate
+//! // automates this over a whole trace).
+//! let reader = UserId::new(0);
+//! let targets = graph.followees(reader).to_vec();
+//! let mut messages = Vec::new();
+//! engine.handle_read(reader, &targets, SimTime::from_secs(1), &mut messages);
+//! assert!(engine.replica_count(reader) >= 1);
 //! # Ok(())
 //! # }
 //! ```

@@ -31,7 +31,9 @@ pub fn initial_assignment(
     let users = graph.user_count();
     let servers = topology.server_count();
     if users == 0 {
-        return Err(Error::invalid_config("cannot place views for an empty graph"));
+        return Err(Error::invalid_config(
+            "cannot place views for an empty graph",
+        ));
     }
     if servers == 0 {
         return Err(Error::invalid_config("topology has no view servers"));
@@ -116,8 +118,10 @@ mod tests {
     #[test]
     fn random_assignment_is_balanced_and_deterministic() {
         let (graph, topology) = setup();
-        let a = initial_assignment(&InitialPlacement::Random { seed: 3 }, &graph, &topology).unwrap();
-        let b = initial_assignment(&InitialPlacement::Random { seed: 3 }, &graph, &topology).unwrap();
+        let a =
+            initial_assignment(&InitialPlacement::Random { seed: 3 }, &graph, &topology).unwrap();
+        let b =
+            initial_assignment(&InitialPlacement::Random { seed: 3 }, &graph, &topology).unwrap();
         assert_eq!(a, b);
         let mut counts = vec![0usize; topology.server_count()];
         for &s in &a {

@@ -69,7 +69,9 @@ pub fn optimal_proxy_broker(
                             .sum();
                         (child, weight)
                     })
-                    .max_by_key(|&(child, weight)| (weight, std::cmp::Reverse(subtree_order(child))))?;
+                    .max_by_key(|&(child, weight)| {
+                        (weight, std::cmp::Reverse(subtree_order(child)))
+                    })?;
                 if best.1 == 0 {
                     break;
                 }
@@ -81,10 +83,9 @@ pub fn optimal_proxy_broker(
                 }
             }
             match subtree {
-                SubtreeId::Rack(_) | SubtreeId::Intermediate(_) | SubtreeId::Root => topology
-                    .brokers_in_subtree(subtree)
-                    .first()
-                    .copied(),
+                SubtreeId::Rack(_) | SubtreeId::Intermediate(_) | SubtreeId::Root => {
+                    topology.brokers_in_subtree(subtree).first().copied()
+                }
                 SubtreeId::Machine(m) => topology.local_broker(MachineId::new(m)).ok(),
             }
         }
@@ -113,7 +114,7 @@ mod tests {
     fn closest_replica_prefers_lower_common_ancestor() {
         let topo = Topology::paper_tree().unwrap();
         let broker = m(0); // rack 0
-        // Candidate replicas: same rack (1), same intermediate (11), remote (51).
+                           // Candidate replicas: same rack (1), same intermediate (11), remote (51).
         let replicas = vec![m(51), m(11), m(1)];
         assert_eq!(closest_replica(&topo, broker, &replicas), Some(m(1)));
         let replicas = vec![m(51), m(11)];

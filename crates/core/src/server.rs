@@ -6,19 +6,24 @@
 //! each stored view the server keeps the replica's access statistics and an
 //! admission threshold that gates the creation of new replicas on it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dynasore_types::{MachineId, UserId};
 
 use crate::stats::ReplicaStats;
 
 /// The storage state of one view server.
+///
+/// Views are kept in a `BTreeMap` so that iteration order — and therefore
+/// eviction-victim tie-breaking and every other decision derived from a scan
+/// of the stored views — is deterministic across runs. A `HashMap` here made
+/// whole-simulation outcomes depend on the process's random hash seed.
 #[derive(Debug, Clone)]
 pub struct ServerState {
     machine: MachineId,
     capacity: usize,
     window_slots: usize,
-    views: HashMap<UserId, ReplicaStats>,
+    views: BTreeMap<UserId, ReplicaStats>,
     admission_threshold: f64,
 }
 
@@ -30,7 +35,7 @@ impl ServerState {
             machine,
             capacity,
             window_slots,
-            views: HashMap::new(),
+            views: BTreeMap::new(),
             admission_threshold: 0.0,
         }
     }
@@ -84,7 +89,8 @@ impl ServerState {
         if self.views.contains_key(&view) {
             return false;
         }
-        self.views.insert(view, ReplicaStats::new(self.window_slots));
+        self.views
+            .insert(view, ReplicaStats::new(self.window_slots));
         true
     }
 
@@ -139,7 +145,11 @@ impl ServerState {
         }
         utilities.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
         let threshold = utilities[protected - 1];
-        self.admission_threshold = if threshold.is_finite() { threshold.max(0.0) } else { 0.0 };
+        self.admission_threshold = if threshold.is_finite() {
+            threshold.max(0.0)
+        } else {
+            0.0
+        };
     }
 }
 
@@ -176,7 +186,9 @@ mod tests {
         let mut s = server(4);
         s.insert(UserId::new(1));
         s.insert(UserId::new(2));
-        s.stats_mut(UserId::new(1)).unwrap().record_read(SubtreeId::Rack(0));
+        s.stats_mut(UserId::new(1))
+            .unwrap()
+            .record_read(SubtreeId::Rack(0));
         s.stats_mut(UserId::new(2)).unwrap().record_write();
         assert_eq!(s.stats(UserId::new(1)).unwrap().total_reads(), 1);
         assert_eq!(s.stats(UserId::new(2)).unwrap().total_writes(), 1);

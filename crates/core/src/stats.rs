@@ -102,7 +102,10 @@ impl ReplicaStats {
 
     /// Total reads in the window, over all origins.
     pub fn total_reads(&self) -> u64 {
-        self.reads_by_origin.values().map(RotatingCounter::total).sum()
+        self.reads_by_origin
+            .values()
+            .map(RotatingCounter::total)
+            .sum()
     }
 
     /// Total writes (replica updates) in the window.

@@ -38,8 +38,7 @@ pub fn estimate_profit(
         candidate_read_cost += reads as i64 * topology.origin_distance(candidate, origin) as i64;
         nearest_read_cost += reads as i64 * topology.origin_distance(nearest, origin) as i64;
     }
-    let write_cost =
-        stats.total_writes() as i64 * topology.distance(write_proxy, candidate) as i64;
+    let write_cost = stats.total_writes() as i64 * topology.distance(write_proxy, candidate) as i64;
     nearest_read_cost - candidate_read_cost - write_cost
 }
 
@@ -66,8 +65,7 @@ pub fn estimate_creation_profit(
             gain += reads as i64 * (current_cost - candidate_cost);
         }
     }
-    let write_cost =
-        stats.total_writes() as i64 * topology.distance(write_proxy, candidate) as i64;
+    let write_cost = stats.total_writes() as i64 * topology.distance(write_proxy, candidate) as i64;
     gain - write_cost
 }
 
@@ -111,11 +109,14 @@ mod tests {
         let current = m(1); // rack 0
         let candidate = m(51); // rack 5, intermediate 1
         let write_proxy = m(0); // broker of rack 0
-        // No writes: pure read gain (5 - 3) * 10 = 20.
+                                // No writes: pure read gain (5 - 3) * 10 = 20.
         let profit = estimate_profit(&topo, &stats, candidate, current, write_proxy);
         assert_eq!(profit, 20);
         // Moving "to where it already is" gains nothing.
-        assert_eq!(estimate_profit(&topo, &stats, current, current, write_proxy), 0);
+        assert_eq!(
+            estimate_profit(&topo, &stats, current, current, write_proxy),
+            0
+        );
     }
 
     #[test]
@@ -129,7 +130,7 @@ mod tests {
         let current = m(1);
         let candidate = m(51);
         let write_proxy = m(0); // rack 0: writes to the candidate cross 5 switches
-        // Read gain (5-3)*4 = 8; write cost 10*5 = 50 → clearly negative.
+                                // Read gain (5-3)*4 = 8; write cost 10*5 = 50 → clearly negative.
         let profit = estimate_profit(&topo, &stats, candidate, current, write_proxy);
         assert_eq!(profit, 8 - 50);
     }

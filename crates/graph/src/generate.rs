@@ -206,22 +206,21 @@ impl GeneratorConfig {
             let mut attempts = 0usize;
             while graph.out_degree(u) < want && attempts < want * 8 + 16 {
                 attempts += 1;
-                let target = if !graph.followees(u).is_empty()
-                    && rng.gen_bool(self.closure_probability)
-                {
-                    // Triadic closure: pick a random followee, then one of its
-                    // followees.
-                    let vs = graph.followees(u);
-                    let v = vs[rng.gen_range(0..vs.len())];
-                    let ws = graph.followees(v);
-                    if ws.is_empty() {
-                        repository[rng.gen_range(0..repository.len())]
+                let target =
+                    if !graph.followees(u).is_empty() && rng.gen_bool(self.closure_probability) {
+                        // Triadic closure: pick a random followee, then one of its
+                        // followees.
+                        let vs = graph.followees(u);
+                        let v = vs[rng.gen_range(0..vs.len())];
+                        let ws = graph.followees(v);
+                        if ws.is_empty() {
+                            repository[rng.gen_range(0..repository.len())]
+                        } else {
+                            ws[rng.gen_range(0..ws.len())]
+                        }
                     } else {
-                        ws[rng.gen_range(0..ws.len())]
-                    }
-                } else {
-                    repository[rng.gen_range(0..repository.len())]
-                };
+                        repository[rng.gen_range(0..repository.len())]
+                    };
                 if target == u {
                     continue;
                 }
@@ -341,7 +340,10 @@ mod tests {
         let tw_avg = tw.edge_count() as f64 / n as f64;
         let fb_avg = fb.edge_count() as f64 / n as f64;
         assert!(tw_avg > 1.5 && tw_avg < 6.0, "twitter avg degree {tw_avg}");
-        assert!(fb_avg > 9.0 && fb_avg < 25.0, "facebook avg degree {fb_avg}");
+        assert!(
+            fb_avg > 9.0 && fb_avg < 25.0,
+            "facebook avg degree {fb_avg}"
+        );
         assert!(fb_avg > tw_avg);
     }
 
@@ -363,17 +365,25 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut cfg = GeneratorConfig::default();
-        cfg.mean_out_degree = 0.0;
+        let cfg = GeneratorConfig {
+            mean_out_degree: 0.0,
+            ..GeneratorConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = GeneratorConfig::default();
-        cfg.reciprocity = 1.5;
+        let cfg = GeneratorConfig {
+            reciprocity: 1.5,
+            ..GeneratorConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = GeneratorConfig::default();
-        cfg.closure_probability = -0.1;
+        let cfg = GeneratorConfig {
+            closure_probability: -0.1,
+            ..GeneratorConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = GeneratorConfig::default();
-        cfg.zipf_exponent = -1.0;
+        let cfg = GeneratorConfig {
+            zipf_exponent: -1.0,
+            ..GeneratorConfig::default()
+        };
         assert!(cfg.validate().is_err());
         assert!(GeneratorConfig::default().generate(1, 0).is_err());
     }

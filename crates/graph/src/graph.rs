@@ -162,7 +162,9 @@ impl SocialGraph {
     /// Returns `true` if the edge `follower → followee` exists.
     pub fn contains_edge(&self, follower: UserId, followee: UserId) -> bool {
         self.contains_user(follower)
-            && self.out[follower.as_usize()].binary_search(&followee).is_ok()
+            && self.out[follower.as_usize()]
+                .binary_search(&followee)
+                .is_ok()
     }
 
     /// The users that `user` follows — the views fetched by a read request

@@ -33,9 +33,11 @@ impl TreeShape {
     /// is zero.
     pub fn new(fanouts: Vec<usize>) -> Result<Self> {
         if fanouts.is_empty() {
-            return Err(Error::invalid_config("tree shape must have at least one level"));
+            return Err(Error::invalid_config(
+                "tree shape must have at least one level",
+            ));
         }
-        if fanouts.iter().any(|&f| f == 0) {
+        if fanouts.contains(&0) {
             return Err(Error::invalid_config("tree fan-outs must be positive"));
         }
         Ok(TreeShape { fanouts })
@@ -142,7 +144,9 @@ pub fn hierarchical(
         let mut next_groups = vec![0u32; n];
         // Partition each current group independently into `fanout` children.
         for g in 0..group_count {
-            let members: Vec<u32> = (0..n as u32).filter(|&u| groups[u as usize] == g as u32).collect();
+            let members: Vec<u32> = (0..n as u32)
+                .filter(|&u| groups[u as usize] == g as u32)
+                .collect();
             if members.is_empty() {
                 continue;
             }
@@ -150,16 +154,20 @@ pub fn hierarchical(
                 vec![0u32; members.len()]
             } else if members.len() <= fanout {
                 // Degenerate: one member per child (round-robin).
-                (0..members.len() as u32).map(|i| i % fanout as u32).collect()
+                (0..members.len() as u32)
+                    .map(|i| i % fanout as u32)
+                    .collect()
             } else {
                 let sub = induced_subgraph(&working, &members);
-                let partitioner = Partitioner::new(fanout)
-                    .imbalance(imbalance)
-                    .seed(seed.wrapping_add((level as u64) << 32).wrapping_add(g as u64));
+                let partitioner = Partitioner::new(fanout).imbalance(imbalance).seed(
+                    seed.wrapping_add((level as u64) << 32)
+                        .wrapping_add(g as u64),
+                );
                 partitioner.partition_weighted(&sub)
             };
             for (local, &user) in members.iter().enumerate() {
-                next_groups[user as usize] = groups[user as usize] * fanout as u32 + child_assignment[local];
+                next_groups[user as usize] =
+                    groups[user as usize] * fanout as u32 + child_assignment[local];
             }
         }
         groups = next_groups;

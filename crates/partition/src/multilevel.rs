@@ -260,7 +260,8 @@ pub(crate) fn refine(
             // Connectivity towards each part present in the neighbourhood.
             // A BTreeMap keeps the iteration order deterministic, which in
             // turn keeps the whole partitioner deterministic per seed.
-            let mut conn: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
+            let mut conn: std::collections::BTreeMap<usize, u64> =
+                std::collections::BTreeMap::new();
             for &(w, ew) in &graph.adj[v] {
                 *conn.entry(assignment[w as usize] as usize).or_insert(0) += ew;
             }
@@ -391,6 +392,9 @@ mod tests {
     fn project_maps_through_coarse_assignment() {
         let fine_to_coarse = vec![0u32, 0, 1, 1, 2];
         let coarse_assignment = vec![5u32, 6, 7];
-        assert_eq!(project(&fine_to_coarse, &coarse_assignment), vec![5, 5, 6, 6, 7]);
+        assert_eq!(
+            project(&fine_to_coarse, &coarse_assignment),
+            vec![5, 5, 6, 6, 7]
+        );
     }
 }

@@ -135,8 +135,7 @@ impl Partitioner {
         }
 
         // Initial partition on the coarsest graph.
-        let mut assignment =
-            initial_partition(&current, self.parts, max_part_weight, &mut rng);
+        let mut assignment = initial_partition(&current, self.parts, max_part_weight, &mut rng);
         refine(
             &current,
             &mut assignment,
@@ -319,7 +318,11 @@ mod tests {
     #[test]
     fn balance_holds_on_generated_graphs() {
         let g = SocialGraph::generate(GraphPreset::TwitterLike, 600, 2).unwrap();
-        let p = Partitioner::new(6).imbalance(0.05).seed(3).partition(&g).unwrap();
+        let p = Partitioner::new(6)
+            .imbalance(0.05)
+            .seed(3)
+            .partition(&g)
+            .unwrap();
         assert_eq!(p.part_sizes().iter().sum::<usize>(), 600);
         assert!(p.balance() <= 1.12, "balance {}", p.balance());
         assert_eq!(p.part_count(), 6);

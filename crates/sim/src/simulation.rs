@@ -111,7 +111,12 @@ impl<E: PlacementEngine> Simulation<E> {
     /// # Errors
     ///
     /// Propagates engine or configuration errors.
-    pub fn run_with_probe<I, F>(&mut self, trace: I, probe_secs: u64, mut probe: F) -> Result<SimReport>
+    pub fn run_with_probe<I, F>(
+        &mut self,
+        trace: I,
+        probe_secs: u64,
+        mut probe: F,
+    ) -> Result<SimReport>
     where
         I: IntoIterator<Item = Request>,
         F: FnMut(SimTime, &E, &SocialGraph),
@@ -125,7 +130,11 @@ impl<E: PlacementEngine> Simulation<E> {
 
         let mut mutation_idx = 0usize;
         let mut next_tick = self.config.tick_secs;
-        let mut next_probe = if probe_secs == u64::MAX { u64::MAX } else { probe_secs };
+        let mut next_probe = if probe_secs == u64::MAX {
+            u64::MAX
+        } else {
+            probe_secs
+        };
         let mut now = SimTime::ZERO;
 
         for request in trace {
@@ -188,7 +197,8 @@ impl<E: PlacementEngine> Simulation<E> {
                     .handle_read(request.user, &targets, request.time, &mut out);
             } else {
                 writes += 1;
-                self.engine.handle_write(request.user, request.time, &mut out);
+                self.engine
+                    .handle_write(request.user, request.time, &mut out);
             }
             Self::charge(
                 &self.topology,
@@ -373,7 +383,10 @@ mod tests {
         let expected_requests = trace.request_count();
         let mut sim = Simulation::new(topology, engine, &graph);
         let report = sim.run(trace).unwrap();
-        assert_eq!(report.read_count() + report.write_count(), expected_requests);
+        assert_eq!(
+            report.read_count() + report.write_count(),
+            expected_requests
+        );
         assert!(report.traffic().grand_total() > 0);
         assert!(report.top_switch_total() > 0);
         assert_eq!(report.engine_name(), "modulo");

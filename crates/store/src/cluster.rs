@@ -227,7 +227,7 @@ impl Cluster {
             .into_iter()
             .flat_map(|v| v.iter().cloned().collect::<Vec<_>>())
             .collect();
-        events.sort_by(|a, b| b.timestamp().cmp(&a.timestamp()));
+        events.sort_by_key(|e| std::cmp::Reverse(e.timestamp()));
         Ok(events)
     }
 
@@ -283,15 +283,17 @@ mod tests {
     fn read_your_writes_through_a_follower() {
         let (cluster, graph) = cluster();
         // Find an author who has at least one follower.
-        let author = graph.users().find(|&u| !graph.followers(u).is_empty()).unwrap();
+        let author = graph
+            .users()
+            .find(|&u| !graph.followers(u).is_empty())
+            .unwrap();
         let reader = graph.followers(author)[0];
         cluster.write(author, b"first post".to_vec()).unwrap();
         cluster.write(author, b"second post".to_vec()).unwrap();
         let feed = cluster.read_feed(reader).unwrap();
         assert!(feed.iter().any(|e| e.payload() == b"second post"));
         // Newest first.
-        let author_events: Vec<&Event> =
-            feed.iter().filter(|e| e.author() == author).collect();
+        let author_events: Vec<&Event> = feed.iter().filter(|e| e.author() == author).collect();
         assert_eq!(author_events[0].payload(), b"second post");
         cluster.shutdown();
     }
@@ -299,7 +301,10 @@ mod tests {
     #[test]
     fn misses_fill_the_cache_and_turn_into_hits() {
         let (cluster, graph) = cluster();
-        let author = graph.users().find(|&u| !graph.followers(u).is_empty()).unwrap();
+        let author = graph
+            .users()
+            .find(|&u| !graph.followers(u).is_empty())
+            .unwrap();
         let reader = graph.followers(author)[0];
         // Read before any write: every fetched view is a miss.
         let _ = cluster.read(reader, &[author]).unwrap();
@@ -318,9 +323,18 @@ mod tests {
     fn unknown_users_are_rejected() {
         let (cluster, _) = cluster();
         let ghost = UserId::new(9_999);
-        assert!(matches!(cluster.write(ghost, vec![]), Err(Error::UnknownUser(_))));
-        assert!(matches!(cluster.read(ghost, &[]), Err(Error::UnknownUser(_))));
-        assert!(matches!(cluster.read_feed(ghost), Err(Error::UnknownUser(_))));
+        assert!(matches!(
+            cluster.write(ghost, vec![]),
+            Err(Error::UnknownUser(_))
+        ));
+        assert!(matches!(
+            cluster.read(ghost, &[]),
+            Err(Error::UnknownUser(_))
+        ));
+        assert!(matches!(
+            cluster.read_feed(ghost),
+            Err(Error::UnknownUser(_))
+        ));
         // Unknown targets are skipped, not errors.
         let known = UserId::new(0);
         let views = cluster.read(known, &[ghost]).unwrap();
@@ -331,7 +345,10 @@ mod tests {
     #[test]
     fn writes_reach_every_replica() {
         let (cluster, graph) = cluster();
-        let author = graph.users().find(|&u| !graph.followers(u).is_empty()).unwrap();
+        let author = graph
+            .users()
+            .find(|&u| !graph.followers(u).is_empty())
+            .unwrap();
         cluster.write(author, b"v1".to_vec()).unwrap();
         assert!(cluster.replica_count(author) >= 1);
         let stats = cluster.stats();

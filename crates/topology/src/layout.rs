@@ -1,6 +1,8 @@
 //! Cluster layout: machines, racks, switches, distances and sub-trees.
 
-use dynasore_types::{BrokerId, Error, MachineId, MachineKind, RackId, Result, ServerId, SubtreeId};
+use dynasore_types::{
+    BrokerId, Error, MachineId, MachineKind, RackId, Result, ServerId, SubtreeId,
+};
 
 /// A network switch, identified by its tier and index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -452,7 +454,8 @@ impl Topology {
             SubtreeId::Root => true,
             SubtreeId::Intermediate(i) => {
                 self.kind == TopologyKind::Tree
-                    && self.machines[machine.as_usize()].rack / self.racks_per_intermediate as u32 == i
+                    && self.machines[machine.as_usize()].rack / self.racks_per_intermediate as u32
+                        == i
             }
             SubtreeId::Rack(r) => self.machines[machine.as_usize()].rack == r,
             SubtreeId::Machine(m) => machine.index() == m,
@@ -484,9 +487,8 @@ impl Topology {
             (TopologyKind::Flat, SubtreeId::Root) => (0..self.machines.len() as u32)
                 .map(SubtreeId::Machine)
                 .collect(),
-            (TopologyKind::Flat, SubtreeId::Rack(_)) | (TopologyKind::Flat, SubtreeId::Intermediate(_)) => {
-                Vec::new()
-            }
+            (TopologyKind::Flat, SubtreeId::Rack(_))
+            | (TopologyKind::Flat, SubtreeId::Intermediate(_)) => Vec::new(),
             (TopologyKind::Tree, SubtreeId::Root) => (0..self.intermediate_count as u32)
                 .map(SubtreeId::Intermediate)
                 .collect(),
@@ -827,7 +829,10 @@ mod tests {
         let t = Topology::paper_tree().unwrap();
         let server = m(13); // rack 1
         let broker = t.local_broker(server).unwrap();
-        assert_eq!(t.rack_of(broker.machine()).unwrap(), t.rack_of(server).unwrap());
+        assert_eq!(
+            t.rack_of(broker.machine()).unwrap(),
+            t.rack_of(server).unwrap()
+        );
         assert!(t.is_broker(broker.machine()));
         assert!(t.local_broker(m(9_999)).is_err());
     }

@@ -174,9 +174,9 @@ impl TrafficAccount {
                 .resize(other.series.len(), [TierTraffic::default(); 3]);
         }
         for (bucket, tiers) in other.series.iter().enumerate() {
-            for tier in 0..3 {
-                self.series[bucket][tier].application += tiers[tier].application;
-                self.series[bucket][tier].protocol += tiers[tier].protocol;
+            for (tier, units) in tiers.iter().enumerate() {
+                self.series[bucket][tier].application += units.application;
+                self.series[bucket][tier].protocol += units.protocol;
             }
         }
         self.messages += other.messages;
@@ -206,7 +206,11 @@ mod tests {
     #[test]
     fn record_accumulates_per_tier_and_switch() {
         let mut acc = TrafficAccount::hourly();
-        acc.record(&cross_cluster_path(), MessageClass::Application, SimTime::ZERO);
+        acc.record(
+            &cross_cluster_path(),
+            MessageClass::Application,
+            SimTime::ZERO,
+        );
         acc.record(&[Switch::Rack(0)], MessageClass::Protocol, SimTime::ZERO);
 
         assert_eq!(acc.message_count(), 2);
@@ -233,9 +237,21 @@ mod tests {
     #[test]
     fn series_is_bucketed_by_time() {
         let mut acc = TrafficAccount::new(60);
-        acc.record(&[Switch::Top], MessageClass::Application, SimTime::from_secs(30));
-        acc.record(&[Switch::Top], MessageClass::Application, SimTime::from_secs(90));
-        acc.record(&[Switch::Top], MessageClass::Protocol, SimTime::from_secs(95));
+        acc.record(
+            &[Switch::Top],
+            MessageClass::Application,
+            SimTime::from_secs(30),
+        );
+        acc.record(
+            &[Switch::Top],
+            MessageClass::Application,
+            SimTime::from_secs(90),
+        );
+        acc.record(
+            &[Switch::Top],
+            MessageClass::Protocol,
+            SimTime::from_secs(95),
+        );
         let series = acc.top_switch_series();
         assert_eq!(series.len(), 2);
         assert_eq!(series[0].application, 10);
@@ -247,7 +263,11 @@ mod tests {
     #[test]
     fn tier_average_divides_by_switch_count() {
         let mut acc = TrafficAccount::hourly();
-        acc.record(&cross_cluster_path(), MessageClass::Application, SimTime::ZERO);
+        acc.record(
+            &cross_cluster_path(),
+            MessageClass::Application,
+            SimTime::ZERO,
+        );
         // 20 units over 2 intermediate switches observed, but the cluster has
         // 5 intermediate switches in total.
         assert!((acc.tier_average(Tier::Intermediate, 5) - 4.0).abs() < 1e-9);
@@ -258,9 +278,21 @@ mod tests {
     fn merge_combines_everything() {
         let mut a = TrafficAccount::new(60);
         let mut b = TrafficAccount::new(60);
-        a.record(&[Switch::Top], MessageClass::Application, SimTime::from_secs(10));
-        b.record(&[Switch::Top], MessageClass::Protocol, SimTime::from_secs(70));
-        b.record(&[Switch::Rack(1)], MessageClass::Application, SimTime::from_secs(70));
+        a.record(
+            &[Switch::Top],
+            MessageClass::Application,
+            SimTime::from_secs(10),
+        );
+        b.record(
+            &[Switch::Top],
+            MessageClass::Protocol,
+            SimTime::from_secs(70),
+        );
+        b.record(
+            &[Switch::Rack(1)],
+            MessageClass::Application,
+            SimTime::from_secs(70),
+        );
         a.merge(&b);
         assert_eq!(a.message_count(), 3);
         assert_eq!(a.tier_total(Tier::Top).application, 10);

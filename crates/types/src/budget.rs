@@ -55,14 +55,17 @@ impl MemoryBudget {
     }
 
     /// Total number of view slots in the cluster:
-    /// `floor((1 + x/100) × |V|)`.
+    /// `floor((1 + x/100) × |V|)`, saturating at `usize::MAX`.
     pub fn total_slots(&self) -> usize {
-        self.view_count + self.extra_slots()
+        self.view_count.saturating_add(self.extra_slots())
     }
 
-    /// Number of slots available beyond one copy of every view.
+    /// Number of slots available beyond one copy of every view, saturating
+    /// at `usize::MAX` (the intermediate product is computed in 128 bits, so
+    /// no combination of inputs can wrap).
     pub fn extra_slots(&self) -> usize {
-        (self.view_count as u128 * self.extra_percent as u128 / 100) as usize
+        let raw = self.view_count as u128 * self.extra_percent as u128 / 100;
+        usize::try_from(raw).unwrap_or(usize::MAX)
     }
 
     /// Splits the total budget evenly across `server_count` servers, rounding

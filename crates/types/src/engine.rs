@@ -1,0 +1,202 @@
+//! The interface between the simulator and a view-placement strategy.
+//!
+//! These types sit in the bottom layer on purpose: the placement engines
+//! (`dynasore-core`, `dynasore-baselines`) implement [`PlacementEngine`] and
+//! the simulator (`dynasore-sim`, two layers above) drives it, so the trait
+//! must live below both to keep the dependency DAG acyclic and strictly
+//! layered.
+
+use crate::{MachineId, MessageClass, SimTime, UserId};
+
+/// A timed modification of the social graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphMutation {
+    /// `follower` starts following `followee`.
+    AddEdge {
+        /// The user adding the connection.
+        follower: UserId,
+        /// The user being followed.
+        followee: UserId,
+    },
+    /// `follower` stops following `followee`.
+    RemoveEdge {
+        /// The user removing the connection.
+        follower: UserId,
+        /// The user being unfollowed.
+        followee: UserId,
+    },
+}
+
+/// A message exchanged between two machines of the cluster, to be charged to
+/// every switch on the path between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// The sending machine.
+    pub from: MachineId,
+    /// The receiving machine.
+    pub to: MachineId,
+    /// Application (carries view data, 10 units) or protocol (control, 1
+    /// unit).
+    pub class: MessageClass,
+}
+
+impl Message {
+    /// Creates an application message (read/write request or answer).
+    pub fn application(from: MachineId, to: MachineId) -> Self {
+        Message {
+            from,
+            to,
+            class: MessageClass::Application,
+        }
+    }
+
+    /// Creates a protocol message (replica management, notifications,
+    /// threshold piggybacking).
+    pub fn protocol(from: MachineId, to: MachineId) -> Self {
+        Message {
+            from,
+            to,
+            class: MessageClass::Protocol,
+        }
+    }
+
+    /// Whether the message stays on one machine (and therefore crosses no
+    /// switch).
+    pub fn is_local(&self) -> bool {
+        self.from == self.to
+    }
+}
+
+/// Aggregate memory usage of all view servers of an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryUsage {
+    /// View slots currently occupied (primary copies + replicas).
+    pub used_slots: usize,
+    /// Total view slots available across all servers.
+    pub capacity_slots: usize,
+}
+
+impl MemoryUsage {
+    /// Occupancy as a fraction in `[0, 1]` (0 when capacity is unknown).
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity_slots == 0 {
+            0.0
+        } else {
+            self.used_slots as f64 / self.capacity_slots as f64
+        }
+    }
+}
+
+/// A view-placement strategy driven by the simulator.
+///
+/// Implementations decide, for every request, which broker executes it and
+/// which servers are contacted, and report the messages this generates.
+/// Dynamic strategies (DynaSoRe, SPAR) additionally mutate their internal
+/// placement state and emit protocol messages for replica creation,
+/// migration, eviction and routing-table maintenance.
+pub trait PlacementEngine {
+    /// A short human-readable name used in reports ("random", "spar",
+    /// "dynasore-from-hmetis", …).
+    fn name(&self) -> &str;
+
+    /// Executes a read request issued by `user` for the views of `targets`
+    /// at simulated time `time`, appending every generated message to `out`.
+    fn handle_read(
+        &mut self,
+        user: UserId,
+        targets: &[UserId],
+        time: SimTime,
+        out: &mut Vec<Message>,
+    );
+
+    /// Executes a write request issued by `user` at simulated time `time`,
+    /// appending every generated message to `out`.
+    fn handle_write(&mut self, user: UserId, time: SimTime, out: &mut Vec<Message>);
+
+    /// Periodic maintenance hook, called by the simulator at a fixed
+    /// interval (hourly by default): rotate access counters, refresh
+    /// admission thresholds, run eviction sweeps. Maintenance traffic goes
+    /// to `out`.
+    fn on_tick(&mut self, _time: SimTime, _out: &mut Vec<Message>) {}
+
+    /// Notification that the social graph changed (an edge was added or
+    /// removed), e.g. during a flash event. Engines that place views based
+    /// on the graph structure (SPAR) react here.
+    fn on_graph_change(
+        &mut self,
+        _mutation: GraphMutation,
+        _time: SimTime,
+        _out: &mut Vec<Message>,
+    ) {
+    }
+
+    /// Number of replicas of `user`'s view currently stored (≥ 1 for every
+    /// known user). Used by the flash-event experiment (Figure 5).
+    fn replica_count(&self, user: UserId) -> usize;
+
+    /// Aggregate memory usage across all servers.
+    fn memory_usage(&self) -> MemoryUsage;
+}
+
+impl<T: PlacementEngine + ?Sized> PlacementEngine for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn handle_read(
+        &mut self,
+        user: UserId,
+        targets: &[UserId],
+        time: SimTime,
+        out: &mut Vec<Message>,
+    ) {
+        (**self).handle_read(user, targets, time, out);
+    }
+
+    fn handle_write(&mut self, user: UserId, time: SimTime, out: &mut Vec<Message>) {
+        (**self).handle_write(user, time, out);
+    }
+
+    fn on_tick(&mut self, time: SimTime, out: &mut Vec<Message>) {
+        (**self).on_tick(time, out);
+    }
+
+    fn on_graph_change(&mut self, mutation: GraphMutation, time: SimTime, out: &mut Vec<Message>) {
+        (**self).on_graph_change(mutation, time, out);
+    }
+
+    fn replica_count(&self, user: UserId) -> usize {
+        (**self).replica_count(user)
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        (**self).memory_usage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_constructors() {
+        let a = MachineId::new(1);
+        let b = MachineId::new(2);
+        let app = Message::application(a, b);
+        let proto = Message::protocol(b, a);
+        assert_eq!(app.class, MessageClass::Application);
+        assert_eq!(proto.class, MessageClass::Protocol);
+        assert!(!app.is_local());
+        assert!(Message::application(a, a).is_local());
+    }
+
+    #[test]
+    fn memory_usage_occupancy() {
+        let m = MemoryUsage {
+            used_slots: 30,
+            capacity_slots: 120,
+        };
+        assert!((m.occupancy() - 0.25).abs() < 1e-12);
+        assert_eq!(MemoryUsage::default().occupancy(), 0.0);
+    }
+}

@@ -102,7 +102,10 @@ mod tests {
                 "insufficient cluster capacity: 10 view slots required, 5 available",
             ),
             (Error::ServerFull(MachineId::new(2)), "server m2 is full"),
-            (Error::ViewLost(UserId::new(9)), "view of user u9 has no replica"),
+            (
+                Error::ViewLost(UserId::new(9)),
+                "view of user u9 has no replica",
+            ),
             (Error::Io("boom".into()), "i/o error: boom"),
         ];
         for (err, expected) in cases {

@@ -207,7 +207,11 @@ mod tests {
         for t in 0..4 {
             v.push(ev(2, t));
         }
-        let latest: Vec<u64> = v.latest_n(2).iter().map(|e| e.timestamp().as_secs()).collect();
+        let latest: Vec<u64> = v
+            .latest_n(2)
+            .iter()
+            .map(|e| e.timestamp().as_secs())
+            .collect();
         assert_eq!(latest, vec![3, 2]);
     }
 

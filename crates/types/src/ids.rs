@@ -93,6 +93,12 @@ impl From<u32> for MachineId {
     }
 }
 
+impl From<MachineId> for u32 {
+    fn from(v: MachineId) -> Self {
+        v.0
+    }
+}
+
 impl fmt::Display for MachineId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "m{}", self.0)

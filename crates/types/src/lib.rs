@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod budget;
+mod engine;
 mod error;
 mod event;
 mod ids;
@@ -44,6 +45,7 @@ mod time;
 mod traffic;
 
 pub use budget::MemoryBudget;
+pub use engine::{GraphMutation, MemoryUsage, Message, PlacementEngine};
 pub use error::{Error, Result};
 pub use event::{Event, View};
 pub use ids::{BrokerId, MachineId, MachineKind, RackId, ServerId, SubtreeId, UserId};

@@ -1,0 +1,222 @@
+//! Invariant tests for the layer-0 primitives: `MemoryBudget` arithmetic
+//! and the identifier/time newtype round-trips every other crate relies on.
+
+use dynasore_types::{
+    BrokerId, MachineId, MemoryBudget, RackId, ServerId, SimTime, SubtreeId, UserId, DAY_SECS,
+    HOUR_SECS, MINUTE_SECS,
+};
+
+// ---------------------------------------------------------------------------
+// MemoryBudget arithmetic
+// ---------------------------------------------------------------------------
+
+#[test]
+fn with_extra_percent_matches_paper_formula() {
+    // §2.3: total = floor((1 + x/100) · |V|).
+    for &(views, extra, expected) in &[
+        (1_000usize, 30u32, 1_300usize),
+        (1_000, 0, 1_000),
+        (10_000, 50, 15_000),
+        (10_000, 100, 20_000),
+        (10_000, 200, 30_000),
+        (3, 50, 4), // 4.5 floors to 4
+        (1, 99, 1), // 1.99 floors to 1
+        (1, 100, 2),
+        (0, 100, 0), // no views → no slots, whatever the percentage
+    ] {
+        let b = MemoryBudget::with_extra_percent(views, extra);
+        assert_eq!(b.total_slots(), expected, "views={views} extra={extra}%");
+        assert_eq!(b.view_count(), views);
+        assert_eq!(b.extra_percent(), extra);
+        assert_eq!(b.extra_slots(), expected - views);
+    }
+}
+
+#[test]
+fn exact_equals_zero_extra_percent() {
+    for views in [0usize, 1, 17, 1_000_000] {
+        assert_eq!(
+            MemoryBudget::exact(views),
+            MemoryBudget::with_extra_percent(views, 0)
+        );
+        assert_eq!(MemoryBudget::exact(views).total_slots(), views);
+    }
+}
+
+#[test]
+fn total_slots_is_monotone_in_both_arguments() {
+    let mut last = 0;
+    for extra in [0u32, 10, 25, 50, 100, 150, 300] {
+        let t = MemoryBudget::with_extra_percent(997, extra).total_slots();
+        assert!(t >= last, "total_slots must grow with extra%");
+        last = t;
+    }
+    let mut last = 0;
+    for views in [0usize, 1, 10, 997, 10_000] {
+        let t = MemoryBudget::with_extra_percent(views, 30).total_slots();
+        assert!(t >= last, "total_slots must grow with the view count");
+        last = t;
+    }
+}
+
+#[test]
+fn extreme_budgets_saturate_instead_of_wrapping() {
+    // Any of these would overflow 64-bit intermediate arithmetic; the budget
+    // must saturate, never wrap or panic.
+    let huge = MemoryBudget::with_extra_percent(usize::MAX, u32::MAX);
+    assert_eq!(huge.extra_slots(), usize::MAX);
+    assert_eq!(huge.total_slots(), usize::MAX);
+
+    let b = MemoryBudget::with_extra_percent(usize::MAX, 100);
+    assert_eq!(b.extra_slots(), usize::MAX);
+    assert_eq!(b.total_slots(), usize::MAX);
+
+    // Just below the saturation point the exact value must be preserved.
+    let b = MemoryBudget::with_extra_percent(usize::MAX / 2, 100);
+    assert_eq!(b.extra_slots(), usize::MAX / 2);
+    assert_eq!(b.total_slots(), usize::MAX / 2 * 2);
+}
+
+#[test]
+fn zero_user_budgets_are_rejected_by_slot_division() {
+    let empty = MemoryBudget::with_extra_percent(0, 300);
+    assert_eq!(empty.total_slots(), 0);
+    // An empty budget cannot provision any server.
+    assert!(empty.slots_per_server(1).is_err());
+    assert!(empty.slots_per_server(100).is_err());
+    // Zero servers are rejected even with a real budget.
+    assert!(MemoryBudget::exact(100).slots_per_server(0).is_err());
+}
+
+#[test]
+fn slots_per_server_covers_the_budget_exactly_or_rounds_up() {
+    for views in [1usize, 7, 100, 999, 10_000] {
+        for extra in [0u32, 30, 100] {
+            for servers in [1usize, 3, 7, 225] {
+                let b = MemoryBudget::with_extra_percent(views, extra);
+                let per = b.slots_per_server(servers).unwrap();
+                assert!(
+                    per * servers >= b.total_slots(),
+                    "cluster capacity below budget for views={views} extra={extra} servers={servers}"
+                );
+                // Rounding up wastes less than one slot per server.
+                assert!((per - 1) * servers < b.total_slots());
+            }
+        }
+    }
+}
+
+#[test]
+fn average_replication_factor_tracks_extra_percent() {
+    assert!((MemoryBudget::exact(5).average_replication_factor() - 1.0).abs() < 1e-12);
+    assert!(
+        (MemoryBudget::with_extra_percent(5, 30).average_replication_factor() - 1.3).abs() < 1e-12
+    );
+    assert!(
+        (MemoryBudget::with_extra_percent(5, 200).average_replication_factor() - 3.0).abs() < 1e-12
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Identifier newtype round-trips
+// ---------------------------------------------------------------------------
+
+#[test]
+fn user_and_machine_ids_round_trip_through_every_accessor() {
+    for raw in [0u32, 1, 42, u32::MAX] {
+        let u = UserId::new(raw);
+        assert_eq!(u.index(), raw);
+        assert_eq!(u.as_usize(), raw as usize);
+        assert_eq!(u32::from(u), raw);
+        assert_eq!(UserId::from(raw), u);
+
+        let m = MachineId::new(raw);
+        assert_eq!(m.index(), raw);
+        assert_eq!(m.as_usize(), raw as usize);
+        assert_eq!(u32::from(m), raw);
+        assert_eq!(MachineId::from(raw), m);
+    }
+}
+
+#[test]
+fn role_wrappers_preserve_the_underlying_machine() {
+    for raw in [0u32, 9, 224] {
+        let m = MachineId::new(raw);
+        assert_eq!(ServerId::new(m).machine(), m);
+        assert_eq!(ServerId::new(m).index(), raw);
+        assert_eq!(BrokerId::new(m).machine(), m);
+        assert_eq!(BrokerId::new(m).index(), raw);
+    }
+    let r = RackId::new(6);
+    assert_eq!(r.index(), 6);
+    assert_eq!(r.as_usize(), 6);
+}
+
+#[test]
+fn ids_sort_by_index_and_display_distinctly() {
+    let mut users: Vec<UserId> = [5u32, 1, 3].iter().map(|&i| UserId::new(i)).collect();
+    users.sort();
+    assert_eq!(users, vec![UserId::new(1), UserId::new(3), UserId::new(5)]);
+
+    // Display forms are prefixed so ids of different kinds can never be
+    // confused in logs.
+    assert_eq!(UserId::new(1).to_string(), "u1");
+    assert_eq!(MachineId::new(1).to_string(), "m1");
+    assert_eq!(ServerId::new(MachineId::new(1)).to_string(), "s1");
+    assert_eq!(BrokerId::new(MachineId::new(1)).to_string(), "b1");
+    assert_eq!(RackId::new(1).to_string(), "rack1");
+}
+
+#[test]
+fn subtree_ids_order_root_first() {
+    // The derived ordering puts Root before every switch level — relied on
+    // by deterministic tie-breaking when scanning origins.
+    let mut subtrees = [
+        SubtreeId::Machine(0),
+        SubtreeId::Rack(2),
+        SubtreeId::Root,
+        SubtreeId::Intermediate(1),
+    ];
+    subtrees.sort();
+    assert_eq!(subtrees[0], SubtreeId::Root);
+    assert!(matches!(subtrees[1], SubtreeId::Intermediate(_)));
+    assert!(matches!(subtrees[2], SubtreeId::Rack(_)));
+    assert!(matches!(subtrees[3], SubtreeId::Machine(_)));
+}
+
+// ---------------------------------------------------------------------------
+// SimTime round-trips
+// ---------------------------------------------------------------------------
+
+#[test]
+fn time_constructors_are_consistent_with_the_constants() {
+    for n in [0u64, 1, 2, 48] {
+        assert_eq!(SimTime::from_minutes(n).as_secs(), n * MINUTE_SECS);
+        assert_eq!(SimTime::from_hours(n).as_secs(), n * HOUR_SECS);
+        assert_eq!(SimTime::from_days(n).as_secs(), n * DAY_SECS);
+        // Unit round-trips.
+        assert_eq!(SimTime::from_hours(n).whole_hours(), n);
+        assert_eq!(SimTime::from_days(n).whole_days(), n);
+        assert_eq!(SimTime::from_secs(n).as_secs(), n);
+    }
+    assert_eq!(SimTime::from_days(1), SimTime::from_hours(24));
+    assert_eq!(SimTime::from_hours(1), SimTime::from_minutes(60));
+}
+
+#[test]
+fn time_subtraction_saturates_at_zero() {
+    let early = SimTime::from_secs(10);
+    let late = SimTime::from_days(1);
+    assert_eq!((early - late), SimTime::ZERO);
+    assert_eq!(late.saturating_secs_since(early), DAY_SECS - 10);
+    assert_eq!(early.saturating_secs_since(late), 0);
+}
+
+#[test]
+fn day_fraction_stays_in_unit_interval() {
+    for secs in (0..3 * DAY_SECS).step_by(7_211) {
+        let f = SimTime::from_secs(secs).day_fraction();
+        assert!((0.0..1.0).contains(&f), "day_fraction({secs}) = {f}");
+    }
+    assert_eq!(SimTime::from_days(5).day_fraction(), 0.0);
+}

@@ -123,13 +123,13 @@ impl DiurnalTraceGenerator {
     pub fn new(graph: &SocialGraph, config: DiurnalConfig, seed: u64) -> Result<Self> {
         config.validate()?;
         if graph.user_count() == 0 {
-            return Err(Error::invalid_config("cannot generate traffic for an empty graph"));
+            return Err(Error::invalid_config(
+                "cannot generate traffic for an empty graph",
+            ));
         }
         let weights: Vec<f64> = graph
             .users()
-            .map(|u| {
-                log_activity_weight(graph.in_degree(u) + graph.out_degree(u)).max(0.05)
-            })
+            .map(|u| log_activity_weight(graph.in_degree(u) + graph.out_degree(u)).max(0.05))
             .collect();
         let sampler = WeightedSampler::new(weights)
             .ok_or_else(|| Error::invalid_config("degenerate activity weights"))?;
@@ -253,7 +253,12 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(DiurnalConfig::default().validate().is_ok());
-        assert!(DiurnalConfig { days: 0, ..Default::default() }.validate().is_err());
+        assert!(DiurnalConfig {
+            days: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(DiurnalConfig {
             events_per_user_per_day: 0.0,
             ..Default::default()
@@ -342,8 +347,12 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = graph();
-        let a: Vec<_> = DiurnalTraceGenerator::new(&g, short_config(1), 5).unwrap().collect();
-        let b: Vec<_> = DiurnalTraceGenerator::new(&g, short_config(1), 5).unwrap().collect();
+        let a: Vec<_> = DiurnalTraceGenerator::new(&g, short_config(1), 5)
+            .unwrap()
+            .collect();
+        let b: Vec<_> = DiurnalTraceGenerator::new(&g, short_config(1), 5)
+            .unwrap()
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -13,24 +13,10 @@ use rand::SeedableRng;
 use dynasore_graph::SocialGraph;
 use dynasore_types::{Error, Result, SimTime, UserId};
 
-/// A timed modification of the social graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum GraphMutation {
-    /// `follower` starts following `followee`.
-    AddEdge {
-        /// The user adding the connection.
-        follower: UserId,
-        /// The user being followed.
-        followee: UserId,
-    },
-    /// `follower` stops following `followee`.
-    RemoveEdge {
-        /// The user removing the connection.
-        follower: UserId,
-        /// The user being unfollowed.
-        followee: UserId,
-    },
-}
+// `GraphMutation` lives in `dynasore-types` (the `PlacementEngine` trait
+// references it from layer 0); re-exported here because workloads are where
+// mutations are planned.
+pub use dynasore_types::GraphMutation;
 
 /// A graph mutation scheduled at a specific simulation time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,7 +58,9 @@ impl FlashEventPlan {
             return Err(Error::UnknownUser(target));
         }
         if end <= start {
-            return Err(Error::invalid_config("flash event must end after it starts"));
+            return Err(Error::invalid_config(
+                "flash event must end after it starts",
+            ));
         }
         let existing: std::collections::HashSet<UserId> =
             graph.followers(target).iter().copied().collect();
@@ -190,19 +178,21 @@ mod tests {
     #[test]
     fn mutations_add_then_remove() {
         let g = graph();
-        let plan =
-            FlashEventPlan::random(&g, UserId::new(1), 5, SimTime::from_days(1), SimTime::from_days(2), 7)
-                .unwrap();
+        let plan = FlashEventPlan::random(
+            &g,
+            UserId::new(1),
+            5,
+            SimTime::from_days(1),
+            SimTime::from_days(2),
+            7,
+        )
+        .unwrap();
         let muts = plan.mutations();
         assert_eq!(muts.len(), 10);
-        assert!(muts[..5]
-            .iter()
-            .all(|m| m.time == SimTime::from_days(1)
-                && matches!(m.mutation, GraphMutation::AddEdge { .. })));
-        assert!(muts[5..]
-            .iter()
-            .all(|m| m.time == SimTime::from_days(2)
-                && matches!(m.mutation, GraphMutation::RemoveEdge { .. })));
+        assert!(muts[..5].iter().all(|m| m.time == SimTime::from_days(1)
+            && matches!(m.mutation, GraphMutation::AddEdge { .. })));
+        assert!(muts[5..].iter().all(|m| m.time == SimTime::from_days(2)
+            && matches!(m.mutation, GraphMutation::RemoveEdge { .. })));
         assert_eq!(plan.start(), SimTime::from_days(1));
         assert_eq!(plan.end(), SimTime::from_days(2));
     }

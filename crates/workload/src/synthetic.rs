@@ -96,7 +96,9 @@ impl SyntheticTraceGenerator {
         config.validate()?;
         let n = graph.user_count();
         if n == 0 {
-            return Err(Error::invalid_config("cannot generate traffic for an empty graph"));
+            return Err(Error::invalid_config(
+                "cannot generate traffic for an empty graph",
+            ));
         }
 
         let write_weights: Vec<f64> = graph
@@ -164,8 +166,8 @@ impl Iterator for SyntheticTraceGenerator {
             return None;
         }
         // Requests are evenly distributed over the duration.
-        let time_secs =
-            (self.emitted as u128 * self.duration_secs as u128 / self.total_requests as u128) as u64;
+        let time_secs = (self.emitted as u128 * self.duration_secs as u128
+            / self.total_requests as u128) as u64;
         let time = SimTime::from_secs(time_secs);
         self.emitted += 1;
         let request = if self.rng.gen_bool(self.write_probability) {
@@ -197,7 +199,12 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(SyntheticConfig::default().validate().is_ok());
-        assert!(SyntheticConfig { days: 0, ..Default::default() }.validate().is_err());
+        assert!(SyntheticConfig {
+            days: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(SyntheticConfig {
             writes_per_user_per_day: 0.0,
             ..Default::default()

@@ -33,7 +33,8 @@ fn main() -> Result<(), Error> {
         println!(
             "user {reader} follows {author}; her feed has {} events, newest: {:?}",
             feed.len(),
-            feed.first().map(|e| String::from_utf8_lossy(e.payload()).into_owned())
+            feed.first()
+                .map(|e| String::from_utf8_lossy(e.payload()).into_owned())
         );
     }
     let stats = cluster.stats();

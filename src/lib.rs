@@ -50,6 +50,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use dynasore_baselines as baselines;
 pub use dynasore_core as core;
 pub use dynasore_graph as graph;
@@ -69,9 +71,7 @@ pub mod prelude {
     pub use dynasore_sim::{MemoryUsage, Message, PlacementEngine, SimReport, Simulation};
     pub use dynasore_store::{Cluster, StoreConfig};
     pub use dynasore_topology::{Switch, Tier, Topology, TrafficAccount};
-    pub use dynasore_types::{
-        Error, Event, MemoryBudget, Operation, SimTime, UserId, View,
-    };
+    pub use dynasore_types::{Error, Event, MemoryBudget, Operation, SimTime, UserId, View};
     pub use dynasore_workload::{
         DiurnalConfig, DiurnalTraceGenerator, FlashEventPlan, Request, SyntheticConfig,
         SyntheticTraceGenerator,

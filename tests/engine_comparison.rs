@@ -51,7 +51,9 @@ fn all_engines_process_the_same_number_of_requests() {
         Box::new(StaticPlacement::random(&g, &t, SEED).unwrap()),
         Box::new(StaticPlacement::metis(&g, &t, SEED).unwrap()),
         Box::new(StaticPlacement::hierarchical_metis(&g, &t, SEED).unwrap()),
-        Box::new(SparEngine::new(&g, &t, MemoryBudget::with_extra_percent(USERS, 30), SEED).unwrap()),
+        Box::new(
+            SparEngine::new(&g, &t, MemoryBudget::with_extra_percent(USERS, 30), SEED).unwrap(),
+        ),
         Box::new(dynasore(30, InitialPlacement::Random { seed: SEED })),
     ];
     for engine in engines {
@@ -73,7 +75,10 @@ fn partitioning_beats_random_and_hierarchical_beats_flat() {
     let t = topology();
     let random = run_after_warmup(StaticPlacement::random(&g, &t, SEED).unwrap(), 1);
     let metis = run_after_warmup(StaticPlacement::metis(&g, &t, SEED).unwrap(), 1);
-    let hmetis = run_after_warmup(StaticPlacement::hierarchical_metis(&g, &t, SEED).unwrap(), 1);
+    let hmetis = run_after_warmup(
+        StaticPlacement::hierarchical_metis(&g, &t, SEED).unwrap(),
+        1,
+    );
 
     let metis_norm = metis.normalized_top_traffic(&random);
     let hmetis_norm = hmetis.normalized_top_traffic(&random);
@@ -93,7 +98,10 @@ fn dynasore_beats_every_baseline_at_30_percent_extra_memory() {
         SparEngine::new(&g, &t, MemoryBudget::with_extra_percent(USERS, 30), SEED).unwrap(),
         1,
     );
-    let dyna = run_after_warmup(dynasore(30, InitialPlacement::HierarchicalMetis { seed: SEED }), 1);
+    let dyna = run_after_warmup(
+        dynasore(30, InitialPlacement::HierarchicalMetis { seed: SEED }),
+        1,
+    );
 
     let spar_norm = spar.normalized_top_traffic(&random);
     let dyna_norm = dyna.normalized_top_traffic(&random);
@@ -128,7 +136,10 @@ fn dynasore_lowers_traffic_at_every_tier_not_just_the_top() {
     let g = graph();
     let t = topology();
     let random = run_after_warmup(StaticPlacement::random(&g, &t, SEED).unwrap(), 1);
-    let dyna = run_after_warmup(dynasore(50, InitialPlacement::HierarchicalMetis { seed: SEED }), 1);
+    let dyna = run_after_warmup(
+        dynasore(50, InitialPlacement::HierarchicalMetis { seed: SEED }),
+        1,
+    );
     for tier in [Tier::Top, Tier::Intermediate, Tier::Rack] {
         let norm = dyna.normalized_tier_average(tier, &random);
         assert!(

@@ -107,7 +107,9 @@ fn writes_remain_visible_after_heavy_mixed_traffic() {
         .unwrap();
     let reader = graph.followers(author)[0];
     for i in 0..50u32 {
-        cluster.write(author, format!("update {i}").into_bytes()).unwrap();
+        cluster
+            .write(author, format!("update {i}").into_bytes())
+            .unwrap();
         // Interleave unrelated traffic.
         let other = UserId::new(i % 300);
         let _ = cluster.read_feed(other);

@@ -1,0 +1,124 @@
+//! Vendored, offline-compatible subset of the `crossbeam` channel API.
+//!
+//! Crossbeam's key ergonomic difference from `std::sync::mpsc` is that
+//! bounded and unbounded channels share one [`channel::Sender`] type (and
+//! receivers are cloneable in real crossbeam — not needed here). This wrapper
+//! unifies `std`'s `Sender`/`SyncSender` behind one enum so DynaSoRe's store
+//! code written against crossbeam compiles unchanged.
+//!
+//! ```
+//! use crossbeam::channel::{bounded, unbounded};
+//!
+//! let (tx, rx) = unbounded();
+//! tx.send(1).unwrap();
+//! assert_eq!(rx.recv(), Ok(1));
+//!
+//! let (btx, brx) = bounded(1);
+//! btx.send("hi").unwrap();
+//! assert_eq!(brx.recv(), Ok("hi"));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Multi-producer single-consumer channels with a unified sender type.
+
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of a channel; clonable, works for bounded and unbounded.
+    #[derive(Debug)]
+    pub struct Sender<T>(Inner<T>);
+
+    #[derive(Debug)]
+    enum Inner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Inner::Unbounded(s) => Inner::Unbounded(s.clone()),
+                Inner::Bounded(s) => Inner::Bounded(s.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking if the channel is bounded and full.
+        ///
+        /// Returns `Err` when the receiving side has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Inner::Unbounded(s) => s.send(value),
+                Inner::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Returns a pending value without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Iterates over received values until every sender is dropped.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// Creates a channel of unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Inner::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a channel holding at most `cap` in-flight values
+    /// (`cap == 0` gives a rendezvous channel).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Inner::Bounded(tx)), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_round_trip_across_threads() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            let a = std::thread::spawn(move || tx2.send(41).unwrap());
+            let b = std::thread::spawn(move || tx.send(1).unwrap());
+            let sum: i32 = [rx.recv().unwrap(), rx.recv().unwrap()].iter().sum();
+            assert_eq!(sum, 42);
+            // Join so both Sender halves are dropped before asserting
+            // disconnection — recv() returning does not imply the sending
+            // threads have finished and released their handles.
+            a.join().unwrap();
+            b.join().unwrap();
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+        }
+
+        #[test]
+        fn bounded_reply_channel() {
+            let (tx, rx) = bounded(1);
+            tx.send("reply").unwrap();
+            assert_eq!(rx.recv(), Ok("reply"));
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+    }
+}
