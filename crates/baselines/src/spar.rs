@@ -16,7 +16,7 @@ use rand::SeedableRng;
 use dynasore_graph::SocialGraph;
 use dynasore_topology::Topology;
 use dynasore_types::{Error, MachineId, MemoryBudget, Result, SimTime, UserId};
-use dynasore_types::{MemoryUsage, Message, PlacementEngine};
+use dynasore_types::{MemoryUsage, Message, PlacementEngine, TrafficSink};
 use dynasore_workload::GraphMutation;
 
 /// Number of protocol messages modelling the transfer of one view when SPAR
@@ -244,7 +244,7 @@ impl PlacementEngine for SparEngine {
         user: UserId,
         targets: &[UserId],
         _time: SimTime,
-        out: &mut Vec<Message>,
+        out: &mut dyn TrafficSink,
     ) {
         let Some(&broker) = self.proxies.get(user.as_usize()) else {
             return;
@@ -263,22 +263,27 @@ impl PlacementEngine for SparEngine {
                 .map(|&i| self.servers[i].machine)
                 .min_by_key(|&m| (self.topology.distance(broker, m), m.index()))
                 .expect("non-empty replica set");
-            out.push(Message::application(broker, server));
-            out.push(Message::application(server, broker));
+            out.record(Message::application(broker, server));
+            out.record(Message::application(server, broker));
         }
     }
 
-    fn handle_write(&mut self, user: UserId, _time: SimTime, out: &mut Vec<Message>) {
+    fn handle_write(&mut self, user: UserId, _time: SimTime, out: &mut dyn TrafficSink) {
         let Some(&broker) = self.proxies.get(user.as_usize()) else {
             return;
         };
         // Every replica of the user's view must be updated.
         for &ridx in &self.replicas[user.as_usize()] {
-            out.push(Message::application(broker, self.servers[ridx].machine));
+            out.record(Message::application(broker, self.servers[ridx].machine));
         }
     }
 
-    fn on_graph_change(&mut self, mutation: GraphMutation, _time: SimTime, out: &mut Vec<Message>) {
+    fn on_graph_change(
+        &mut self,
+        mutation: GraphMutation,
+        _time: SimTime,
+        out: &mut dyn TrafficSink,
+    ) {
         if let GraphMutation::AddEdge { follower, followee } = mutation {
             // SPAR reacts to the evolution of the social network by
             // co-locating the new friend's view, if memory allows.
@@ -292,9 +297,9 @@ impl PlacementEngine for SparEngine {
             if let Some(target) = created {
                 let source = self.servers[self.primary[followee.as_usize()]].machine;
                 let target_machine = self.servers[target].machine;
-                out.push(Message::protocol(source, target_machine));
+                out.record(Message::protocol(source, target_machine));
                 for _ in 0..VIEW_TRANSFER_PROTOCOL_MESSAGES {
-                    out.push(Message::protocol(source, target_machine));
+                    out.record(Message::protocol(source, target_machine));
                 }
             }
         }

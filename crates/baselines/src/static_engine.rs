@@ -4,7 +4,7 @@ use dynasore_core::{placement::initial_assignment, InitialPlacement};
 use dynasore_graph::SocialGraph;
 use dynasore_topology::Topology;
 use dynasore_types::{MachineId, Result, SimTime, UserId};
-use dynasore_types::{MemoryUsage, Message, PlacementEngine};
+use dynasore_types::{MemoryUsage, Message, PlacementEngine, TrafficSink};
 
 /// A static view placement: every user's view is stored on exactly one
 /// server, chosen before the experiment starts and never changed.
@@ -136,7 +136,7 @@ impl PlacementEngine for StaticPlacement {
         user: UserId,
         targets: &[UserId],
         _time: SimTime,
-        out: &mut Vec<Message>,
+        out: &mut dyn TrafficSink,
     ) {
         let Some(broker) = self.proxy_of(user) else {
             return;
@@ -145,16 +145,16 @@ impl PlacementEngine for StaticPlacement {
             let Some(server) = self.server_of(target) else {
                 continue;
             };
-            out.push(Message::application(broker, server));
-            out.push(Message::application(server, broker));
+            out.record(Message::application(broker, server));
+            out.record(Message::application(server, broker));
         }
     }
 
-    fn handle_write(&mut self, user: UserId, _time: SimTime, out: &mut Vec<Message>) {
+    fn handle_write(&mut self, user: UserId, _time: SimTime, out: &mut dyn TrafficSink) {
         let (Some(broker), Some(server)) = (self.proxy_of(user), self.server_of(user)) else {
             return;
         };
-        out.push(Message::application(broker, server));
+        out.record(Message::application(broker, server));
     }
 
     fn replica_count(&self, user: UserId) -> usize {

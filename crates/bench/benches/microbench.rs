@@ -109,6 +109,53 @@ fn bench_engine_read(c: &mut Criterion) {
     group.finish();
 }
 
+/// Steady-state hot-path throughput at paper-plus scale: 100k users on the
+/// paper tree, measured after the placement has been warmed up. This is the
+/// criterion-side companion of the `hotpath_throughput` binary (which emits
+/// `BENCH_hotpath.json`).
+fn bench_hotpath_steady_state(c: &mut Criterion) {
+    const HOT_USERS: usize = 100_000;
+    let graph = SocialGraph::generate(GraphPreset::FacebookLike, HOT_USERS, SEED).unwrap();
+    let topology = topology();
+    let mut engine = DynaSoReEngine::builder()
+        .topology(topology)
+        .budget(MemoryBudget::with_extra_percent(HOT_USERS, 30))
+        .initial_placement(InitialPlacement::Random { seed: SEED })
+        .build(&graph)
+        .unwrap();
+    let user_at = |k: u64| UserId::new(((k.wrapping_mul(7_919)) % HOT_USERS as u64) as u32);
+    let mut out = Vec::new();
+    for k in 0..50_000u64 {
+        let user = user_at(k);
+        out.clear();
+        engine.handle_read(user, graph.followees(user), SimTime::from_secs(1), &mut out);
+        out.clear();
+        engine.handle_write(user, SimTime::from_secs(1), &mut out);
+    }
+
+    let mut group = c.benchmark_group("hotpath_100k_users");
+    let mut k = 0u64;
+    group.bench_function("steady_state_read", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let user = user_at(k);
+            out.clear();
+            engine.handle_read(user, graph.followees(user), SimTime::from_secs(2), &mut out);
+            out.len()
+        })
+    });
+    group.bench_function("steady_state_write", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let user = user_at(k);
+            out.clear();
+            engine.handle_write(user, SimTime::from_secs(3), &mut out);
+            out.len()
+        })
+    });
+    group.finish();
+}
+
 fn bench_simulation_hour(c: &mut Criterion) {
     let graph = graph();
     let topology = topology();
@@ -150,6 +197,7 @@ criterion_group!(
     targets = bench_partitioner,
         bench_routing,
         bench_engine_read,
+        bench_hotpath_steady_state,
         bench_simulation_hour,
         bench_trace_generation
 );

@@ -1,0 +1,191 @@
+//! **Hot-path throughput** — steady-state requests/sec of the DynaSoRe
+//! read and write paths over the paper tree (§4.3 topology), measured by
+//! driving `handle_read`/`handle_write` directly after the placement has
+//! converged. This is the perf trajectory anchor for the request hot path:
+//! every change to routing, replica storage or traffic accounting is
+//! measured against the numbers recorded in `BENCH_hotpath.json`.
+//!
+//! ```text
+//! cargo run --release -p dynasore-bench --bin hotpath_throughput \
+//!     [-- --users N --seed N --iters N --out PATH --quick]
+//! ```
+//!
+//! `--quick` shrinks the graph and iteration counts so the binary doubles as
+//! a CI smoke test; the JSON is written either way (default:
+//! `BENCH_hotpath.json` in the current directory).
+
+use std::time::Instant;
+
+use dynasore_core::{DynaSoReEngine, InitialPlacement};
+use dynasore_graph::{GraphPreset, SocialGraph};
+use dynasore_topology::Topology;
+use dynasore_types::{MemoryBudget, PlacementEngine, SimTime, UserId};
+
+/// Pre-refactor numbers (commit eec0658, `--users 100000 --seed 42` on the
+/// development reference machine), kept so the JSON always records the
+/// trajectory. Updated only when a PR intentionally re-baselines.
+const BASELINE_READS_PER_SEC: f64 = 1_620.0;
+const BASELINE_WRITES_PER_SEC: f64 = 1_070_785.0;
+
+struct Options {
+    users: usize,
+    seed: u64,
+    iters: u64,
+    out: String,
+    quick: bool,
+}
+
+impl Options {
+    fn from_args() -> Options {
+        let mut o = Options {
+            users: 100_000,
+            seed: 42,
+            iters: 0,
+            out: "BENCH_hotpath.json".to_string(),
+            quick: false,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--users" if i + 1 < args.len() => {
+                    o.users = args[i + 1].parse().unwrap_or(o.users);
+                    i += 1;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    o.seed = args[i + 1].parse().unwrap_or(o.seed);
+                    i += 1;
+                }
+                "--iters" if i + 1 < args.len() => {
+                    o.iters = args[i + 1].parse().unwrap_or(o.iters);
+                    i += 1;
+                }
+                "--out" if i + 1 < args.len() => {
+                    o.out = args[i + 1].clone();
+                    i += 1;
+                }
+                "--quick" => o.quick = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        if o.quick {
+            o.users = o.users.min(2_000);
+        }
+        if o.iters == 0 {
+            o.iters = if o.quick { 20_000 } else { 200_000 };
+        }
+        o
+    }
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let setup_start = Instant::now();
+    let graph = SocialGraph::generate(GraphPreset::FacebookLike, opts.users, opts.seed)
+        .expect("graph generation");
+    let topology = Topology::paper_tree().expect("paper tree");
+    let mut engine = DynaSoReEngine::builder()
+        .topology(topology)
+        .budget(MemoryBudget::with_extra_percent(opts.users, 30))
+        .initial_placement(InitialPlacement::Random { seed: opts.seed })
+        .build(&graph)
+        .expect("engine build");
+    let setup_secs = setup_start.elapsed().as_secs_f64();
+
+    let users = opts.users as u64;
+    let user_at = |k: u64| UserId::new(((k.wrapping_mul(7_919)) % users) as u32);
+    let mut out = Vec::new();
+
+    // Warm-up: drive enough mixed traffic through every part of the cluster
+    // that replica placement and proxies converge; steady state is what the
+    // measured phases see.
+    let warmup_start = Instant::now();
+    let warmup_iters = (2 * users).min(opts.iters.max(users));
+    for k in 0..warmup_iters {
+        let user = user_at(k);
+        out.clear();
+        engine.handle_read(user, graph.followees(user), SimTime::from_secs(1), &mut out);
+        out.clear();
+        engine.handle_write(user, SimTime::from_secs(1), &mut out);
+    }
+    let warmup_secs = warmup_start.elapsed().as_secs_f64();
+
+    // Measured read phase.
+    let read_start = Instant::now();
+    let mut read_messages = 0u64;
+    for k in 0..opts.iters {
+        let user = user_at(k);
+        out.clear();
+        engine.handle_read(user, graph.followees(user), SimTime::from_secs(2), &mut out);
+        read_messages += out.len() as u64;
+    }
+    let read_secs = read_start.elapsed().as_secs_f64();
+
+    // Measured write phase.
+    let write_start = Instant::now();
+    let mut write_messages = 0u64;
+    for k in 0..opts.iters {
+        let user = user_at(k);
+        out.clear();
+        engine.handle_write(user, SimTime::from_secs(3), &mut out);
+        write_messages += out.len() as u64;
+    }
+    let write_secs = write_start.elapsed().as_secs_f64();
+
+    let reads_per_sec = opts.iters as f64 / read_secs;
+    let writes_per_sec = opts.iters as f64 / write_secs;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"hotpath_throughput\",\n",
+            "  \"users\": {users},\n",
+            "  \"seed\": {seed},\n",
+            "  \"iters\": {iters},\n",
+            "  \"quick\": {quick},\n",
+            "  \"setup_secs\": {setup:.3},\n",
+            "  \"warmup_secs\": {warmup:.3},\n",
+            "  \"read\": {{\n",
+            "    \"reqs_per_sec\": {rps:.0},\n",
+            "    \"elapsed_secs\": {rsecs:.3},\n",
+            "    \"messages\": {rmsgs}\n",
+            "  }},\n",
+            "  \"write\": {{\n",
+            "    \"reqs_per_sec\": {wps:.0},\n",
+            "    \"elapsed_secs\": {wsecs:.3},\n",
+            "    \"messages\": {wmsgs}\n",
+            "  }},\n",
+            "  \"baseline_pre_refactor\": {{\n",
+            "    \"commit\": \"eec0658\",\n",
+            "    \"read_reqs_per_sec\": {brps:.0},\n",
+            "    \"write_reqs_per_sec\": {bwps:.0}\n",
+            "  }},\n",
+            "  \"read_speedup_vs_baseline\": {rspeed:.2},\n",
+            "  \"write_speedup_vs_baseline\": {wspeed:.2}\n",
+            "}}\n"
+        ),
+        users = opts.users,
+        seed = opts.seed,
+        iters = opts.iters,
+        quick = opts.quick,
+        setup = setup_secs,
+        warmup = warmup_secs,
+        rps = reads_per_sec,
+        rsecs = read_secs,
+        rmsgs = read_messages,
+        wps = writes_per_sec,
+        wsecs = write_secs,
+        wmsgs = write_messages,
+        brps = BASELINE_READS_PER_SEC,
+        bwps = BASELINE_WRITES_PER_SEC,
+        rspeed = reads_per_sec / BASELINE_READS_PER_SEC,
+        wspeed = writes_per_sec / BASELINE_WRITES_PER_SEC,
+    );
+    std::fs::write(&opts.out, &json).expect("write BENCH_hotpath.json");
+    eprintln!(
+        "# hotpath_throughput: {} users, {} iters — reads {:.0}/s, writes {:.0}/s → {}",
+        opts.users, opts.iters, reads_per_sec, writes_per_sec, opts.out
+    );
+    print!("{json}");
+}

@@ -34,6 +34,10 @@
 pub struct RotatingCounter {
     slots: Vec<u64>,
     current: usize,
+    /// Running sum of the whole window, maintained on `record`/`rotate` so
+    /// `total()` is O(1) — it is read many times per request by the utility
+    /// estimation.
+    total: u64,
 }
 
 impl RotatingCounter {
@@ -48,6 +52,7 @@ impl RotatingCounter {
         RotatingCounter {
             slots: vec![0; slots],
             current: 0,
+            total: 0,
         }
     }
 
@@ -59,17 +64,19 @@ impl RotatingCounter {
     /// Adds `count` accesses to the current period.
     pub fn record(&mut self, count: u64) {
         self.slots[self.current] += count;
+        self.total += count;
     }
 
     /// Moves to the next period, clearing it.
     pub fn rotate(&mut self) {
         self.current = (self.current + 1) % self.slots.len();
+        self.total -= self.slots[self.current];
         self.slots[self.current] = 0;
     }
 
     /// Total accesses over the whole window.
     pub fn total(&self) -> u64 {
-        self.slots.iter().sum()
+        self.total
     }
 
     /// Accesses recorded in the current (not yet rotated) period.
@@ -79,7 +86,7 @@ impl RotatingCounter {
 
     /// Whether the whole window is zero.
     pub fn is_idle(&self) -> bool {
-        self.total() == 0
+        self.total == 0
     }
 }
 

@@ -6,20 +6,18 @@
 //! better locations (Algorithm 3), and evict replicas that stopped paying
 //! for themselves, all within a fixed cluster-wide memory budget.
 
-use std::collections::HashMap;
-
 use dynasore_graph::SocialGraph;
 use dynasore_topology::Topology;
 use dynasore_types::{
     BrokerId, Error, MachineId, MemoryBudget, Result, SimTime, SubtreeId, UserId,
 };
-use dynasore_types::{MemoryUsage, Message, PlacementEngine};
+use dynasore_types::{MemoryUsage, Message, PlacementEngine, TrafficSink};
 use dynasore_workload::GraphMutation;
 
 use crate::config::{DynaSoReConfig, InitialPlacement};
 use crate::placement::initial_assignment;
-use crate::routing::{closest_replica, optimal_proxy_broker};
-use crate::server::ServerState;
+use crate::routing::{optimal_proxy_broker, TransferTally};
+use crate::server::{admission_threshold_from_utilities, ServerState};
 use crate::utility::{estimate_creation_profit, estimate_profit, replica_utility};
 
 /// Number of protocol messages used to model the transfer of one view's data
@@ -67,8 +65,145 @@ pub struct DynaSoReEngine {
     topology: Topology,
     config: DynaSoReConfig,
     servers: Vec<ServerState>,
-    server_index: HashMap<MachineId, usize>,
     users: Vec<UserState>,
+    scratch: Scratch,
+    thresholds: ThresholdCache,
+    loads: LoadCache,
+}
+
+/// Cached per-subtree minima of the servers' admission thresholds.
+///
+/// Thresholds only change during the maintenance tick (the paper
+/// disseminates them by piggybacking, i.e. they are stale between periods
+/// anyway), so the per-origin minimum the hot path needs is refreshed once
+/// per tick and read in O(1) instead of scanning the origin's servers on
+/// every request.
+#[derive(Debug, Clone)]
+struct ThresholdCache {
+    rack: Vec<f64>,
+    inter: Vec<f64>,
+    root: f64,
+}
+
+/// How many least-loaded servers each subtree candidate set remembers.
+/// Views rarely hold more replicas than this inside one subtree, so the
+/// exact fallback scan is almost never taken.
+const LOAD_TOP_K: usize = 4;
+
+/// The `(len, ordinal)` keys of the up-to-`LOAD_TOP_K` least-loaded servers
+/// of one subtree, ascending, split into "has free space" and "any" lists.
+///
+/// Server loads only change when a replica is created or evicted, so the
+/// engine rebuilds the affected sets on those (rare) events and the
+/// per-read candidate query becomes a couple of comparisons instead of a
+/// scan over the subtree's servers. `*_seen` counts every offered server;
+/// when it exceeds `LOAD_TOP_K` the list is a truncation, and a query whose
+/// exclusions swallow the whole list falls back to the exact scan.
+#[derive(Debug, Clone, Default)]
+struct CandidateSet {
+    free: [(u32, u32); LOAD_TOP_K],
+    free_count: u8,
+    free_seen: u32,
+    any: [(u32, u32); LOAD_TOP_K],
+    any_count: u8,
+    any_seen: u32,
+}
+
+impl CandidateSet {
+    fn offer_into(
+        list: &mut [(u32, u32); LOAD_TOP_K],
+        count: &mut u8,
+        seen: &mut u32,
+        key: (u32, u32),
+    ) {
+        *seen += 1;
+        let n = *count as usize;
+        let mut pos = n;
+        for (k, entry) in list.iter().enumerate().take(n) {
+            if key < *entry {
+                pos = k;
+                break;
+            }
+        }
+        if pos == n {
+            if n < LOAD_TOP_K {
+                list[n] = key;
+                *count += 1;
+            }
+            return;
+        }
+        let last = if n < LOAD_TOP_K { n } else { LOAD_TOP_K - 1 };
+        for k in (pos..last).rev() {
+            list[k + 1] = list[k];
+        }
+        list[pos] = key;
+        if n < LOAD_TOP_K {
+            *count += 1;
+        }
+    }
+
+    fn offer(&mut self, key: (u32, u32), has_space: bool) {
+        Self::offer_into(&mut self.any, &mut self.any_count, &mut self.any_seen, key);
+        if has_space {
+            Self::offer_into(
+                &mut self.free,
+                &mut self.free_count,
+                &mut self.free_seen,
+                key,
+            );
+        }
+    }
+
+    /// `Some(answer)` when the cache can answer exactly (preferring servers
+    /// with free space, then any server, `(len, ordinal)` ascending, never
+    /// an excluded server); `None` when the exclusions exhaust a truncated
+    /// list and the caller must fall back to the exact scan.
+    fn query(&self, exclude: &[usize]) -> Option<Option<usize>> {
+        for k in 0..self.free_count as usize {
+            let ord = self.free[k].1 as usize;
+            if !exclude.contains(&ord) {
+                return Some(Some(ord));
+            }
+        }
+        if self.free_seen > LOAD_TOP_K as u32 {
+            return None;
+        }
+        for k in 0..self.any_count as usize {
+            let ord = self.any[k].1 as usize;
+            if !exclude.contains(&ord) {
+                return Some(Some(ord));
+            }
+        }
+        if self.any_seen > LOAD_TOP_K as u32 {
+            return None;
+        }
+        Some(None)
+    }
+}
+
+/// Per-subtree [`CandidateSet`]s: one per rack, one per intermediate
+/// switch, one for the whole cluster.
+#[derive(Debug, Clone)]
+struct LoadCache {
+    rack: Vec<CandidateSet>,
+    inter: Vec<CandidateSet>,
+    root: CandidateSet,
+}
+
+/// Reusable per-request buffers: allocated once at engine construction and
+/// recycled so that steady-state `handle_read`/`handle_write` perform zero
+/// heap allocations.
+#[derive(Debug, Clone)]
+struct Scratch {
+    /// Views transferred per machine during the current request (replaces a
+    /// per-request `HashMap<MachineId, u64>`).
+    tally: TransferTally,
+    /// Per-server utility list for the admission-threshold refresh.
+    utilities: Vec<f64>,
+    /// Victim list for the eviction sweep.
+    views: Vec<UserId>,
+    /// Origins whose read history moves to a newly created replica.
+    origins: Vec<SubtreeId>,
 }
 
 /// Builder for [`DynaSoReEngine`].
@@ -189,16 +324,19 @@ impl DynaSoReEngineBuilder {
 
         let assignment = initial_assignment(&self.initial_placement, graph, &topology)?;
 
+        // `servers[i]` mirrors `topology.servers()[i]`, so a machine's dense
+        // engine index is exactly `topology.server_ordinal(machine)`.
         let mut servers: Vec<ServerState> = topology
             .servers()
             .iter()
-            .map(|s| ServerState::new(s.machine(), capacity, config.counter_slots))
-            .collect();
-        let server_index: HashMap<MachineId, usize> = topology
-            .servers()
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.machine(), i))
+            .map(|s| {
+                ServerState::new(
+                    s.machine(),
+                    capacity,
+                    config.counter_slots,
+                    graph.user_count(),
+                )
+            })
             .collect();
 
         let mut users = Vec::with_capacity(graph.user_count());
@@ -225,14 +363,35 @@ impl DynaSoReEngineBuilder {
             .name
             .unwrap_or_else(|| format!("dynasore-from-{}", self.initial_placement.label()));
 
-        Ok(DynaSoReEngine {
+        let scratch = Scratch {
+            tally: TransferTally::new(&topology),
+            utilities: Vec::new(),
+            views: Vec::new(),
+            origins: Vec::new(),
+        };
+        // All thresholds start at zero, so every cached minimum does too.
+        let thresholds = ThresholdCache {
+            rack: vec![0.0; topology.rack_count()],
+            inter: vec![0.0; topology.intermediate_count()],
+            root: 0.0,
+        };
+        let loads = LoadCache {
+            rack: vec![CandidateSet::default(); topology.rack_count()],
+            inter: vec![CandidateSet::default(); topology.intermediate_count()],
+            root: CandidateSet::default(),
+        };
+        let mut engine = DynaSoReEngine {
             name,
             topology,
             config,
             servers,
-            server_index,
             users,
-        })
+            scratch,
+            thresholds,
+            loads,
+        };
+        engine.rebuild_load_cache();
+        Ok(engine)
     }
 }
 
@@ -299,24 +458,35 @@ impl DynaSoReEngine {
             .unwrap_or(0)
     }
 
-    fn replica_machines(&self, user: UserId) -> Vec<MachineId> {
-        self.users[user.as_usize()]
-            .replicas
-            .iter()
-            .map(|&i| self.servers[i].machine())
-            .collect()
+    /// The replica of `view` closest to `from` (LCA routing policy, ties by
+    /// machine id), as `(engine index, machine)`. Allocation-free.
+    fn closest_replica_of(&self, view: UserId, from: MachineId) -> Option<(usize, MachineId)> {
+        let mut best: Option<(u32, u32, usize)> = None;
+        for &i in &self.users[view.as_usize()].replicas {
+            let machine = self.servers[i].machine();
+            let key = (self.topology.distance(from, machine), machine.index(), i);
+            if best.map_or(true, |b| (key.0, key.1) < (b.0, b.1)) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, machine, i)| (i, MachineId::new(machine)))
     }
 
     /// The closest other replica of `view` as seen from `sidx`, if any.
     fn nearest_other_replica(&self, view: UserId, sidx: usize) -> Option<MachineId> {
         let machine = self.servers[sidx].machine();
-        let others: Vec<MachineId> = self.users[view.as_usize()]
-            .replicas
-            .iter()
-            .filter(|&&i| i != sidx)
-            .map(|&i| self.servers[i].machine())
-            .collect();
-        closest_replica(&self.topology, machine, &others)
+        let mut best: Option<(u32, u32)> = None;
+        for &i in &self.users[view.as_usize()].replicas {
+            if i == sidx {
+                continue;
+            }
+            let other = self.servers[i].machine();
+            let key = (self.topology.distance(machine, other), other.index());
+            if best.map_or(true, |b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, machine)| MachineId::new(machine))
     }
 
     /// Utility of the replica of `view` stored on server `sidx` (infinite
@@ -339,56 +509,180 @@ impl DynaSoReEngine {
     /// replica of the view (`exclude`). Servers with free space are
     /// preferred; a full server may be returned (the caller then evicts).
     fn least_loaded_server_in(&self, origin: SubtreeId, exclude: &[usize]) -> Option<usize> {
-        let candidates: Vec<usize> = self
-            .topology
-            .servers_in_subtree(origin)
-            .into_iter()
-            .filter_map(|s| self.server_index.get(&s.machine()).copied())
-            .filter(|i| !exclude.contains(i))
-            .collect();
-        if candidates.is_empty() {
-            return None;
+        if let SubtreeId::Machine(m) = origin {
+            let i = self.topology.server_ordinal(MachineId::new(m))?;
+            return if exclude.contains(&i) { None } else { Some(i) };
         }
-        candidates
-            .iter()
-            .copied()
-            .filter(|&i| !self.servers[i].is_full())
-            .min_by_key(|&i| self.servers[i].len())
-            .or_else(|| {
-                candidates
-                    .into_iter()
-                    .min_by_key(|&i| self.servers[i].len())
-            })
+        let set = match origin {
+            SubtreeId::Root => Some(&self.loads.root),
+            SubtreeId::Intermediate(i) => self.loads.inter.get(i as usize),
+            SubtreeId::Rack(r) => self.loads.rack.get(r as usize),
+            SubtreeId::Machine(_) => unreachable!("handled above"),
+        }?;
+        match set.query(exclude) {
+            Some(answer) => answer,
+            None => self.least_loaded_scan(origin, exclude),
+        }
+    }
+
+    /// The exact form of [`DynaSoReEngine::least_loaded_server_in`]: a scan
+    /// over the origin's servers. Used as the fallback when the view's
+    /// exclusions swallow a whole (truncated) candidate set.
+    fn least_loaded_scan(&self, origin: SubtreeId, exclude: &[usize]) -> Option<usize> {
+        // `servers_in_subtree_slice` is a contiguous range in machine order,
+        // so scanning it keeps the old "first least-loaded in machine order"
+        // tie-breaking without collecting candidates.
+        let mut best_any: Option<(usize, usize)> = None; // (len, index)
+        let mut best_free: Option<(usize, usize)> = None;
+        for server in self.topology.servers_in_subtree_slice(origin) {
+            let Some(i) = self.topology.server_ordinal(server.machine()) else {
+                continue;
+            };
+            if exclude.contains(&i) {
+                continue;
+            }
+            let key = (self.servers[i].len(), i);
+            if best_any.map_or(true, |b| key < b) {
+                best_any = Some(key);
+            }
+            if !self.servers[i].is_full() && best_free.map_or(true, |b| key < b) {
+                best_free = Some(key);
+            }
+        }
+        best_free.or(best_any).map(|(_, i)| i)
+    }
+
+    /// Rebuilds the candidate set of one subtree from the current server
+    /// loads.
+    fn build_candidate_set(&self, subtree: SubtreeId) -> CandidateSet {
+        let mut set = CandidateSet::default();
+        for server in self.topology.servers_in_subtree_slice(subtree) {
+            let Some(i) = self.topology.server_ordinal(server.machine()) else {
+                continue;
+            };
+            let key = (self.servers[i].len() as u32, i as u32);
+            set.offer(key, !self.servers[i].is_full());
+        }
+        set
+    }
+
+    /// Rebuilds every candidate set (used once after construction).
+    fn rebuild_load_cache(&mut self) {
+        for r in 0..self.topology.rack_count() {
+            self.loads.rack[r] = self.build_candidate_set(SubtreeId::Rack(r as u32));
+        }
+        for i in 0..self.topology.intermediate_count() {
+            self.loads.inter[i] = self.build_candidate_set(SubtreeId::Intermediate(i as u32));
+        }
+        self.loads.root = self.build_candidate_set(SubtreeId::Root);
+    }
+
+    /// Refreshes the candidate sets containing server `sidx` after its load
+    /// changed (replica created or evicted).
+    ///
+    /// Rebuilding the root set scans every server, so replica churn costs
+    /// O(servers) per event — negligible at the paper's 225 servers and
+    /// only paid on (rare) placement changes, but worth replacing with an
+    /// incremental top-K update (the changed key moves by ±1) if the
+    /// cluster grows by orders of magnitude.
+    fn update_load_cache(&mut self, sidx: usize) {
+        let machine = self.servers[sidx].machine();
+        if let Ok(rack) = self.topology.rack_of(machine) {
+            let set = self.build_candidate_set(SubtreeId::Rack(rack.index()));
+            self.loads.rack[rack.as_usize()] = set;
+            let inter = self.topology.intermediate_of_rack(rack);
+            let set = self.build_candidate_set(SubtreeId::Intermediate(inter));
+            self.loads.inter[inter as usize] = set;
+        }
+        self.loads.root = self.build_candidate_set(SubtreeId::Root);
     }
 
     /// The lowest admission threshold among the servers under `origin`
-    /// (disseminated by piggybacking in the paper; looked up directly here).
+    /// (disseminated by piggybacking in the paper; served from the
+    /// per-subtree cache here — thresholds only move during the tick).
     fn admission_threshold_of(&self, origin: SubtreeId) -> f64 {
-        self.topology
-            .servers_in_subtree(origin)
-            .into_iter()
-            .filter_map(|s| self.server_index.get(&s.machine()))
-            .map(|&i| self.servers[i].admission_threshold())
-            .fold(f64::INFINITY, f64::min)
-            .min(f64::INFINITY)
+        match origin {
+            SubtreeId::Root => self.thresholds.root,
+            SubtreeId::Intermediate(i) => self
+                .thresholds
+                .inter
+                .get(i as usize)
+                .copied()
+                .unwrap_or(f64::INFINITY),
+            SubtreeId::Rack(r) => self
+                .thresholds
+                .rack
+                .get(r as usize)
+                .copied()
+                .unwrap_or(f64::INFINITY),
+            SubtreeId::Machine(m) => self
+                .topology
+                .server_ordinal(MachineId::new(m))
+                .map(|i| self.servers[i].admission_threshold())
+                .unwrap_or(f64::INFINITY),
+        }
+    }
+
+    /// Rebuilds the per-subtree threshold minima from the current server
+    /// thresholds. Called once per maintenance tick, right after the
+    /// thresholds themselves are refreshed.
+    fn refresh_threshold_cache(&mut self) {
+        self.thresholds
+            .rack
+            .iter_mut()
+            .for_each(|t| *t = f64::INFINITY);
+        self.thresholds
+            .inter
+            .iter_mut()
+            .for_each(|t| *t = f64::INFINITY);
+        self.thresholds.root = f64::INFINITY;
+        for server in &self.servers {
+            let t = server.admission_threshold();
+            let machine = server.machine();
+            if let Ok(rack) = self.topology.rack_of(machine) {
+                let r = rack.as_usize();
+                self.thresholds.rack[r] = self.thresholds.rack[r].min(t);
+                let i = self.topology.intermediate_of_rack(rack) as usize;
+                self.thresholds.inter[i] = self.thresholds.inter[i].min(t);
+            }
+            self.thresholds.root = self.thresholds.root.min(t);
+        }
+    }
+
+    /// The lowest-utility evictable view on server `sidx`: more than one
+    /// replica, finite utility, ties broken by [`UserId`] (matching the
+    /// ascending-id iteration of the former `BTreeMap` storage, so victim
+    /// choice is independent of slab slot layout).
+    fn eviction_victim(&self, sidx: usize) -> Option<UserId> {
+        let mut victim: Option<(f64, UserId)> = None;
+        for (view, _) in self.servers[sidx].views() {
+            if self.users[view.as_usize()].replicas.len() <= 1 {
+                continue;
+            }
+            let utility = self.utility_of(view, sidx);
+            if !utility.is_finite() {
+                continue;
+            }
+            let better = match victim {
+                None => true,
+                Some((best, best_view)) => utility < best || (utility == best && view < best_view),
+            };
+            if better {
+                victim = Some((utility, view));
+            }
+        }
+        victim.map(|(_, view)| view)
     }
 
     /// Frees one slot on `target` if it is full, by evicting its
     /// lowest-utility replica that has copies elsewhere. Returns `true` if
     /// the server has room afterwards.
-    fn ensure_space(&mut self, target: usize, out: &mut Vec<Message>) -> bool {
+    fn ensure_space(&mut self, target: usize, out: &mut dyn TrafficSink) -> bool {
         if !self.servers[target].is_full() {
             return true;
         }
-        let victim = self.servers[target]
-            .view_ids()
-            .into_iter()
-            .filter(|&v| self.users[v.as_usize()].replicas.len() > 1)
-            .map(|v| (v, self.utility_of(v, target)))
-            .filter(|(_, u)| u.is_finite())
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        match victim {
-            Some((view, _)) => {
+        match self.eviction_victim(target) {
+            Some(view) => {
                 self.remove_replica(view, target, out);
                 !self.servers[target].is_full()
             }
@@ -404,7 +698,7 @@ impl DynaSoReEngine {
         view: UserId,
         source: usize,
         target: usize,
-        out: &mut Vec<Message>,
+        out: &mut dyn TrafficSink,
     ) -> bool {
         if self.servers[target].contains(view) || source == target {
             return false;
@@ -419,31 +713,33 @@ impl DynaSoReEngine {
         // Control messages: the storing server asks the write proxy to
         // create the replica; the write proxy instructs the target server;
         // the view data is then transferred from the source replica.
-        out.push(Message::protocol(source_machine, write_proxy));
-        out.push(Message::protocol(write_proxy, target_machine));
+        out.record(Message::protocol(source_machine, write_proxy));
+        out.record(Message::protocol(write_proxy, target_machine));
         for _ in 0..VIEW_TRANSFER_PROTOCOL_MESSAGES {
-            out.push(Message::protocol(source_machine, target_machine));
+            out.record(Message::protocol(source_machine, target_machine));
         }
         // Routing-table updates for the brokers that will now read the new
         // replica (the brokers of the target's rack).
         if let Ok(rack) = self.topology.rack_of(target_machine) {
-            for broker in self.topology.brokers_in_rack(rack) {
-                out.push(Message::protocol(write_proxy, broker.machine()));
+            for broker in self.topology.brokers_in_rack_slice(rack) {
+                out.record(Message::protocol(write_proxy, broker.machine()));
             }
         }
 
         self.servers[target].insert(view);
+        self.update_load_cache(target);
         self.users[view.as_usize()].replicas.push(target);
         self.users[view.as_usize()].replicas.sort_unstable();
 
         // Hand over the read history of the origins the new replica is now
         // closest to, so the source stops proposing replicas for readers it
         // no longer serves.
-        let origins: Vec<SubtreeId> = self.servers[source]
-            .stats(view)
-            .map(|s| s.reads().map(|(o, _)| o).collect())
-            .unwrap_or_default();
-        for origin in origins {
+        let mut origins = std::mem::take(&mut self.scratch.origins);
+        origins.clear();
+        if let Some(stats) = self.servers[source].stats(view) {
+            origins.extend(stats.reads().map(|(origin, _)| origin));
+        }
+        for origin in origins.drain(..) {
             if self.topology.origin_distance(target_machine, origin)
                 < self.topology.origin_distance(source_machine, origin)
             {
@@ -456,12 +752,13 @@ impl DynaSoReEngine {
                 }
             }
         }
+        self.scratch.origins = origins;
         true
     }
 
     /// Removes the replica of `view` stored on server `sidx`. Never removes
     /// the last replica.
-    fn remove_replica(&mut self, view: UserId, sidx: usize, out: &mut Vec<Message>) -> bool {
+    fn remove_replica(&mut self, view: UserId, sidx: usize, out: &mut dyn TrafficSink) -> bool {
         if self.users[view.as_usize()].replicas.len() <= 1 {
             return false;
         }
@@ -473,13 +770,14 @@ impl DynaSoReEngine {
         // The write proxy is the synchronisation point for evictions and the
         // brokers that used to read this replica must update their routing
         // tables.
-        out.push(Message::protocol(server_machine, write_proxy));
+        out.record(Message::protocol(server_machine, write_proxy));
         if let Ok(rack) = self.topology.rack_of(server_machine) {
-            for broker in self.topology.brokers_in_rack(rack) {
-                out.push(Message::protocol(write_proxy, broker.machine()));
+            for broker in self.topology.brokers_in_rack_slice(rack) {
+                out.record(Message::protocol(write_proxy, broker.machine()));
             }
         }
         self.servers[sidx].remove(view);
+        self.update_load_cache(sidx);
         self.users[view.as_usize()].replicas.retain(|&i| i != sidx);
         true
     }
@@ -487,118 +785,145 @@ impl DynaSoReEngine {
     /// Algorithm 2 (*Evaluate Creation of Replica*) followed, when no
     /// replica is created, by Algorithm 3 (*Compute Optimal Position of
     /// Replica*), run by server `sidx` after serving a read of `view`.
-    fn evaluate_replica(&mut self, view: UserId, sidx: usize, out: &mut Vec<Message>) {
+    fn evaluate_replica(&mut self, view: UserId, sidx: usize, out: &mut dyn TrafficSink) {
         let server_machine = self.servers[sidx].machine();
-        let stats = match self.servers[sidx].stats(view) {
-            Some(s) => s.clone(),
-            None => return,
-        };
         let write_proxy = self.users[view.as_usize()].write_proxy.machine();
-        let replicas = self.users[view.as_usize()].replicas.clone();
 
         // --- Algorithm 2: try to create a replica near one of the origins.
         // The profit of adding a replica only counts the readers the routing
         // policy would redirect to it (§3.2, "simulating its addition").
-        let mut best_profit = 0i64;
-        let mut new_replica: Option<usize> = None;
-        for (origin, _reads) in stats.reads() {
-            let candidate = match self.least_loaded_server_in(origin, &replicas) {
-                Some(c) => c,
-                None => continue,
+        // Decisions are computed over borrowed state (no statistics clone);
+        // mutations are deferred until the borrows end.
+        let new_replica = {
+            let Some(stats) = self.servers[sidx].stats(view) else {
+                return;
             };
-            let candidate_machine = self.servers[candidate].machine();
-            let profit = estimate_creation_profit(
-                &self.topology,
-                &stats,
-                candidate_machine,
-                server_machine,
-                write_proxy,
-            );
-            let threshold = self.admission_threshold_of(origin);
-            if (profit as f64) > threshold && profit > best_profit {
-                best_profit = profit;
-                new_replica = Some(candidate);
+            let replicas = &self.users[view.as_usize()].replicas;
+            let mut best_profit = 0i64;
+            let mut new_replica: Option<usize> = None;
+            for (origin, _reads) in stats.reads() {
+                let candidate = match self.least_loaded_server_in(origin, replicas) {
+                    Some(c) => c,
+                    None => continue,
+                };
+                let candidate_machine = self.servers[candidate].machine();
+                let profit = estimate_creation_profit(
+                    &self.topology,
+                    stats,
+                    candidate_machine,
+                    server_machine,
+                    write_proxy,
+                );
+                let threshold = self.admission_threshold_of(origin);
+                if (profit as f64) > threshold && profit > best_profit {
+                    best_profit = profit;
+                    new_replica = Some(candidate);
+                }
             }
-        }
+            new_replica
+        };
         if let Some(target) = new_replica {
             if self.create_replica(view, sidx, target, out) {
                 return;
             }
             // The chosen server had no space it could free: fall through to
             // the migration logic, as the paper does when no replica can be
-            // created.
+            // created. (A failed creation mutates nothing, so the state the
+            // migration decision sees is unchanged.)
         }
 
         // --- Algorithm 3: no replica can be created; consider migrating (or
         // dropping) this replica.
-        let nearest = self
-            .nearest_other_replica(view, sidx)
-            .unwrap_or(server_machine);
-        let has_other_replicas = replicas.len() > 1;
-        let mut best_profit =
-            estimate_profit(&self.topology, &stats, server_machine, nearest, write_proxy);
-        let mut best_position: Option<usize> = None;
-        for (origin, _reads) in stats.reads() {
-            let candidate = match self.least_loaded_server_in(origin, &replicas) {
-                Some(c) => c,
-                None => continue,
-            };
-            let candidate_machine = self.servers[candidate].machine();
-            let profit = estimate_profit(
-                &self.topology,
-                &stats,
-                candidate_machine,
-                nearest,
-                write_proxy,
-            );
-            let threshold = self.admission_threshold_of(origin);
-            if profit > best_profit && (profit as f64) > threshold {
-                best_profit = profit;
-                best_position = Some(candidate);
-            }
+        enum Decision {
+            Keep,
+            Drop,
+            Migrate(usize),
         }
-        if best_profit < 0 && has_other_replicas {
+        let decision = {
+            let Some(stats) = self.servers[sidx].stats(view) else {
+                return;
+            };
+            let replicas = &self.users[view.as_usize()].replicas;
+            let nearest = self
+                .nearest_other_replica(view, sidx)
+                .unwrap_or(server_machine);
+            let has_other_replicas = replicas.len() > 1;
+            let mut best_profit =
+                estimate_profit(&self.topology, stats, server_machine, nearest, write_proxy);
+            let mut best_position: Option<usize> = None;
+            for (origin, _reads) in stats.reads() {
+                let candidate = match self.least_loaded_server_in(origin, replicas) {
+                    Some(c) => c,
+                    None => continue,
+                };
+                let candidate_machine = self.servers[candidate].machine();
+                let profit = estimate_profit(
+                    &self.topology,
+                    stats,
+                    candidate_machine,
+                    nearest,
+                    write_proxy,
+                );
+                let threshold = self.admission_threshold_of(origin);
+                if profit > best_profit && (profit as f64) > threshold {
+                    best_profit = profit;
+                    best_position = Some(candidate);
+                }
+            }
+            if best_profit < 0 && has_other_replicas {
+                Decision::Drop
+            } else if let Some(target) = best_position {
+                Decision::Migrate(target)
+            } else {
+                Decision::Keep
+            }
+        };
+        match decision {
             // This replica costs more than it saves: drop it.
-            self.remove_replica(view, sidx, out);
-        } else if let Some(target) = best_position {
+            Decision::Drop => {
+                self.remove_replica(view, sidx, out);
+            }
             // Migrate: create the replica at the better position, then
             // remove the local copy (the view keeps at least one replica
             // because the new one was just created).
-            if self.create_replica(view, sidx, target, out) {
-                self.remove_replica(view, sidx, out);
+            Decision::Migrate(target) => {
+                if self.create_replica(view, sidx, target, out) {
+                    self.remove_replica(view, sidx, out);
+                }
             }
+            Decision::Keep => {}
         }
     }
 
     /// Post-request proxy placement (§3.2): move the proxy towards the part
-    /// of the cluster most of the data came from. Returns the new broker if
-    /// a migration happened.
+    /// of the cluster most of the data came from, as tallied in
+    /// `scratch.tally` by the request that just executed.
     fn maybe_migrate_proxy(
         &mut self,
         user: UserId,
         is_write_proxy: bool,
-        transferred: &HashMap<MachineId, u64>,
-        out: &mut Vec<Message>,
+        out: &mut dyn TrafficSink,
     ) {
-        let Some(best) = optimal_proxy_broker(&self.topology, transferred) else {
+        let Some(best) = optimal_proxy_broker(&self.topology, &mut self.scratch.tally) else {
             return;
         };
-        let state = &mut self.users[user.as_usize()];
+        let uidx = user.as_usize();
         if is_write_proxy {
-            if state.write_proxy != best {
-                state.write_proxy = best;
+            if self.users[uidx].write_proxy != best {
+                self.users[uidx].write_proxy = best;
                 // The write proxy's location is stored by every replica, so
-                // they must be notified of the move.
-                let replicas = state.replicas.clone();
-                for ridx in replicas {
-                    out.push(Message::protocol(
+                // they must be notified of the move (iterate by index — the
+                // replica list is not mutated here).
+                for k in 0..self.users[uidx].replicas.len() {
+                    let ridx = self.users[uidx].replicas[k];
+                    out.record(Message::protocol(
                         best.machine(),
                         self.servers[ridx].machine(),
                     ));
                 }
             }
-        } else if state.read_proxy != best {
-            state.read_proxy = best;
+        } else if self.users[uidx].read_proxy != best {
+            self.users[uidx].read_proxy = best;
         }
     }
 
@@ -606,17 +931,23 @@ impl DynaSoReEngine {
     /// first drop replicas with negative utility, then, if occupancy still
     /// exceeds the threshold, evict the least useful evictable replicas
     /// until the target occupancy is reached.
-    fn eviction_sweep(&mut self, sidx: usize, out: &mut Vec<Message>) {
-        // Drop negative-utility replicas.
-        let negative: Vec<UserId> = self.servers[sidx]
-            .view_ids()
-            .into_iter()
-            .filter(|&v| self.users[v.as_usize()].replicas.len() > 1)
-            .filter(|&v| self.utility_of(v, sidx) < 0.0)
-            .collect();
-        for view in negative {
+    fn eviction_sweep(&mut self, sidx: usize, out: &mut dyn TrafficSink) {
+        // Drop negative-utility replicas. The victim list reuses a scratch
+        // buffer and is sorted by id so removal order matches the former
+        // ascending-UserId storage iteration.
+        let mut negative = std::mem::take(&mut self.scratch.views);
+        negative.clear();
+        for (view, _) in self.servers[sidx].views() {
+            if self.users[view.as_usize()].replicas.len() > 1 && self.utility_of(view, sidx) < 0.0 {
+                negative.push(view);
+            }
+        }
+        negative.sort_unstable();
+        for &view in &negative {
             self.remove_replica(view, sidx, out);
         }
+        negative.clear();
+        self.scratch.views = negative;
 
         if self.servers[sidx].occupancy() <= self.config.eviction_threshold {
             return;
@@ -626,15 +957,8 @@ impl DynaSoReEngine {
             if self.servers[sidx].occupancy() <= self.config.eviction_target {
                 break;
             }
-            let victim = self.servers[sidx]
-                .view_ids()
-                .into_iter()
-                .filter(|&v| self.users[v.as_usize()].replicas.len() > 1)
-                .map(|v| (v, self.utility_of(v, sidx)))
-                .filter(|(_, u)| u.is_finite())
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-            match victim {
-                Some((view, _)) => {
+            match self.eviction_victim(sidx) {
+                Some(view) => {
                     if !self.remove_replica(view, sidx, out) {
                         break;
                     }
@@ -650,34 +974,35 @@ impl PlacementEngine for DynaSoReEngine {
         &self.name
     }
 
+    /// Steady-state reads perform zero heap allocations: replica routing
+    /// scans the (borrowed) replica index list, transfer bookkeeping uses
+    /// the reusable dense tally, statistics updates hit existing counters,
+    /// and messages stream straight into the sink.
     fn handle_read(
         &mut self,
         user: UserId,
         targets: &[UserId],
         _time: SimTime,
-        out: &mut Vec<Message>,
+        out: &mut dyn TrafficSink,
     ) {
         if user.as_usize() >= self.users.len() {
             return;
         }
         let broker = self.users[user.as_usize()].read_proxy.machine();
-        let mut transferred: HashMap<MachineId, u64> = HashMap::new();
+        self.scratch.tally.clear();
 
         for &target in targets {
             if target.as_usize() >= self.users.len() {
                 continue;
             }
-            let replica_machines = self.replica_machines(target);
-            let Some(server_machine) = closest_replica(&self.topology, broker, &replica_machines)
-            else {
+            let Some((sidx, server_machine)) = self.closest_replica_of(target, broker) else {
                 continue;
             };
             // Request and answer.
-            out.push(Message::application(broker, server_machine));
-            out.push(Message::application(server_machine, broker));
-            *transferred.entry(server_machine).or_insert(0) += 1;
+            out.record(Message::application(broker, server_machine));
+            out.record(Message::application(server_machine, broker));
+            self.scratch.tally.add(server_machine, 1);
 
-            let sidx = self.server_index[&server_machine];
             let origin = self.topology.access_origin(server_machine, broker);
             if let Some(stats) = self.servers[sidx].stats_mut(target) {
                 stats.record_read(origin);
@@ -688,42 +1013,53 @@ impl PlacementEngine for DynaSoReEngine {
             self.evaluate_replica(target, sidx, out);
         }
 
-        self.maybe_migrate_proxy(user, false, &transferred, out);
+        self.maybe_migrate_proxy(user, false, out);
     }
 
-    fn handle_write(&mut self, user: UserId, _time: SimTime, out: &mut Vec<Message>) {
+    /// Steady-state writes perform zero heap allocations: the replica list
+    /// is iterated by index and the transfer tally is reused.
+    fn handle_write(&mut self, user: UserId, _time: SimTime, out: &mut dyn TrafficSink) {
         if user.as_usize() >= self.users.len() {
             return;
         }
         let write_proxy = self.users[user.as_usize()].write_proxy.machine();
-        let replicas = self.users[user.as_usize()].replicas.clone();
-        let mut transferred: HashMap<MachineId, u64> = HashMap::new();
-        for ridx in replicas {
+        self.scratch.tally.clear();
+        for k in 0..self.users[user.as_usize()].replicas.len() {
+            let ridx = self.users[user.as_usize()].replicas[k];
             let machine = self.servers[ridx].machine();
-            out.push(Message::application(write_proxy, machine));
-            *transferred.entry(machine).or_insert(0) += 1;
+            out.record(Message::application(write_proxy, machine));
+            self.scratch.tally.add(machine, 1);
             if let Some(stats) = self.servers[ridx].stats_mut(user) {
                 stats.record_write();
             }
         }
-        self.maybe_migrate_proxy(user, true, &transferred, out);
+        self.maybe_migrate_proxy(user, true, out);
     }
 
-    fn on_tick(&mut self, _time: SimTime, out: &mut Vec<Message>) {
+    fn on_tick(&mut self, _time: SimTime, out: &mut dyn TrafficSink) {
         // 1. Rotate the access counters of every replica.
         for server in &mut self.servers {
             server.rotate_counters();
         }
-        // 2. Refresh admission thresholds from the current utilities.
+        // 2. Refresh admission thresholds: one pass over each server's slab
+        // into a reused scratch buffer, then a select on that buffer.
+        let fill_target = self.config.admission_fill_target;
+        let mut utilities = std::mem::take(&mut self.scratch.utilities);
         for sidx in 0..self.servers.len() {
-            let utilities: Vec<f64> = self.servers[sidx]
-                .view_ids()
-                .into_iter()
-                .map(|v| self.utility_of(v, sidx))
-                .collect();
-            let fill_target = self.config.admission_fill_target;
-            self.servers[sidx].update_admission_threshold(utilities, fill_target);
+            utilities.clear();
+            for slot in 0..self.servers[sidx].slot_count() {
+                let Some(view) = self.servers[sidx].view_at(slot) else {
+                    continue;
+                };
+                utilities.push(self.utility_of(view, sidx));
+            }
+            let capacity = self.servers[sidx].capacity();
+            let threshold =
+                admission_threshold_from_utilities(&mut utilities, capacity, fill_target);
+            self.servers[sidx].set_admission_threshold(threshold);
         }
+        self.scratch.utilities = utilities;
+        self.refresh_threshold_cache();
         // 3. Background eviction.
         for sidx in 0..self.servers.len() {
             self.eviction_sweep(sidx, out);
@@ -734,7 +1070,7 @@ impl PlacementEngine for DynaSoReEngine {
         &mut self,
         _mutation: GraphMutation,
         _time: SimTime,
-        _out: &mut Vec<Message>,
+        _out: &mut dyn TrafficSink,
     ) {
         // "DynaSoRe adapts to the modifications to the social network
         // transparently, without requiring any specific action" (§3.3): the
@@ -1043,6 +1379,45 @@ mod tests {
         assert_eq!(engine.replica_count(UserId::new(9_999)), 0);
         // Only the valid read produced messages (none for unknown targets).
         assert!(out.iter().all(|m| !m.is_local()));
+    }
+
+    #[test]
+    fn load_cache_matches_exact_scan_after_heavy_churn() {
+        // Hammer the engine so replicas are created, migrated and evicted,
+        // then check the cached least-loaded answers against the exact scan
+        // for every subtree and several realistic exclusion lists.
+        let (mut engine, graph, topology) = engine_with_extra(30);
+        let mut out = Vec::new();
+        for round in 0..10u64 {
+            for u in (0..400u32).step_by(5) {
+                let user = UserId::new(u);
+                let targets: Vec<UserId> = graph.followees(user).to_vec();
+                engine.handle_read(user, &targets, SimTime::from_secs(round * 60), &mut out);
+            }
+            engine.on_tick(SimTime::from_hours(round + 1), &mut out);
+            out.clear();
+        }
+        let mut origins: Vec<SubtreeId> = Vec::new();
+        for r in 0..topology.rack_count() as u32 {
+            origins.push(SubtreeId::Rack(r));
+        }
+        for i in 0..topology.intermediate_count() as u32 {
+            origins.push(SubtreeId::Intermediate(i));
+        }
+        origins.push(SubtreeId::Root);
+        let exclusions: Vec<Vec<usize>> = (0..40)
+            .map(|u| engine.users[u].replicas.clone())
+            .chain([vec![], vec![0, 1, 2, 3, 4, 5]])
+            .collect();
+        for &origin in &origins {
+            for exclude in &exclusions {
+                assert_eq!(
+                    engine.least_loaded_server_in(origin, exclude),
+                    engine.least_loaded_scan(origin, exclude),
+                    "origin {origin}, exclude {exclude:?}"
+                );
+            }
+        }
     }
 
     #[test]

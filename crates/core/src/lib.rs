@@ -74,6 +74,6 @@ mod utility;
 pub use config::{DynaSoReConfig, InitialPlacement};
 pub use counters::RotatingCounter;
 pub use engine::{DynaSoReEngine, DynaSoReEngineBuilder};
-pub use server::ServerState;
+pub use server::{admission_threshold_from_utilities, ServerState};
 pub use stats::ReplicaStats;
 pub use utility::{estimate_creation_profit, estimate_profit, replica_utility};

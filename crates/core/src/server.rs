@@ -6,36 +6,64 @@
 //! each stored view the server keeps the replica's access statistics and an
 //! admission threshold that gates the creation of new replicas on it.
 
-use std::collections::BTreeMap;
-
 use dynasore_types::{MachineId, UserId};
 
 use crate::stats::ReplicaStats;
 
+/// Sentinel for "user has no replica here" in the dense user → slot map.
+const NO_SLOT: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct SlotEntry {
+    view: UserId,
+    stats: ReplicaStats,
+}
+
 /// The storage state of one view server.
 ///
-/// Views are kept in a `BTreeMap` so that iteration order — and therefore
-/// eviction-victim tie-breaking and every other decision derived from a scan
-/// of the stored views — is deterministic across runs. A `HashMap` here made
-/// whole-simulation outcomes depend on the process's random hash seed.
+/// Views live in a dense slab: `slots` is indexed by a stable slot number,
+/// freed slots are recycled through a free list, and a dense user → slot
+/// map (`u32::MAX` = absent) makes `contains`/`stats` O(1) array lookups.
+/// Iteration is by slot order, which is fully determined by the (seeded,
+/// deterministic) sequence of inserts and removes — so every decision
+/// derived from a scan of the stored views is reproducible across runs,
+/// preserving the determinism guarantee the `BTreeMap` predecessor provided.
+/// Scans that pick a victim additionally tie-break by [`UserId`] so the
+/// chosen view is independent of slot layout.
+///
+/// Steady-state operations (`contains`, `stats`, `stats_mut`, `insert` into
+/// a recycled slot, `remove`) perform no heap allocation.
 #[derive(Debug, Clone)]
 pub struct ServerState {
     machine: MachineId,
     capacity: usize,
     window_slots: usize,
-    views: BTreeMap<UserId, ReplicaStats>,
+    slots: Vec<Option<SlotEntry>>,
+    free: Vec<u32>,
+    user_slot: Vec<u32>,
+    len: usize,
     admission_threshold: f64,
 }
 
 impl ServerState {
     /// Creates an empty server with room for `capacity` views, using
-    /// rotating statistics windows of `window_slots` periods.
-    pub fn new(machine: MachineId, capacity: usize, window_slots: usize) -> Self {
+    /// rotating statistics windows of `window_slots` periods. `user_count`
+    /// sizes the dense user → slot map (ids beyond it grow the map on
+    /// demand).
+    pub fn new(
+        machine: MachineId,
+        capacity: usize,
+        window_slots: usize,
+        user_count: usize,
+    ) -> Self {
         ServerState {
             machine,
             capacity,
             window_slots,
-            views: BTreeMap::new(),
+            slots: (0..capacity).map(|_| None).collect(),
+            free: (0..capacity as u32).rev().collect(),
+            user_slot: vec![NO_SLOT; user_count],
+            len: 0,
             admission_threshold: 0.0,
         }
     }
@@ -52,17 +80,17 @@ impl ServerState {
 
     /// Number of views currently stored.
     pub fn len(&self) -> usize {
-        self.views.len()
+        self.len
     }
 
     /// Whether the server stores no views.
     pub fn is_empty(&self) -> bool {
-        self.views.is_empty()
+        self.len == 0
     }
 
     /// Whether the server has reached its capacity.
     pub fn is_full(&self) -> bool {
-        self.views.len() >= self.capacity
+        self.len >= self.capacity
     }
 
     /// Fraction of the capacity in use.
@@ -70,13 +98,20 @@ impl ServerState {
         if self.capacity == 0 {
             1.0
         } else {
-            self.views.len() as f64 / self.capacity as f64
+            self.len as f64 / self.capacity as f64
+        }
+    }
+
+    fn slot_of(&self, view: UserId) -> Option<usize> {
+        match self.user_slot.get(view.as_usize()) {
+            Some(&slot) if slot != NO_SLOT => Some(slot as usize),
+            _ => None,
         }
     }
 
     /// Whether a replica of `view` is stored here.
     pub fn contains(&self, view: UserId) -> bool {
-        self.views.contains_key(&view)
+        self.slot_of(view).is_some()
     }
 
     /// Stores a new (empty-statistics) replica of `view`. Returns `false` if
@@ -84,45 +119,82 @@ impl ServerState {
     ///
     /// Capacity is *not* enforced here: the engine decides whether to evict
     /// first or to refuse the replica, because only it knows which views are
-    /// safe to evict.
+    /// safe to evict. Inserts beyond capacity grow the slab.
     pub fn insert(&mut self, view: UserId) -> bool {
-        if self.views.contains_key(&view) {
+        if self.contains(view) {
             return false;
         }
-        self.views
-            .insert(view, ReplicaStats::new(self.window_slots));
+        if view.as_usize() >= self.user_slot.len() {
+            self.user_slot.resize(view.as_usize() + 1, NO_SLOT);
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => slot as usize,
+            None => {
+                self.slots.push(None);
+                self.slots.len() - 1
+            }
+        };
+        self.slots[slot] = Some(SlotEntry {
+            view,
+            stats: ReplicaStats::new(self.window_slots),
+        });
+        self.user_slot[view.as_usize()] = slot as u32;
+        self.len += 1;
         true
     }
 
     /// Removes the replica of `view`. Returns `false` if it was not stored.
     pub fn remove(&mut self, view: UserId) -> bool {
-        self.views.remove(&view).is_some()
+        let Some(slot) = self.slot_of(view) else {
+            return false;
+        };
+        self.slots[slot] = None;
+        self.free.push(slot as u32);
+        self.user_slot[view.as_usize()] = NO_SLOT;
+        self.len -= 1;
+        true
     }
 
     /// The statistics of the replica of `view`, if stored here.
     pub fn stats(&self, view: UserId) -> Option<&ReplicaStats> {
-        self.views.get(&view)
+        self.slot_of(view)
+            .and_then(|slot| self.slots[slot].as_ref())
+            .map(|entry| &entry.stats)
     }
 
     /// Mutable statistics of the replica of `view`, if stored here.
     pub fn stats_mut(&mut self, view: UserId) -> Option<&mut ReplicaStats> {
-        self.views.get_mut(&view)
+        let slot = self.slot_of(view)?;
+        self.slots[slot].as_mut().map(|entry| &mut entry.stats)
     }
 
-    /// Iterates over the stored views and their statistics.
+    /// Iterates over the stored views and their statistics, in slot order.
     pub fn views(&self) -> impl Iterator<Item = (UserId, &ReplicaStats)> {
-        self.views.iter().map(|(&u, s)| (u, s))
+        self.slots
+            .iter()
+            .filter_map(|entry| entry.as_ref().map(|e| (e.view, &e.stats)))
     }
 
-    /// The ids of the stored views.
+    /// Number of slab slots (occupied or free); the valid range for
+    /// [`ServerState::view_at`].
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The view stored in slab slot `slot`, if occupied.
+    pub fn view_at(&self, slot: usize) -> Option<UserId> {
+        self.slots.get(slot)?.as_ref().map(|e| e.view)
+    }
+
+    /// The ids of the stored views, in slot order.
     pub fn view_ids(&self) -> Vec<UserId> {
-        self.views.keys().copied().collect()
+        self.views().map(|(view, _)| view).collect()
     }
 
     /// Rotates the access counters of every stored replica.
     pub fn rotate_counters(&mut self) {
-        for stats in self.views.values_mut() {
-            stats.rotate();
+        for entry in self.slots.iter_mut().flatten() {
+            entry.stats.rotate();
         }
     }
 
@@ -133,23 +205,42 @@ impl ServerState {
         self.admission_threshold
     }
 
-    /// Updates the admission threshold from the sorted utilities of the
-    /// views currently stored: the threshold is chosen so that
-    /// `fill_target` of the memory is occupied by views whose utility is
-    /// above it, and 0 if less memory than that is used.
+    /// Sets the admission threshold directly. The engine computes it with
+    /// [`admission_threshold_from_utilities`] over a reused scratch buffer.
+    pub fn set_admission_threshold(&mut self, threshold: f64) {
+        self.admission_threshold = threshold;
+    }
+
+    /// Updates the admission threshold from the utilities of the views
+    /// currently stored: the threshold is chosen so that `fill_target` of
+    /// the memory is occupied by views whose utility is above it, and 0 if
+    /// less memory than that is used.
     pub fn update_admission_threshold(&mut self, mut utilities: Vec<f64>, fill_target: f64) {
-        let protected = ((self.capacity as f64) * fill_target).floor() as usize;
-        if protected == 0 || utilities.len() < protected {
-            self.admission_threshold = 0.0;
-            return;
-        }
-        utilities.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-        let threshold = utilities[protected - 1];
-        self.admission_threshold = if threshold.is_finite() {
-            threshold.max(0.0)
-        } else {
-            0.0
-        };
+        self.admission_threshold =
+            admission_threshold_from_utilities(&mut utilities, self.capacity, fill_target);
+    }
+}
+
+/// The admission threshold protecting `fill_target` of a `capacity`-slot
+/// server, given the utilities of its stored views: the `protected`-th
+/// highest finite utility, clamped to be non-negative, or 0 when fewer
+/// views than that are stored. Sorts `utilities` in place (descending), so
+/// callers can reuse one scratch buffer across servers.
+pub fn admission_threshold_from_utilities(
+    utilities: &mut [f64],
+    capacity: usize,
+    fill_target: f64,
+) -> f64 {
+    let protected = ((capacity as f64) * fill_target).floor() as usize;
+    if protected == 0 || utilities.len() < protected {
+        return 0.0;
+    }
+    utilities.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let threshold = utilities[protected - 1];
+    if threshold.is_finite() {
+        threshold.max(0.0)
+    } else {
+        0.0
     }
 }
 
@@ -159,7 +250,7 @@ mod tests {
     use dynasore_types::SubtreeId;
 
     fn server(cap: usize) -> ServerState {
-        ServerState::new(MachineId::new(7), cap, 4)
+        ServerState::new(MachineId::new(7), cap, 4, 16)
     }
 
     #[test]
@@ -179,6 +270,38 @@ mod tests {
         assert_eq!(s.machine(), MachineId::new(7));
         assert_eq!(s.capacity(), 2);
         assert_eq!(s.view_ids(), vec![UserId::new(2)]);
+    }
+
+    #[test]
+    fn slots_are_recycled_without_growing_the_slab() {
+        let mut s = server(2);
+        s.insert(UserId::new(1));
+        s.insert(UserId::new(2));
+        assert_eq!(s.slot_count(), 2);
+        s.remove(UserId::new(1));
+        // The freed slot is reused; the slab does not grow.
+        assert!(s.insert(UserId::new(3)));
+        assert_eq!(s.slot_count(), 2);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(UserId::new(3)));
+        // Slot-order iteration: user 3 took user 1's old slot 0.
+        assert_eq!(s.view_ids(), vec![UserId::new(3), UserId::new(2)]);
+        assert_eq!(s.view_at(0), Some(UserId::new(3)));
+        assert_eq!(s.view_at(1), Some(UserId::new(2)));
+        assert_eq!(s.view_at(9), None);
+    }
+
+    #[test]
+    fn inserts_beyond_capacity_and_user_map_grow_on_demand() {
+        let mut s = server(1);
+        assert!(s.insert(UserId::new(0)));
+        assert!(s.is_full());
+        // Over-capacity insert is allowed (the engine polices capacity).
+        assert!(s.insert(UserId::new(99)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(UserId::new(99)));
+        assert!(s.remove(UserId::new(99)));
+        assert!(!s.contains(UserId::new(99)));
     }
 
     #[test]
@@ -231,5 +354,14 @@ mod tests {
         // Negative thresholds are clamped to zero.
         s.update_admission_threshold(vec![-5.0; 9], 0.9);
         assert_eq!(s.admission_threshold(), 0.0);
+
+        // The scratch-buffer form matches the owned form.
+        let mut scratch = vec![3.0, 1.0, 2.0, 9.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        assert_eq!(
+            admission_threshold_from_utilities(&mut scratch, 10, 0.9),
+            1.0
+        );
+        s.set_admission_threshold(2.5);
+        assert_eq!(s.admission_threshold(), 2.5);
     }
 }

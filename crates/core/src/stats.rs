@@ -7,20 +7,22 @@
 //! and how often it is written (§3.2, *Access statistics*). These rates feed
 //! the utility estimation of Algorithm 1.
 
-use std::collections::BTreeMap;
-
 use dynasore_types::SubtreeId;
 
 use crate::counters::RotatingCounter;
 
 /// Access statistics of one replica of one view on one server.
 ///
-/// Origins are kept in a `BTreeMap` so that iteration order — and therefore
-/// every placement decision derived from it — is deterministic.
+/// Origins are kept in a `Vec` sorted by [`SubtreeId`] — a server observes
+/// at most a handful of coarse origins, so a sorted, contiguous array beats
+/// a tree map on every operation while iterating in exactly the same
+/// (deterministic) order. Recording a read from an already-seen origin
+/// touches existing memory only; a *new* origin (a state transition, not
+/// steady state) inserts into the array.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplicaStats {
     window_slots: usize,
-    reads_by_origin: BTreeMap<SubtreeId, RotatingCounter>,
+    reads_by_origin: Vec<(SubtreeId, RotatingCounter)>,
     writes: RotatingCounter,
 }
 
@@ -34,9 +36,14 @@ impl ReplicaStats {
     pub fn new(window_slots: usize) -> Self {
         ReplicaStats {
             window_slots,
-            reads_by_origin: BTreeMap::new(),
+            reads_by_origin: Vec::new(),
             writes: RotatingCounter::new(window_slots),
         }
+    }
+
+    fn origin_index(&self, origin: SubtreeId) -> Result<usize, usize> {
+        self.reads_by_origin
+            .binary_search_by_key(&origin, |&(o, _)| o)
     }
 
     /// Records one read arriving from `origin`.
@@ -51,10 +58,14 @@ impl ReplicaStats {
         if count == 0 {
             return;
         }
-        self.reads_by_origin
-            .entry(origin)
-            .or_insert_with(|| RotatingCounter::new(self.window_slots))
-            .record(count);
+        match self.origin_index(origin) {
+            Ok(i) => self.reads_by_origin[i].1.record(count),
+            Err(i) => {
+                let mut counter = RotatingCounter::new(self.window_slots);
+                counter.record(count);
+                self.reads_by_origin.insert(i, (origin, counter));
+            }
+        }
     }
 
     /// Removes the read history of `origin` and returns how many reads it
@@ -62,10 +73,10 @@ impl ReplicaStats {
     /// the source replica does not keep proposing new replicas for readers
     /// it no longer serves.
     pub fn take_origin(&mut self, origin: SubtreeId) -> u64 {
-        self.reads_by_origin
-            .remove(&origin)
-            .map(|c| c.total())
-            .unwrap_or(0)
+        match self.origin_index(origin) {
+            Ok(i) => self.reads_by_origin.remove(i).1.total(),
+            Err(_) => 0,
+        }
     }
 
     /// Records one write (replica update).
@@ -75,37 +86,35 @@ impl ReplicaStats {
 
     /// Rotates every counter to the next period.
     pub fn rotate(&mut self) {
-        for counter in self.reads_by_origin.values_mut() {
+        for (_, counter) in &mut self.reads_by_origin {
             counter.rotate();
         }
         self.writes.rotate();
-        // Drop origins that have gone completely quiet to keep the map small.
-        self.reads_by_origin.retain(|_, c| !c.is_idle());
+        // Drop origins that have gone completely quiet to keep the list
+        // small.
+        self.reads_by_origin.retain(|(_, c)| !c.is_idle());
     }
 
     /// Iterates over `(origin, reads in window)` pairs with a non-zero
-    /// count.
+    /// count, in [`SubtreeId`] order.
     pub fn reads(&self) -> impl Iterator<Item = (SubtreeId, u64)> + '_ {
         self.reads_by_origin
             .iter()
-            .map(|(&origin, counter)| (origin, counter.total()))
+            .map(|(origin, counter)| (*origin, counter.total()))
             .filter(|&(_, reads)| reads > 0)
     }
 
     /// Reads in the window coming from one specific origin.
     pub fn reads_from(&self, origin: SubtreeId) -> u64 {
-        self.reads_by_origin
-            .get(&origin)
-            .map(RotatingCounter::total)
-            .unwrap_or(0)
+        match self.origin_index(origin) {
+            Ok(i) => self.reads_by_origin[i].1.total(),
+            Err(_) => 0,
+        }
     }
 
     /// Total reads in the window, over all origins.
     pub fn total_reads(&self) -> u64 {
-        self.reads_by_origin
-            .values()
-            .map(RotatingCounter::total)
-            .sum()
+        self.reads_by_origin.iter().map(|(_, c)| c.total()).sum()
     }
 
     /// Total writes (replica updates) in the window.

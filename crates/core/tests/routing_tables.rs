@@ -1,0 +1,66 @@
+//! Property test: the table-backed routing policy (`closest_replica`) must
+//! agree with a naive reference that recomputes switch distances by walking
+//! the tree, on random topologies and random replica sets.
+
+use dynasore_core::routing::closest_replica;
+use dynasore_topology::Topology;
+use dynasore_types::MachineId;
+use proptest::prelude::*;
+
+/// Naive switch distance: derived from the dense rack-by-rack machine
+/// numbering, independent of the `Topology` tables.
+fn naive_distance(machines_per_rack: usize, racks_per_intermediate: usize, a: u32, b: u32) -> u32 {
+    if a == b {
+        return 0;
+    }
+    let ra = a / machines_per_rack as u32;
+    let rb = b / machines_per_rack as u32;
+    if ra == rb {
+        return 1;
+    }
+    if ra / racks_per_intermediate as u32 == rb / racks_per_intermediate as u32 {
+        return 3;
+    }
+    5
+}
+
+/// Naive routing policy: minimise (distance, machine id) by brute force.
+fn naive_closest(
+    machines_per_rack: usize,
+    racks_per_intermediate: usize,
+    broker: u32,
+    replicas: &[u32],
+) -> Option<u32> {
+    replicas.iter().copied().min_by_key(|&r| {
+        (
+            naive_distance(machines_per_rack, racks_per_intermediate, broker, r),
+            r,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn closest_replica_matches_naive_reference(
+        inter in 1usize..6,
+        racks in 1usize..6,
+        machines in 2usize..8,
+        broker_pick in 0usize..10_000,
+        replica_picks in proptest::collection::vec(0usize..10_000, 0..12),
+    ) {
+        let topo = Topology::tree(inter, racks, machines, 1).unwrap();
+        let n = topo.machine_count();
+        let broker = (broker_pick % n) as u32;
+        let replicas: Vec<MachineId> = replica_picks
+            .iter()
+            .map(|&p| MachineId::new((p % n) as u32))
+            .collect();
+        let raw: Vec<u32> = replicas.iter().map(|m| m.index()).collect();
+
+        let expected = naive_closest(machines, racks, broker, &raw);
+        let got = closest_replica(&topo, MachineId::new(broker), &replicas);
+        prop_assert_eq!(got.map(|m| m.index()), expected);
+    }
+}

@@ -5,4 +5,4 @@
 //! depending on the simulator above them. They are re-exported here because
 //! the simulator is their natural home for readers of the docs.
 
-pub use dynasore_types::{MemoryUsage, Message, PlacementEngine};
+pub use dynasore_types::{MemoryUsage, Message, PlacementEngine, TrafficSink};

@@ -19,7 +19,7 @@
 //! # Example
 //!
 //! ```
-//! use dynasore_sim::{Message, MemoryUsage, PlacementEngine, Simulation};
+//! use dynasore_sim::{Message, MemoryUsage, PlacementEngine, Simulation, TrafficSink};
 //! use dynasore_graph::{GraphPreset, SocialGraph};
 //! use dynasore_topology::Topology;
 //! use dynasore_types::{SimTime, UserId};
@@ -40,19 +40,19 @@
 //!         _user: UserId,
 //!         targets: &[UserId],
 //!         _time: SimTime,
-//!         out: &mut Vec<Message>,
+//!         out: &mut dyn TrafficSink,
 //!     ) {
 //!         let broker = self.topology.brokers()[0].machine();
 //!         let server = self.topology.servers()[0].machine();
 //!         for _ in targets {
-//!             out.push(Message::application(broker, server));
-//!             out.push(Message::application(server, broker));
+//!             out.record(Message::application(broker, server));
+//!             out.record(Message::application(server, broker));
 //!         }
 //!     }
-//!     fn handle_write(&mut self, _user: UserId, _time: SimTime, out: &mut Vec<Message>) {
+//!     fn handle_write(&mut self, _user: UserId, _time: SimTime, out: &mut dyn TrafficSink) {
 //!         let broker = self.topology.brokers()[0].machine();
 //!         let server = self.topology.servers()[0].machine();
-//!         out.push(Message::application(broker, server));
+//!         out.record(Message::application(broker, server));
 //!     }
 //!     fn replica_count(&self, _user: UserId) -> usize {
 //!         1
@@ -79,6 +79,6 @@ mod engine;
 mod report;
 mod simulation;
 
-pub use engine::{MemoryUsage, Message, PlacementEngine};
+pub use engine::{MemoryUsage, Message, PlacementEngine, TrafficSink};
 pub use report::SimReport;
 pub use simulation::{switch_counts, Simulation, SimulationConfig};

@@ -11,7 +11,7 @@ use crate::engine::MemoryUsage;
 /// per-tier traffic (Figure 3, Tables 2–3), the top-switch time series split
 /// into application and system traffic (Figures 4 and 6), and request
 /// counts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     engine_name: String,
     traffic: TrafficAccount,

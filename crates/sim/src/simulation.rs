@@ -2,11 +2,41 @@
 
 use dynasore_graph::SocialGraph;
 use dynasore_topology::{Topology, TopologyKind, TrafficAccount};
-use dynasore_types::{MessageClass, Result, SimTime, HOUR_SECS};
+use dynasore_types::{MessageClass, Result, SimTime, TrafficSink, HOUR_SECS};
 use dynasore_workload::{GraphMutation, Request, TimedMutation};
 
 use crate::engine::{Message, PlacementEngine};
 use crate::report::SimReport;
+
+/// A [`TrafficSink`] that charges every message to the switches on its path
+/// the moment the engine emits it — the simulation never materializes a
+/// message buffer, so the per-request accounting path is allocation-free.
+struct AccountingSink<'a> {
+    topology: &'a Topology,
+    traffic: &'a mut TrafficAccount,
+    time: SimTime,
+    app_messages: &'a mut u64,
+    proto_messages: &'a mut u64,
+}
+
+impl TrafficSink for AccountingSink<'_> {
+    fn record(&mut self, message: Message) {
+        match message.class {
+            MessageClass::Application => *self.app_messages += 1,
+            MessageClass::Protocol => *self.proto_messages += 1,
+        }
+        if message.is_local() {
+            return;
+        }
+        self.topology.record_path(
+            message.from,
+            message.to,
+            message.class,
+            self.time,
+            self.traffic,
+        );
+    }
+}
 
 /// Simulation timing parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,7 +156,6 @@ impl<E: PlacementEngine> Simulation<E> {
         let mut writes = 0u64;
         let mut app_messages = 0u64;
         let mut proto_messages = 0u64;
-        let mut out: Vec<Message> = Vec::with_capacity(256);
 
         let mut mutation_idx = 0usize;
         let mut next_tick = self.config.tick_secs;
@@ -153,32 +182,28 @@ impl<E: PlacementEngine> Simulation<E> {
                         self.graph.remove_edge(follower, followee);
                     }
                 }
-                out.clear();
-                self.engine.on_graph_change(m.mutation, m.time, &mut out);
-                Self::charge(
-                    &self.topology,
-                    &mut traffic,
-                    &out,
-                    m.time,
-                    &mut app_messages,
-                    &mut proto_messages,
-                );
+                let mut sink = AccountingSink {
+                    topology: &self.topology,
+                    traffic: &mut traffic,
+                    time: m.time,
+                    app_messages: &mut app_messages,
+                    proto_messages: &mut proto_messages,
+                };
+                self.engine.on_graph_change(m.mutation, m.time, &mut sink);
                 mutation_idx += 1;
             }
 
             // Engine maintenance ticks.
             while next_tick <= request.time.as_secs() {
                 let tick_time = SimTime::from_secs(next_tick);
-                out.clear();
-                self.engine.on_tick(tick_time, &mut out);
-                Self::charge(
-                    &self.topology,
-                    &mut traffic,
-                    &out,
-                    tick_time,
-                    &mut app_messages,
-                    &mut proto_messages,
-                );
+                let mut sink = AccountingSink {
+                    topology: &self.topology,
+                    traffic: &mut traffic,
+                    time: tick_time,
+                    app_messages: &mut app_messages,
+                    proto_messages: &mut proto_messages,
+                };
+                self.engine.on_tick(tick_time, &mut sink);
                 next_tick += self.config.tick_secs;
             }
 
@@ -188,26 +213,25 @@ impl<E: PlacementEngine> Simulation<E> {
                 next_probe = next_probe.saturating_add(probe_secs);
             }
 
-            // Execute the request.
-            out.clear();
+            // Execute the request. Messages are accounted inline as the
+            // engine emits them.
+            let mut sink = AccountingSink {
+                topology: &self.topology,
+                traffic: &mut traffic,
+                time: request.time,
+                app_messages: &mut app_messages,
+                proto_messages: &mut proto_messages,
+            };
             if request.is_read() {
                 reads += 1;
-                let targets = self.graph.followees(request.user).to_vec();
+                let targets = self.graph.followees(request.user);
                 self.engine
-                    .handle_read(request.user, &targets, request.time, &mut out);
+                    .handle_read(request.user, targets, request.time, &mut sink);
             } else {
                 writes += 1;
                 self.engine
-                    .handle_write(request.user, request.time, &mut out);
+                    .handle_write(request.user, request.time, &mut sink);
             }
-            Self::charge(
-                &self.topology,
-                &mut traffic,
-                &out,
-                request.time,
-                &mut app_messages,
-                &mut proto_messages,
-            );
         }
 
         // Final probe at the end of the trace.
@@ -235,27 +259,6 @@ impl<E: PlacementEngine> Simulation<E> {
             self.engine.memory_usage(),
             switch_counts,
         ))
-    }
-
-    fn charge(
-        topology: &Topology,
-        traffic: &mut TrafficAccount,
-        messages: &[Message],
-        time: SimTime,
-        app_messages: &mut u64,
-        proto_messages: &mut u64,
-    ) {
-        for message in messages {
-            match message.class {
-                MessageClass::Application => *app_messages += 1,
-                MessageClass::Protocol => *proto_messages += 1,
-            }
-            if message.is_local() {
-                continue;
-            }
-            let path = topology.path_switches(message.from, message.to);
-            traffic.record(&path, message.class, time);
-        }
     }
 }
 
@@ -319,25 +322,25 @@ mod tests {
             user: UserId,
             targets: &[UserId],
             _time: SimTime,
-            out: &mut Vec<Message>,
+            out: &mut dyn TrafficSink,
         ) {
             let broker = self.broker_of(user);
             for &t in targets {
                 let server = self.server_of(t);
-                out.push(Message::application(broker, server));
-                out.push(Message::application(server, broker));
+                out.record(Message::application(broker, server));
+                out.record(Message::application(server, broker));
             }
         }
 
-        fn handle_write(&mut self, user: UserId, _time: SimTime, out: &mut Vec<Message>) {
+        fn handle_write(&mut self, user: UserId, _time: SimTime, out: &mut dyn TrafficSink) {
             let broker = self.broker_of(user);
-            out.push(Message::application(broker, self.server_of(user)));
+            out.record(Message::application(broker, self.server_of(user)));
         }
 
-        fn on_tick(&mut self, _time: SimTime, out: &mut Vec<Message>) {
+        fn on_tick(&mut self, _time: SimTime, out: &mut dyn TrafficSink) {
             self.ticks += 1;
             let brokers = self.topology.brokers();
-            out.push(Message::protocol(
+            out.record(Message::protocol(
                 brokers[0].machine(),
                 brokers[1].machine(),
             ));
@@ -347,11 +350,11 @@ mod tests {
             &mut self,
             _mutation: GraphMutation,
             _time: SimTime,
-            out: &mut Vec<Message>,
+            out: &mut dyn TrafficSink,
         ) {
             self.graph_changes += 1;
             let brokers = self.topology.brokers();
-            out.push(Message::protocol(
+            out.record(Message::protocol(
                 brokers[0].machine(),
                 brokers[0].machine(),
             ));

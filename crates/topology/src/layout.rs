@@ -1,8 +1,17 @@
 //! Cluster layout: machines, racks, switches, distances and sub-trees.
+//!
+//! All per-request queries (`distance`, `access_origin`,
+//! `lowest_common_ancestor`, `local_broker`, the `*_in_subtree_slice`
+//! families and [`Topology::record_path`]) are answered from dense routing
+//! tables precomputed at construction, so the request hot path performs only
+//! table lookups — no tree walks and no heap allocation.
 
 use dynasore_types::{
-    BrokerId, Error, MachineId, MachineKind, RackId, Result, ServerId, SubtreeId,
+    BrokerId, Error, MachineId, MachineKind, MessageClass, RackId, Result, ServerId, SimTime,
+    SubtreeId,
 };
+
+use crate::traffic::TrafficAccount;
 
 /// A network switch, identified by its tier and index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -92,6 +101,115 @@ struct MachineInfo {
     is_broker: bool,
 }
 
+/// Dense per-machine routing tables, precomputed once at topology
+/// construction so every hot-path query is an array lookup.
+///
+/// Machines are numbered rack by rack, so the machine-ordered `servers` and
+/// `brokers` vectors are contiguous per rack and per intermediate switch;
+/// the `*_range` tables store those contiguous index ranges and turn every
+/// "servers/brokers under this sub-tree" query into a slice borrow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RoutingTables {
+    /// machine → rack index.
+    machine_rack: Vec<u32>,
+    /// machine → intermediate-switch index (the LCA-tier table: two
+    /// machines share a rack, an intermediate, or only the root, which is
+    /// exactly the 0/1/3/5 hop-class of the paper's tree).
+    machine_intermediate: Vec<u32>,
+    /// rack → intermediate-switch index (no division on the hot path).
+    rack_intermediate: Vec<u32>,
+    /// machine → position in `Topology::servers` (`u32::MAX` for brokers).
+    server_ordinal: Vec<u32>,
+    /// machine → position in `Topology::brokers` (`u32::MAX` for servers).
+    broker_ordinal: Vec<u32>,
+    /// rack → `(start, end)` range in `Topology::servers`.
+    rack_servers: Vec<(u32, u32)>,
+    /// rack → `(start, end)` range in `Topology::brokers`.
+    rack_brokers: Vec<(u32, u32)>,
+    /// intermediate → `(start, end)` range in `Topology::servers`.
+    inter_servers: Vec<(u32, u32)>,
+    /// intermediate → `(start, end)` range in `Topology::brokers`.
+    inter_brokers: Vec<(u32, u32)>,
+    /// rack → its first broker (the default proxy deployment site).
+    rack_first_broker: Vec<BrokerId>,
+}
+
+impl RoutingTables {
+    fn build(
+        machines: &[MachineInfo],
+        servers: &[ServerId],
+        brokers: &[BrokerId],
+        rack_count: usize,
+        racks_per_intermediate: usize,
+        intermediate_count: usize,
+    ) -> Self {
+        let machine_rack: Vec<u32> = machines.iter().map(|m| m.rack).collect();
+        let machine_intermediate: Vec<u32> = machines
+            .iter()
+            .map(|m| m.rack / racks_per_intermediate as u32)
+            .collect();
+        let rack_intermediate: Vec<u32> = (0..rack_count)
+            .map(|r| (r / racks_per_intermediate) as u32)
+            .collect();
+        let mut server_ordinal = vec![u32::MAX; machines.len()];
+        for (i, s) in servers.iter().enumerate() {
+            server_ordinal[s.machine().as_usize()] = i as u32;
+        }
+        let mut broker_ordinal = vec![u32::MAX; machines.len()];
+        for (i, b) in brokers.iter().enumerate() {
+            broker_ordinal[b.machine().as_usize()] = i as u32;
+        }
+        // Machine-ordered role vectors are rack-contiguous; sweep once to
+        // extract the per-rack ranges, then fold racks into intermediates.
+        let rack_ranges = |ids: &[MachineId]| -> Vec<(u32, u32)> {
+            let mut ranges = vec![(0u32, 0u32); rack_count];
+            let mut pos = 0usize;
+            for (rack, range) in ranges.iter_mut().enumerate() {
+                let start = pos;
+                while pos < ids.len() && machine_rack[ids[pos].as_usize()] == rack as u32 {
+                    pos += 1;
+                }
+                *range = (start as u32, pos as u32);
+            }
+            ranges
+        };
+        let server_machines: Vec<MachineId> = servers.iter().map(|s| s.machine()).collect();
+        let broker_machines: Vec<MachineId> = brokers.iter().map(|b| b.machine()).collect();
+        let rack_servers = rack_ranges(&server_machines);
+        let rack_brokers = rack_ranges(&broker_machines);
+        let fold = |per_rack: &[(u32, u32)]| -> Vec<(u32, u32)> {
+            (0..intermediate_count)
+                .map(|i| {
+                    let first = i * racks_per_intermediate;
+                    let last = (first + racks_per_intermediate).min(per_rack.len()) - 1;
+                    (per_rack[first].0, per_rack[last].1)
+                })
+                .collect()
+        };
+        let inter_servers = fold(&rack_servers);
+        let inter_brokers = fold(&rack_brokers);
+        let rack_first_broker = rack_brokers
+            .iter()
+            .map(|&(start, end)| {
+                debug_assert!(start < end, "every rack holds at least one broker");
+                brokers[start as usize]
+            })
+            .collect();
+        RoutingTables {
+            machine_rack,
+            machine_intermediate,
+            rack_intermediate,
+            server_ordinal,
+            broker_ordinal,
+            rack_servers,
+            rack_brokers,
+            inter_servers,
+            inter_brokers,
+            rack_first_broker,
+        }
+    }
+}
+
 /// The cluster layout.
 ///
 /// Machines are numbered densely, rack by rack; within a rack the brokers
@@ -107,6 +225,7 @@ pub struct Topology {
     machines: Vec<MachineInfo>,
     servers: Vec<ServerId>,
     brokers: Vec<BrokerId>,
+    tables: RoutingTables,
 }
 
 impl Topology {
@@ -174,6 +293,14 @@ impl Topology {
                 }
             }
         }
+        let tables = RoutingTables::build(
+            &machines,
+            &servers,
+            &brokers,
+            rack_count,
+            racks_per_intermediate,
+            intermediate_count,
+        );
         Ok(Topology {
             kind: TopologyKind::Tree,
             intermediate_count,
@@ -183,6 +310,7 @@ impl Topology {
             machines,
             servers,
             brokers,
+            tables,
         })
     }
 
@@ -209,6 +337,7 @@ impl Topology {
             servers.push(ServerId::new(id));
             brokers.push(BrokerId::new(id));
         }
+        let tables = RoutingTables::build(&machines, &servers, &brokers, 1, 1, 1);
         Ok(Topology {
             kind: TopologyKind::Flat,
             intermediate_count: 1,
@@ -218,6 +347,7 @@ impl Topology {
             machines,
             servers,
             brokers,
+            tables,
         })
     }
 
@@ -321,7 +451,11 @@ impl Topology {
 
     /// The intermediate switch above a rack.
     pub fn intermediate_of_rack(&self, rack: RackId) -> u32 {
-        rack.index() / self.racks_per_intermediate as u32
+        self.tables
+            .rack_intermediate
+            .get(rack.as_usize())
+            .copied()
+            .unwrap_or_else(|| rack.index() / self.racks_per_intermediate as u32)
     }
 
     /// The intermediate switch above a machine.
@@ -330,29 +464,62 @@ impl Topology {
     ///
     /// Returns [`Error::UnknownMachine`] for out-of-range ids.
     pub fn intermediate_of(&self, machine: MachineId) -> Result<u32> {
-        Ok(self.intermediate_of_rack(self.rack_of(machine)?))
+        self.info(machine)?;
+        Ok(self.tables.machine_intermediate[machine.as_usize()])
     }
 
     /// The brokers located in `rack`, in machine order.
     pub fn brokers_in_rack(&self, rack: RackId) -> Vec<BrokerId> {
-        self.brokers
-            .iter()
-            .copied()
-            .filter(|b| self.machines[b.machine().as_usize()].rack == rack.index())
-            .collect()
+        self.brokers_in_rack_slice(rack).to_vec()
+    }
+
+    /// The brokers located in `rack`, as a borrowed slice (machine order).
+    pub fn brokers_in_rack_slice(&self, rack: RackId) -> &[BrokerId] {
+        match self.tables.rack_brokers.get(rack.as_usize()) {
+            Some(&(start, end)) => &self.brokers[start as usize..end as usize],
+            None => &[],
+        }
     }
 
     /// The servers located in `rack`, in machine order.
     pub fn servers_in_rack(&self, rack: RackId) -> Vec<ServerId> {
-        self.servers
-            .iter()
-            .copied()
-            .filter(|s| self.machines[s.machine().as_usize()].rack == rack.index())
-            .collect()
+        self.servers_in_rack_slice(rack).to_vec()
+    }
+
+    /// The servers located in `rack`, as a borrowed slice (machine order).
+    pub fn servers_in_rack_slice(&self, rack: RackId) -> &[ServerId] {
+        match self.tables.rack_servers.get(rack.as_usize()) {
+            Some(&(start, end)) => &self.servers[start as usize..end as usize],
+            None => &[],
+        }
+    }
+
+    /// The position of `machine` in [`Topology::servers`], if it is a
+    /// server. Engines that mirror the server list (one state entry per
+    /// server, in the same order) use this to map machines to their dense
+    /// state index without a hash lookup.
+    pub fn server_ordinal(&self, machine: MachineId) -> Option<usize> {
+        match self.tables.server_ordinal.get(machine.as_usize()) {
+            Some(&ord) if ord != u32::MAX => Some(ord as usize),
+            _ => None,
+        }
+    }
+
+    /// The position of `machine` in [`Topology::brokers`], if it is a
+    /// broker.
+    pub fn broker_ordinal(&self, machine: MachineId) -> Option<usize> {
+        match self.tables.broker_ordinal.get(machine.as_usize()) {
+            Some(&ord) if ord != u32::MAX => Some(ord as usize),
+            _ => None,
+        }
     }
 
     /// Network distance between two machines: the number of switches on the
     /// path connecting them (§2.2, *Locality*). Zero when `a == b`.
+    ///
+    /// This is the pairwise *hop class* of the tree — 0 (same machine),
+    /// 1 (same rack), 3 (same intermediate) or 5 (across the core) — read
+    /// from the per-machine rack/intermediate tables.
     ///
     /// # Panics
     ///
@@ -364,12 +531,11 @@ impl Topology {
         match self.kind {
             TopologyKind::Flat => 1,
             TopologyKind::Tree => {
-                let ra = self.machines[a.as_usize()].rack;
-                let rb = self.machines[b.as_usize()].rack;
-                if ra == rb {
+                if self.tables.machine_rack[a.as_usize()] == self.tables.machine_rack[b.as_usize()]
+                {
                     1
-                } else if ra / self.racks_per_intermediate as u32
-                    == rb / self.racks_per_intermediate as u32
+                } else if self.tables.machine_intermediate[a.as_usize()]
+                    == self.tables.machine_intermediate[b.as_usize()]
                 {
                     3
                 } else {
@@ -379,44 +545,83 @@ impl Topology {
         }
     }
 
-    /// The switches a message from `a` to `b` traverses, in path order.
-    /// Empty when `a == b` (local delivery).
-    ///
-    /// # Panics
-    ///
-    /// Panics if either machine is out of range.
-    pub fn path_switches(&self, a: MachineId, b: MachineId) -> Vec<Switch> {
+    /// Writes the switches a message from `a` to `b` traverses into `buf`
+    /// (path order) and returns how many were written. Zero when `a == b`.
+    fn fill_path(&self, a: MachineId, b: MachineId, buf: &mut [Switch; 5]) -> usize {
         if a == b {
-            return Vec::new();
+            return 0;
         }
         match self.kind {
-            TopologyKind::Flat => vec![Switch::Top],
+            TopologyKind::Flat => {
+                buf[0] = Switch::Top;
+                1
+            }
             TopologyKind::Tree => {
-                let ra = self.machines[a.as_usize()].rack;
-                let rb = self.machines[b.as_usize()].rack;
-                let ia = ra / self.racks_per_intermediate as u32;
-                let ib = rb / self.racks_per_intermediate as u32;
+                let ra = self.tables.machine_rack[a.as_usize()];
+                let rb = self.tables.machine_rack[b.as_usize()];
+                let ia = self.tables.machine_intermediate[a.as_usize()];
+                let ib = self.tables.machine_intermediate[b.as_usize()];
                 if ra == rb {
-                    vec![Switch::Rack(ra)]
+                    buf[0] = Switch::Rack(ra);
+                    1
                 } else if ia == ib {
-                    vec![Switch::Rack(ra), Switch::Intermediate(ia), Switch::Rack(rb)]
+                    buf[0] = Switch::Rack(ra);
+                    buf[1] = Switch::Intermediate(ia);
+                    buf[2] = Switch::Rack(rb);
+                    3
                 } else {
-                    vec![
-                        Switch::Rack(ra),
-                        Switch::Intermediate(ia),
-                        Switch::Top,
-                        Switch::Intermediate(ib),
-                        Switch::Rack(rb),
-                    ]
+                    buf[0] = Switch::Rack(ra);
+                    buf[1] = Switch::Intermediate(ia);
+                    buf[2] = Switch::Top;
+                    buf[3] = Switch::Intermediate(ib);
+                    buf[4] = Switch::Rack(rb);
+                    5
                 }
             }
         }
     }
 
+    /// The switches a message from `a` to `b` traverses, in path order.
+    /// Empty when `a == b` (local delivery).
+    ///
+    /// Hot paths should prefer [`Topology::record_path`], which charges a
+    /// [`TrafficAccount`] directly without materializing this vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either machine is out of range.
+    pub fn path_switches(&self, a: MachineId, b: MachineId) -> Vec<Switch> {
+        let mut buf = [Switch::Top; 5];
+        let len = self.fill_path(a, b, &mut buf);
+        buf[..len].to_vec()
+    }
+
+    /// Charges one message from `from` to `to` to every switch on its path,
+    /// without materializing the path. Local messages (`from == to`) cost
+    /// nothing and are not counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either machine is out of range.
+    pub fn record_path(
+        &self,
+        from: MachineId,
+        to: MachineId,
+        class: MessageClass,
+        time: SimTime,
+        account: &mut TrafficAccount,
+    ) {
+        let mut buf = [Switch::Top; 5];
+        let len = self.fill_path(from, to, &mut buf);
+        account.record(&buf[..len], class, time);
+    }
+
     /// Lowest common ancestor of two machines in the switch tree, expressed
     /// as a [`SubtreeId`]. Used by the routing policy: among the servers
     /// storing a view, a broker picks the one with which it shares the
-    /// lowest common ancestor (§3.2, *Routing policy*).
+    /// lowest common ancestor (§3.2, *Routing policy*). A table lookup: the
+    /// LCA tier follows directly from whether the machines share a rack or
+    /// an intermediate switch.
     pub fn lowest_common_ancestor(&self, a: MachineId, b: MachineId) -> SubtreeId {
         if a == b {
             return SubtreeId::Machine(a.index());
@@ -424,13 +629,13 @@ impl Topology {
         match self.kind {
             TopologyKind::Flat => SubtreeId::Root,
             TopologyKind::Tree => {
-                let ra = self.machines[a.as_usize()].rack;
-                let rb = self.machines[b.as_usize()].rack;
+                let ra = self.tables.machine_rack[a.as_usize()];
+                let rb = self.tables.machine_rack[b.as_usize()];
                 if ra == rb {
                     return SubtreeId::Rack(ra);
                 }
-                let ia = ra / self.racks_per_intermediate as u32;
-                let ib = rb / self.racks_per_intermediate as u32;
+                let ia = self.tables.machine_intermediate[a.as_usize()];
+                let ib = self.tables.machine_intermediate[b.as_usize()];
                 if ia == ib {
                     SubtreeId::Intermediate(ia)
                 } else {
@@ -454,10 +659,9 @@ impl Topology {
             SubtreeId::Root => true,
             SubtreeId::Intermediate(i) => {
                 self.kind == TopologyKind::Tree
-                    && self.machines[machine.as_usize()].rack / self.racks_per_intermediate as u32
-                        == i
+                    && self.tables.machine_intermediate[machine.as_usize()] == i
             }
-            SubtreeId::Rack(r) => self.machines[machine.as_usize()].rack == r,
+            SubtreeId::Rack(r) => self.tables.machine_rack[machine.as_usize()] == r,
             SubtreeId::Machine(m) => machine.index() == m,
         }
     }
@@ -519,20 +723,57 @@ impl Topology {
 
     /// All view servers under a sub-tree.
     pub fn servers_in_subtree(&self, subtree: SubtreeId) -> Vec<ServerId> {
-        self.servers
-            .iter()
-            .copied()
-            .filter(|s| self.subtree_contains(subtree, s.machine()))
-            .collect()
+        self.servers_in_subtree_slice(subtree).to_vec()
+    }
+
+    /// The view servers under a sub-tree, as a borrowed slice in machine
+    /// order. Because machines are numbered rack by rack, every sub-tree's
+    /// servers are contiguous in [`Topology::servers`], so this is a range
+    /// lookup with no allocation — the form the request hot path uses.
+    pub fn servers_in_subtree_slice(&self, subtree: SubtreeId) -> &[ServerId] {
+        match subtree {
+            SubtreeId::Root => &self.servers,
+            SubtreeId::Intermediate(i) => {
+                if self.kind != TopologyKind::Tree {
+                    return &[];
+                }
+                match self.tables.inter_servers.get(i as usize) {
+                    Some(&(start, end)) => &self.servers[start as usize..end as usize],
+                    None => &[],
+                }
+            }
+            SubtreeId::Rack(r) => self.servers_in_rack_slice(RackId::new(r)),
+            SubtreeId::Machine(m) => match self.server_ordinal(MachineId::new(m)) {
+                Some(ord) => &self.servers[ord..ord + 1],
+                None => &[],
+            },
+        }
     }
 
     /// All brokers under a sub-tree.
     pub fn brokers_in_subtree(&self, subtree: SubtreeId) -> Vec<BrokerId> {
-        self.brokers
-            .iter()
-            .copied()
-            .filter(|b| self.subtree_contains(subtree, b.machine()))
-            .collect()
+        self.brokers_in_subtree_slice(subtree).to_vec()
+    }
+
+    /// The brokers under a sub-tree, as a borrowed slice in machine order.
+    pub fn brokers_in_subtree_slice(&self, subtree: SubtreeId) -> &[BrokerId] {
+        match subtree {
+            SubtreeId::Root => &self.brokers,
+            SubtreeId::Intermediate(i) => {
+                if self.kind != TopologyKind::Tree {
+                    return &[];
+                }
+                match self.tables.inter_brokers.get(i as usize) {
+                    Some(&(start, end)) => &self.brokers[start as usize..end as usize],
+                    None => &[],
+                }
+            }
+            SubtreeId::Rack(r) => self.brokers_in_rack_slice(RackId::new(r)),
+            SubtreeId::Machine(m) => match self.broker_ordinal(MachineId::new(m)) {
+                Some(ord) => &self.brokers[ord..ord + 1],
+                None => &[],
+            },
+        }
     }
 
     /// The coarse *origin* a server records for an access coming from
@@ -546,12 +787,10 @@ impl Topology {
         match self.kind {
             TopologyKind::Flat => SubtreeId::Machine(requester.index()),
             TopologyKind::Tree => {
-                let rs = self.machines[server.as_usize()].rack;
-                let rr = self.machines[requester.as_usize()].rack;
-                let is_ = rs / self.racks_per_intermediate as u32;
-                let ir = rr / self.racks_per_intermediate as u32;
+                let is_ = self.tables.machine_intermediate[server.as_usize()];
+                let ir = self.tables.machine_intermediate[requester.as_usize()];
                 if is_ == ir {
-                    SubtreeId::Rack(rr)
+                    SubtreeId::Rack(self.tables.machine_rack[requester.as_usize()])
                 } else {
                     SubtreeId::Intermediate(ir)
                 }
@@ -594,14 +833,14 @@ impl Topology {
                 _ => 1,
             },
             TopologyKind::Tree => {
-                let rm = self.machines[machine.as_usize()].rack;
-                let im = rm / self.racks_per_intermediate as u32;
+                let rm = self.tables.machine_rack[machine.as_usize()];
+                let im = self.tables.machine_intermediate[machine.as_usize()];
                 match origin {
                     SubtreeId::Machine(m) => self.distance(machine, MachineId::new(m)),
                     SubtreeId::Rack(r) => {
                         if r == rm {
                             1
-                        } else if r / self.racks_per_intermediate as u32 == im {
+                        } else if self.tables.rack_intermediate.get(r as usize) == Some(&im) {
                             3
                         } else {
                             5
@@ -632,10 +871,17 @@ impl Topology {
             // In a flat topology every machine is its own broker.
             return Ok(BrokerId::new(machine));
         }
-        self.brokers_in_rack(rack)
-            .first()
+        self.tables
+            .rack_first_broker
+            .get(rack.as_usize())
             .copied()
             .ok_or(Error::UnknownMachine(machine))
+    }
+
+    /// The first broker of `rack` (the broker a rack's proxies deploy on),
+    /// if the rack exists.
+    pub fn first_broker_in_rack(&self, rack: RackId) -> Option<BrokerId> {
+        self.tables.rack_first_broker.get(rack.as_usize()).copied()
     }
 }
 

@@ -6,8 +6,6 @@
 //! tier, and Figure 6 splits application from system (protocol) traffic.
 //! [`TrafficAccount`] accumulates exactly those quantities.
 
-use std::collections::HashMap;
-
 use dynasore_types::{MessageClass, SimTime, TrafficUnits, HOUR_SECS};
 
 use crate::layout::{Switch, Tier};
@@ -56,7 +54,12 @@ impl TierTraffic {
 pub struct TrafficAccount {
     bucket_secs: u64,
     tier_totals: [TierTraffic; 3],
-    switch_totals: HashMap<Switch, TrafficUnits>,
+    /// Per-switch totals in dense, index-addressed tables (grown on
+    /// demand), so charging a message is pure array arithmetic — no hashing
+    /// on the per-request accounting path.
+    top_total: TrafficUnits,
+    intermediate_totals: Vec<TrafficUnits>,
+    rack_totals: Vec<TrafficUnits>,
     /// `series[bucket][tier]`, grown on demand.
     series: Vec<[TierTraffic; 3]>,
     messages: u64,
@@ -75,9 +78,31 @@ impl TrafficAccount {
         TrafficAccount {
             bucket_secs,
             tier_totals: [TierTraffic::default(); 3],
-            switch_totals: HashMap::new(),
+            top_total: 0,
+            intermediate_totals: Vec::new(),
+            rack_totals: Vec::new(),
             series: Vec::new(),
             messages: 0,
+        }
+    }
+
+    fn add_switch(&mut self, switch: Switch, units: TrafficUnits) {
+        match switch {
+            Switch::Top => self.top_total += units,
+            Switch::Intermediate(i) => {
+                let i = i as usize;
+                if i >= self.intermediate_totals.len() {
+                    self.intermediate_totals.resize(i + 1, 0);
+                }
+                self.intermediate_totals[i] += units;
+            }
+            Switch::Rack(r) => {
+                let r = r as usize;
+                if r >= self.rack_totals.len() {
+                    self.rack_totals.resize(r + 1, 0);
+                }
+                self.rack_totals[r] += units;
+            }
         }
     }
 
@@ -107,7 +132,7 @@ impl TrafficAccount {
             let tier = switch.tier().index();
             self.tier_totals[tier].add(class, units);
             self.series[bucket][tier].add(class, units);
-            *self.switch_totals.entry(switch).or_insert(0) += units;
+            self.add_switch(switch, units);
         }
     }
 
@@ -123,7 +148,15 @@ impl TrafficAccount {
 
     /// Total traffic through one specific switch.
     pub fn switch_total(&self, switch: Switch) -> TrafficUnits {
-        self.switch_totals.get(&switch).copied().unwrap_or(0)
+        match switch {
+            Switch::Top => self.top_total,
+            Switch::Intermediate(i) => self
+                .intermediate_totals
+                .get(i as usize)
+                .copied()
+                .unwrap_or(0),
+            Switch::Rack(r) => self.rack_totals.get(r as usize).copied().unwrap_or(0),
+        }
     }
 
     /// Average per-switch traffic of a tier, given how many switches that
@@ -166,8 +199,19 @@ impl TrafficAccount {
             self.tier_totals[tier].application += other.tier_totals[tier].application;
             self.tier_totals[tier].protocol += other.tier_totals[tier].protocol;
         }
-        for (&sw, &units) in &other.switch_totals {
-            *self.switch_totals.entry(sw).or_insert(0) += units;
+        self.top_total += other.top_total;
+        if other.intermediate_totals.len() > self.intermediate_totals.len() {
+            self.intermediate_totals
+                .resize(other.intermediate_totals.len(), 0);
+        }
+        for (i, units) in other.intermediate_totals.iter().enumerate() {
+            self.intermediate_totals[i] += units;
+        }
+        if other.rack_totals.len() > self.rack_totals.len() {
+            self.rack_totals.resize(other.rack_totals.len(), 0);
+        }
+        for (r, units) in other.rack_totals.iter().enumerate() {
+            self.rack_totals[r] += units;
         }
         if other.series.len() > self.series.len() {
             self.series

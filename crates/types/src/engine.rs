@@ -87,6 +87,26 @@ impl MemoryUsage {
     }
 }
 
+/// A consumer of the messages a [`PlacementEngine`] emits.
+///
+/// Engines hand each message to the sink the moment it is generated, so the
+/// driver can account for it inline (charge switches, count classes) without
+/// the engine ever materializing a message buffer. `Vec<Message>` implements
+/// the trait by pushing, which keeps unit tests and ad-hoc drivers
+/// ergonomic: any call site that used to pass `&mut Vec<Message>` still
+/// compiles unchanged.
+pub trait TrafficSink {
+    /// Accepts one message.
+    fn record(&mut self, message: Message);
+}
+
+impl TrafficSink for Vec<Message> {
+    #[inline]
+    fn record(&mut self, message: Message) {
+        self.push(message);
+    }
+}
+
 /// A view-placement strategy driven by the simulator.
 ///
 /// Implementations decide, for every request, which broker executes it and
@@ -100,24 +120,24 @@ pub trait PlacementEngine {
     fn name(&self) -> &str;
 
     /// Executes a read request issued by `user` for the views of `targets`
-    /// at simulated time `time`, appending every generated message to `out`.
+    /// at simulated time `time`, reporting every generated message to `out`.
     fn handle_read(
         &mut self,
         user: UserId,
         targets: &[UserId],
         time: SimTime,
-        out: &mut Vec<Message>,
+        out: &mut dyn TrafficSink,
     );
 
     /// Executes a write request issued by `user` at simulated time `time`,
-    /// appending every generated message to `out`.
-    fn handle_write(&mut self, user: UserId, time: SimTime, out: &mut Vec<Message>);
+    /// reporting every generated message to `out`.
+    fn handle_write(&mut self, user: UserId, time: SimTime, out: &mut dyn TrafficSink);
 
     /// Periodic maintenance hook, called by the simulator at a fixed
     /// interval (hourly by default): rotate access counters, refresh
     /// admission thresholds, run eviction sweeps. Maintenance traffic goes
     /// to `out`.
-    fn on_tick(&mut self, _time: SimTime, _out: &mut Vec<Message>) {}
+    fn on_tick(&mut self, _time: SimTime, _out: &mut dyn TrafficSink) {}
 
     /// Notification that the social graph changed (an edge was added or
     /// removed), e.g. during a flash event. Engines that place views based
@@ -126,7 +146,7 @@ pub trait PlacementEngine {
         &mut self,
         _mutation: GraphMutation,
         _time: SimTime,
-        _out: &mut Vec<Message>,
+        _out: &mut dyn TrafficSink,
     ) {
     }
 
@@ -148,20 +168,25 @@ impl<T: PlacementEngine + ?Sized> PlacementEngine for Box<T> {
         user: UserId,
         targets: &[UserId],
         time: SimTime,
-        out: &mut Vec<Message>,
+        out: &mut dyn TrafficSink,
     ) {
         (**self).handle_read(user, targets, time, out);
     }
 
-    fn handle_write(&mut self, user: UserId, time: SimTime, out: &mut Vec<Message>) {
+    fn handle_write(&mut self, user: UserId, time: SimTime, out: &mut dyn TrafficSink) {
         (**self).handle_write(user, time, out);
     }
 
-    fn on_tick(&mut self, time: SimTime, out: &mut Vec<Message>) {
+    fn on_tick(&mut self, time: SimTime, out: &mut dyn TrafficSink) {
         (**self).on_tick(time, out);
     }
 
-    fn on_graph_change(&mut self, mutation: GraphMutation, time: SimTime, out: &mut Vec<Message>) {
+    fn on_graph_change(
+        &mut self,
+        mutation: GraphMutation,
+        time: SimTime,
+        out: &mut dyn TrafficSink,
+    ) {
         (**self).on_graph_change(mutation, time, out);
     }
 
@@ -188,6 +213,19 @@ mod tests {
         assert_eq!(proto.class, MessageClass::Protocol);
         assert!(!app.is_local());
         assert!(Message::application(a, a).is_local());
+    }
+
+    #[test]
+    fn vec_sink_collects_messages() {
+        let a = MachineId::new(1);
+        let b = MachineId::new(2);
+        let mut out: Vec<Message> = Vec::new();
+        let sink: &mut dyn TrafficSink = &mut out;
+        sink.record(Message::application(a, b));
+        sink.record(Message::protocol(b, a));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], Message::application(a, b));
+        assert_eq!(out[1], Message::protocol(b, a));
     }
 
     #[test]

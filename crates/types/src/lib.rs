@@ -45,7 +45,7 @@ mod time;
 mod traffic;
 
 pub use budget::MemoryBudget;
-pub use engine::{GraphMutation, MemoryUsage, Message, PlacementEngine};
+pub use engine::{GraphMutation, MemoryUsage, Message, PlacementEngine, TrafficSink};
 pub use error::{Error, Result};
 pub use event::{Event, View};
 pub use ids::{BrokerId, MachineId, MachineKind, RackId, ServerId, SubtreeId, UserId};
