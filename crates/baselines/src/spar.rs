@@ -15,14 +15,12 @@ use rand::SeedableRng;
 
 use dynasore_graph::SocialGraph;
 use dynasore_topology::Topology;
-use dynasore_types::{Error, MachineId, MemoryBudget, Result, SimTime, UserId};
+use dynasore_types::{
+    ClusterEvent, Error, MachineId, MemoryBudget, Result, SimTime, SubtreeId, UserId,
+    VIEW_TRANSFER_PROTOCOL_MESSAGES,
+};
 use dynasore_types::{MemoryUsage, Message, PlacementEngine, TrafficSink};
 use dynasore_workload::GraphMutation;
-
-/// Number of protocol messages modelling the transfer of one view when SPAR
-/// creates a replica while the system is running (same convention as the
-/// DynaSoRe engine).
-const VIEW_TRANSFER_PROTOCOL_MESSAGES: usize = 10;
 
 #[derive(Debug, Clone)]
 struct SparServer {
@@ -68,6 +66,9 @@ pub struct SparEngine {
     /// Broker executing each user's requests: the broker of her primary's
     /// rack.
     proxies: Vec<MachineId>,
+    /// Read targets that could not be served because the view had no live
+    /// replica.
+    unreachable_reads: u64,
 }
 
 impl SparEngine {
@@ -161,6 +162,7 @@ impl SparEngine {
             primary,
             replicas,
             proxies,
+            unreachable_reads: 0,
         })
     }
 
@@ -232,6 +234,188 @@ impl SparEngine {
             colocated as f64 / total as f64
         }
     }
+
+    // --- Cluster dynamics --------------------------------------------------
+    //
+    // SPAR's reactions are correct-if-simple: replicas on failed machines
+    // vanish, a surviving replica is promoted to primary, views whose last
+    // copy died are re-filled from the persistent tier onto the least
+    // loaded live server, and drained machines move their sole copies
+    // machine-to-machine. SPAR never rebuilds co-location after a failure —
+    // its read locality degrades, which is exactly the behaviour the
+    // comparison experiments should show.
+
+    /// The live server with the fewest stored views (free space preferred,
+    /// ties by dense index), excluding `exclude`.
+    fn least_loaded_live_server(&self, exclude: Option<usize>) -> Option<usize> {
+        let mut best_any: Option<(usize, usize)> = None;
+        let mut best_free: Option<(usize, usize)> = None;
+        for (i, server) in self.servers.iter().enumerate() {
+            if Some(i) == exclude || !self.topology.is_live(server.machine) {
+                continue;
+            }
+            let key = (server.views.len(), i);
+            if best_any.map_or(true, |b| key < b) {
+                best_any = Some(key);
+            }
+            if !server.is_full() && best_free.map_or(true, |b| key < b) {
+                best_free = Some(key);
+            }
+        }
+        best_free.or(best_any).map(|(_, i)| i)
+    }
+
+    /// The broker that should execute requests for a user whose primary
+    /// lives on server `sidx`: the closest live broker to that machine.
+    fn proxy_near(&self, sidx: usize) -> MachineId {
+        let machine = self.servers[sidx].machine;
+        self.topology
+            .closest_live_broker(machine)
+            .map(|b| b.machine())
+            .unwrap_or(machine)
+    }
+
+    /// Promotes the lowest-indexed surviving replica of `user` to primary
+    /// and re-homes her proxy next to it.
+    fn promote_primary(&mut self, user: usize) {
+        if let Some(&new_primary) = self.replicas[user].iter().min() {
+            self.primary[user] = new_primary;
+            self.proxies[user] = self.proxy_near(new_primary);
+        }
+    }
+
+    /// Re-fills the lost view of `user` from the persistent tier.
+    fn recover_view(&mut self, user: usize, out: &mut dyn TrafficSink) {
+        let Some(target) = self.least_loaded_live_server(None) else {
+            return; // Every server is dead; the view stays lost.
+        };
+        let target_machine = self.servers[target].machine;
+        self.servers[target].views.insert(UserId::new(user as u32));
+        self.replicas[user].push(target);
+        self.primary[user] = target;
+        self.proxies[user] = self.proxy_near(target);
+        for _ in 0..VIEW_TRANSFER_PROTOCOL_MESSAGES {
+            out.record(Message::persistent_fetch(target_machine));
+        }
+    }
+
+    /// Re-homes every proxy hosted on a machine that is no longer live to
+    /// the closest live broker.
+    fn rehome_dead_proxies(&mut self) {
+        for user in 0..self.proxies.len() {
+            if !self.topology.is_live(self.proxies[user]) {
+                if let Some(broker) = self.topology.closest_live_broker(self.proxies[user]) {
+                    self.proxies[user] = broker.machine();
+                }
+            }
+        }
+    }
+
+    /// Crash-fails a batch of machines.
+    fn take_down(&mut self, machines: &[MachineId], out: &mut dyn TrafficSink) {
+        let mut dead_servers: Vec<usize> = Vec::new();
+        let mut any = false;
+        for &machine in machines {
+            if self.topology.is_live(machine) && self.topology.set_live(machine, false).is_ok() {
+                any = true;
+                if let Some(sidx) = self.topology.server_ordinal(machine) {
+                    dead_servers.push(sidx);
+                }
+            }
+        }
+        if !any {
+            return;
+        }
+        for &sidx in &dead_servers {
+            self.servers[sidx].views.clear();
+        }
+        // Iterate users in id order (never the servers' hash sets) so the
+        // recovery sequence — and therefore the message stream — is
+        // deterministic.
+        for user in 0..self.replicas.len() {
+            self.replicas[user].retain(|i| !dead_servers.contains(i));
+            if self.replicas[user].is_empty() {
+                self.recover_view(user, out);
+            } else if !self.replicas[user].contains(&self.primary[user]) {
+                self.promote_primary(user);
+            }
+        }
+        self.rehome_dead_proxies();
+    }
+
+    /// Revives a batch of machines (empty) and recovers any still-lost
+    /// views onto the returned capacity.
+    fn bring_up(&mut self, machines: &[MachineId], out: &mut dyn TrafficSink) {
+        let mut any = false;
+        for &machine in machines {
+            if self.topology.contains(machine) && !self.topology.is_live(machine) {
+                self.topology
+                    .set_live(machine, true)
+                    .expect("machine exists");
+                any = true;
+            }
+        }
+        if !any {
+            return;
+        }
+        for user in 0..self.replicas.len() {
+            if self.replicas[user].is_empty() {
+                self.recover_view(user, out);
+            }
+        }
+    }
+
+    /// Gracefully drains one machine, migrating sole replicas
+    /// machine-to-machine.
+    fn drain(&mut self, machine: MachineId, out: &mut dyn TrafficSink) {
+        if !self.topology.is_live(machine) {
+            return;
+        }
+        self.topology
+            .set_live(machine, false)
+            .expect("machine exists");
+        if let Some(sidx) = self.topology.server_ordinal(machine) {
+            for user in 0..self.replicas.len() {
+                if !self.replicas[user].contains(&sidx) {
+                    continue;
+                }
+                if self.replicas[user].len() > 1 {
+                    self.replicas[user].retain(|&i| i != sidx);
+                    if self.primary[user] == sidx {
+                        self.promote_primary(user);
+                    }
+                } else if let Some(target) = self.least_loaded_live_server(Some(sidx)) {
+                    let target_machine = self.servers[target].machine;
+                    self.servers[target].views.insert(UserId::new(user as u32));
+                    self.replicas[user] = vec![target];
+                    self.primary[user] = target;
+                    self.proxies[user] = self.proxy_near(target);
+                    for _ in 0..VIEW_TRANSFER_PROTOCOL_MESSAGES {
+                        out.record(Message::protocol(machine, target_machine));
+                    }
+                } else {
+                    self.replicas[user].clear(); // No live capacity: lost.
+                }
+            }
+            self.servers[sidx].views.clear();
+        }
+        self.rehome_dead_proxies();
+    }
+
+    /// Mirrors a freshly added rack with empty SPAR servers.
+    fn absorb_new_rack(&mut self) {
+        let capacity = self.servers.first().map(|s| s.capacity).unwrap_or(0);
+        if self.topology.add_rack().is_err() {
+            return;
+        }
+        for server in &self.topology.servers()[self.servers.len()..] {
+            self.servers.push(SparServer {
+                machine: server.machine(),
+                capacity,
+                views: HashSet::new(),
+            });
+        }
+    }
 }
 
 impl PlacementEngine for SparEngine {
@@ -254,6 +438,9 @@ impl PlacementEngine for SparEngine {
                 continue;
             };
             if replica_idxs.is_empty() {
+                // Known user with no live replica: only possible while a
+                // lost view awaits recovery capacity.
+                self.unreachable_reads += 1;
                 continue;
             }
             // Route to the closest replica (usually the reader's own
@@ -306,6 +493,36 @@ impl PlacementEngine for SparEngine {
         // SPAR never reclaims replicas on edge removal.
     }
 
+    fn on_cluster_change(
+        &mut self,
+        event: ClusterEvent,
+        _time: SimTime,
+        out: &mut dyn TrafficSink,
+    ) {
+        match event {
+            ClusterEvent::MachineDown { machine } => self.take_down(&[machine], out),
+            ClusterEvent::MachineUp { machine } => self.bring_up(&[machine], out),
+            ClusterEvent::RackDown { rack } => {
+                let machines = self
+                    .topology
+                    .machines_in_subtree(SubtreeId::Rack(rack.index()));
+                self.take_down(&machines, out);
+            }
+            ClusterEvent::RackUp { rack } => {
+                let machines = self
+                    .topology
+                    .machines_in_subtree(SubtreeId::Rack(rack.index()));
+                self.bring_up(&machines, out);
+            }
+            ClusterEvent::DrainMachine { machine } => self.drain(machine, out),
+            ClusterEvent::AddRack => self.absorb_new_rack(),
+        }
+    }
+
+    fn unreachable_reads(&self) -> u64 {
+        self.unreachable_reads
+    }
+
     fn replica_count(&self, user: UserId) -> usize {
         self.replicas
             .get(user.as_usize())
@@ -314,9 +531,20 @@ impl PlacementEngine for SparEngine {
     }
 
     fn memory_usage(&self) -> MemoryUsage {
+        // Dead servers hold nothing and their capacity is unreachable.
         MemoryUsage {
-            used_slots: self.servers.iter().map(|s| s.views.len()).sum(),
-            capacity_slots: self.servers.iter().map(|s| s.capacity).sum(),
+            used_slots: self
+                .servers
+                .iter()
+                .filter(|s| self.topology.is_live(s.machine))
+                .map(|s| s.views.len())
+                .sum(),
+            capacity_slots: self
+                .servers
+                .iter()
+                .filter(|s| self.topology.is_live(s.machine))
+                .map(|s| s.capacity)
+                .sum(),
         }
     }
 }
@@ -468,6 +696,69 @@ mod tests {
             &mut out,
         );
         assert_eq!(spar.replica_count(pair.1), before + 1);
+    }
+
+    #[test]
+    fn machine_failure_promotes_or_recovers_every_view() {
+        let (graph, topology) = setup();
+        let budget = MemoryBudget::with_extra_percent(400, 50);
+        let mut spar = SparEngine::new(&graph, &topology, budget, 9).unwrap();
+        let victim = topology.servers()[0].machine();
+        let mut out = Vec::new();
+        spar.on_cluster_change(
+            ClusterEvent::MachineDown { machine: victim },
+            SimTime::ZERO,
+            &mut out,
+        );
+        for user in graph.users() {
+            assert!(spar.replica_count(user) >= 1, "view of {user} lost");
+            assert!(!spar.replica_servers(user).contains(&victim));
+            let primary = spar.primary_server(user).unwrap();
+            assert_ne!(primary, victim);
+            assert!(spar.replica_servers(user).contains(&primary));
+            let proxy = spar.proxies[user.as_usize()];
+            assert_ne!(proxy, victim);
+        }
+        assert!(out.iter().any(|m| m.involves_persistent()));
+        // Reads and writes keep working; nothing is unreachable.
+        let reader = graph
+            .users()
+            .find(|&u| !graph.followees(u).is_empty())
+            .unwrap();
+        let targets = graph.followees(reader).to_vec();
+        out.clear();
+        spar.handle_read(reader, &targets, SimTime::ZERO, &mut out);
+        assert_eq!(spar.unreachable_reads(), 0);
+        // The machine rejoins empty.
+        spar.on_cluster_change(
+            ClusterEvent::MachineUp { machine: victim },
+            SimTime::ZERO,
+            &mut out,
+        );
+        assert_eq!(spar.servers[0].views.len(), 0);
+    }
+
+    #[test]
+    fn drain_and_add_rack_keep_spar_consistent() {
+        let (graph, topology) = setup();
+        let budget = MemoryBudget::with_extra_percent(400, 50);
+        let mut spar = SparEngine::new(&graph, &topology, budget, 4).unwrap();
+        let victim = topology.servers()[3].machine();
+        let mut out = Vec::new();
+        spar.on_cluster_change(
+            ClusterEvent::DrainMachine { machine: victim },
+            SimTime::ZERO,
+            &mut out,
+        );
+        assert!(out.iter().all(|m| !m.involves_persistent()));
+        for user in graph.users() {
+            assert!(spar.replica_count(user) >= 1);
+            assert!(!spar.replica_servers(user).contains(&victim));
+        }
+        let before_capacity = spar.memory_usage().capacity_slots;
+        spar.on_cluster_change(ClusterEvent::AddRack, SimTime::ZERO, &mut out);
+        assert!(spar.memory_usage().capacity_slots > before_capacity);
+        assert_eq!(spar.servers.len(), spar.topology.server_count());
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use dynasore_core::{placement::initial_assignment, InitialPlacement};
 use dynasore_graph::SocialGraph;
 use dynasore_topology::Topology;
-use dynasore_types::{MachineId, Result, SimTime, UserId};
+use dynasore_types::{
+    ClusterEvent, MachineId, Result, SimTime, SubtreeId, UserId, VIEW_TRANSFER_PROTOCOL_MESSAGES,
+};
 use dynasore_types::{MemoryUsage, Message, PlacementEngine, TrafficSink};
 
 /// A static view placement: every user's view is stored on exactly one
@@ -39,6 +41,8 @@ pub struct StaticPlacement {
     /// Broker executing each user's requests (the broker of the view's
     /// rack).
     proxies: Vec<MachineId>,
+    /// Read targets that could not be served because every server was dead.
+    unreachable_reads: u64,
 }
 
 impl StaticPlacement {
@@ -64,6 +68,7 @@ impl StaticPlacement {
             assignment,
             servers,
             proxies,
+            unreachable_reads: 0,
         })
     }
 
@@ -124,6 +129,129 @@ impl StaticPlacement {
     pub fn assignment(&self) -> &[u32] {
         &self.assignment
     }
+
+    // --- Cluster dynamics --------------------------------------------------
+    //
+    // A static placement has no statistics to optimise with, so its
+    // reactions are the minimum needed for correctness: views on failed
+    // machines are re-filled from the persistent tier onto the live server
+    // with the fewest views (drained machines transfer machine-to-machine
+    // instead), proxies follow their views, and recovered machines simply
+    // rejoin as empty re-assignment targets. Nothing ever moves *back*.
+
+    /// Per-server view counts derived from the current assignment.
+    fn server_loads(&self) -> Vec<u32> {
+        let mut loads = vec![0u32; self.servers.len()];
+        for &s in &self.assignment {
+            loads[s as usize] += 1;
+        }
+        loads
+    }
+
+    /// The live server with the fewest assigned views (ties by index),
+    /// excluding `exclude`.
+    fn least_loaded_live(&self, loads: &[u32], exclude: Option<usize>) -> Option<usize> {
+        let mut best: Option<(u32, usize)> = None;
+        for (i, &load) in loads.iter().enumerate() {
+            if Some(i) == exclude || !self.topology.is_live(self.servers[i]) {
+                continue;
+            }
+            if best.map_or(true, |b| (load, i) < b) {
+                best = Some((load, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Moves every view assigned to a newly dead/draining server in
+    /// `sources` to live servers, charging the refill either to the
+    /// persistent tier (crash) or to the vacated machine (drain).
+    fn reassign_views(
+        &mut self,
+        sources: &[usize],
+        from_persistent: bool,
+        out: &mut dyn TrafficSink,
+    ) {
+        let mut loads = self.server_loads();
+        for user in 0..self.assignment.len() {
+            let current = self.assignment[user] as usize;
+            if !sources.contains(&current) {
+                continue;
+            }
+            let Some(target) = self.least_loaded_live(&loads, None) else {
+                continue; // Every server is dead; reads will be unreachable.
+            };
+            let old_machine = self.servers[current];
+            let new_machine = self.servers[target];
+            self.assignment[user] = target as u32;
+            loads[current] -= 1;
+            loads[target] += 1;
+            self.proxies[user] = self
+                .topology
+                .closest_live_broker(new_machine)
+                .map(|b| b.machine())
+                .unwrap_or(new_machine);
+            for _ in 0..VIEW_TRANSFER_PROTOCOL_MESSAGES {
+                if from_persistent {
+                    out.record(Message::persistent_fetch(new_machine));
+                } else {
+                    out.record(Message::protocol(old_machine, new_machine));
+                }
+            }
+        }
+        // Proxies hosted on dead brokers re-home even if their view stayed
+        // put.
+        for user in 0..self.proxies.len() {
+            if !self.topology.is_live(self.proxies[user]) {
+                if let Some(broker) = self.topology.closest_live_broker(self.proxies[user]) {
+                    self.proxies[user] = broker.machine();
+                }
+            }
+        }
+    }
+
+    /// Crash-fails or drains a batch of machines.
+    fn take_down(&mut self, machines: &[MachineId], crash: bool, out: &mut dyn TrafficSink) {
+        let mut dead_servers: Vec<usize> = Vec::new();
+        let mut any = false;
+        for &machine in machines {
+            if self.topology.is_live(machine) && self.topology.set_live(machine, false).is_ok() {
+                any = true;
+                if let Some(sidx) = self.topology.server_ordinal(machine) {
+                    dead_servers.push(sidx);
+                }
+            }
+        }
+        if any {
+            self.reassign_views(&dead_servers, crash, out);
+        }
+    }
+
+    /// Revives a batch of machines. The placement stays static — views that
+    /// were reassigned do not move back — but views stranded on servers that
+    /// died while *no* live target existed are re-filled from the persistent
+    /// tier now that capacity has returned.
+    fn bring_up(&mut self, machines: &[MachineId], out: &mut dyn TrafficSink) {
+        let mut any = false;
+        for &machine in machines {
+            if self.topology.contains(machine) && !self.topology.is_live(machine) {
+                self.topology
+                    .set_live(machine, true)
+                    .expect("machine exists");
+                any = true;
+            }
+        }
+        if !any {
+            return;
+        }
+        let stranded: Vec<usize> = (0..self.servers.len())
+            .filter(|&i| !self.topology.is_live(self.servers[i]))
+            .filter(|&i| self.assignment.iter().any(|&s| s as usize == i))
+            .collect();
+        if !stranded.is_empty() {
+            self.reassign_views(&stranded, true, out);
+        }
+    }
 }
 
 impl PlacementEngine for StaticPlacement {
@@ -145,6 +273,12 @@ impl PlacementEngine for StaticPlacement {
             let Some(server) = self.server_of(target) else {
                 continue;
             };
+            if !self.topology.is_live(server) {
+                // Only possible while every server is dead and the view
+                // could not be reassigned.
+                self.unreachable_reads += 1;
+                continue;
+            }
             out.record(Message::application(broker, server));
             out.record(Message::application(server, broker));
         }
@@ -155,6 +289,45 @@ impl PlacementEngine for StaticPlacement {
             return;
         };
         out.record(Message::application(broker, server));
+    }
+
+    fn on_cluster_change(
+        &mut self,
+        event: ClusterEvent,
+        _time: SimTime,
+        out: &mut dyn TrafficSink,
+    ) {
+        match event {
+            ClusterEvent::MachineDown { machine } => self.take_down(&[machine], true, out),
+            ClusterEvent::MachineUp { machine } => self.bring_up(&[machine], out),
+            ClusterEvent::RackDown { rack } => {
+                let machines = self
+                    .topology
+                    .machines_in_subtree(SubtreeId::Rack(rack.index()));
+                self.take_down(&machines, true, out);
+            }
+            ClusterEvent::RackUp { rack } => {
+                let machines = self
+                    .topology
+                    .machines_in_subtree(SubtreeId::Rack(rack.index()));
+                self.bring_up(&machines, out);
+            }
+            ClusterEvent::DrainMachine { machine } => self.take_down(&[machine], false, out),
+            ClusterEvent::AddRack => {
+                if self.topology.add_rack().is_ok() {
+                    self.servers = self
+                        .topology
+                        .servers()
+                        .iter()
+                        .map(|s| s.machine())
+                        .collect();
+                }
+            }
+        }
+    }
+
+    fn unreachable_reads(&self) -> u64 {
+        self.unreachable_reads
     }
 
     fn replica_count(&self, user: UserId) -> usize {
@@ -254,6 +427,94 @@ mod tests {
             &mut out,
         );
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn failures_reassign_views_to_live_servers() {
+        let (graph, topology) = setup();
+        let mut engine = StaticPlacement::random(&graph, &topology, 8).unwrap();
+        let victim = topology.servers()[0].machine();
+        let displaced: Vec<UserId> = graph
+            .users()
+            .filter(|&u| engine.server_of(u) == Some(victim))
+            .collect();
+        assert!(!displaced.is_empty());
+        let mut out = Vec::new();
+        engine.on_cluster_change(
+            ClusterEvent::MachineDown { machine: victim },
+            SimTime::ZERO,
+            &mut out,
+        );
+        for &user in &displaced {
+            let server = engine.server_of(user).unwrap();
+            assert_ne!(server, victim);
+            assert!(engine.topology.is_live(server));
+            let proxy = engine.proxy_of(user).unwrap();
+            assert!(engine.topology.is_live(proxy));
+        }
+        assert!(out.iter().any(|m| m.involves_persistent()));
+        // Drains transfer machine-to-machine instead.
+        let drained = topology.servers()[1].machine();
+        out.clear();
+        engine.on_cluster_change(
+            ClusterEvent::DrainMachine { machine: drained },
+            SimTime::ZERO,
+            &mut out,
+        );
+        assert!(out.iter().all(|m| !m.involves_persistent()));
+        for user in graph.users() {
+            assert_ne!(engine.server_of(user), Some(drained));
+        }
+        // Recovery makes the machine a valid future target again; AddRack
+        // extends the server table.
+        engine.on_cluster_change(
+            ClusterEvent::MachineUp { machine: victim },
+            SimTime::ZERO,
+            &mut out,
+        );
+        assert!(engine.topology.is_live(victim));
+        let before = engine.servers.len();
+        engine.on_cluster_change(ClusterEvent::AddRack, SimTime::ZERO, &mut out);
+        assert!(engine.servers.len() > before);
+        assert_eq!(engine.unreachable_reads(), 0);
+    }
+
+    #[test]
+    fn total_outage_then_revival_recovers_stranded_views() {
+        let (graph, topology) = setup();
+        let mut engine = StaticPlacement::random(&graph, &topology, 11).unwrap();
+        let mut out = Vec::new();
+        // Kill every rack: no live target exists, views stay stranded.
+        for rack in 0..topology.rack_count() as u32 {
+            engine.on_cluster_change(
+                ClusterEvent::RackDown {
+                    rack: dynasore_types::RackId::new(rack),
+                },
+                SimTime::ZERO,
+                &mut out,
+            );
+        }
+        let reader = UserId::new(0);
+        let targets: Vec<UserId> = graph.followees(reader).to_vec();
+        engine.handle_read(reader, &targets, SimTime::ZERO, &mut out);
+        assert!(engine.unreachable_reads() > 0, "total outage must be felt");
+
+        // Revive a single server: every stranded view is re-filled from the
+        // persistent tier onto it and reads work again.
+        let survivor = topology.servers()[0].machine();
+        out.clear();
+        engine.on_cluster_change(
+            ClusterEvent::MachineUp { machine: survivor },
+            SimTime::ZERO,
+            &mut out,
+        );
+        assert!(out.iter().any(|m| m.involves_persistent()));
+        for user in graph.users() {
+            assert_eq!(engine.server_of(user), Some(survivor));
+        }
+        let before = engine.unreachable_reads();
+        engine.handle_read(reader, &targets, SimTime::ZERO, &mut out);
+        assert_eq!(engine.unreachable_reads(), before);
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //! `--quick` shrinks the graph and iteration counts so the binary doubles as
 //! a CI smoke test; the JSON is written either way (default:
 //! `BENCH_hotpath.json` in the current directory).
+//!
+//! `--check-against PATH` turns the run into a regression guard: after
+//! measuring, the binary reads the committed snapshot at `PATH` and exits
+//! nonzero if either `read.reqs_per_sec` or `write.reqs_per_sec` dropped
+//! more than `--tolerance` (default 0.30, i.e. 30%) below it. CI runs
+//! `--quick --check-against BENCH_hotpath.json` so hot-path regressions
+//! fail the pipeline.
 
 use std::time::Instant;
 
@@ -33,6 +40,8 @@ struct Options {
     iters: u64,
     out: String,
     quick: bool,
+    check_against: Option<String>,
+    tolerance: f64,
 }
 
 impl Options {
@@ -43,6 +52,8 @@ impl Options {
             iters: 0,
             out: "BENCH_hotpath.json".to_string(),
             quick: false,
+            check_against: None,
+            tolerance: 0.30,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -62,6 +73,14 @@ impl Options {
                 }
                 "--out" if i + 1 < args.len() => {
                     o.out = args[i + 1].clone();
+                    i += 1;
+                }
+                "--check-against" if i + 1 < args.len() => {
+                    o.check_against = Some(args[i + 1].clone());
+                    i += 1;
+                }
+                "--tolerance" if i + 1 < args.len() => {
+                    o.tolerance = args[i + 1].parse().unwrap_or(o.tolerance);
                     i += 1;
                 }
                 "--quick" => o.quick = true,
@@ -188,4 +207,69 @@ fn main() {
         opts.users, opts.iters, reads_per_sec, writes_per_sec, opts.out
     );
     print!("{json}");
+
+    if let Some(path) = &opts.check_against {
+        check_against_snapshot(path, reads_per_sec, writes_per_sec, opts.tolerance);
+    }
+}
+
+/// Extracts `"reqs_per_sec"` from the named section (`"read"` / `"write"`)
+/// of a snapshot written by this binary. A hand-rolled scan keeps the guard
+/// dependency-free: the format is our own, fixed output above.
+fn snapshot_reqs_per_sec(json: &str, section: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{section}\""))?;
+    let rest = &json[start..];
+    let key = rest.find("\"reqs_per_sec\"")?;
+    let after = &rest[key + "\"reqs_per_sec\"".len()..];
+    let colon = after.find(':')?;
+    let value = after[colon + 1..]
+        .trim_start()
+        .split([',', '\n', '}'])
+        .next()?
+        .trim();
+    value.parse().ok()
+}
+
+/// The regression guard: fails the process when either measured rate drops
+/// more than `tolerance` below the committed snapshot.
+fn check_against_snapshot(path: &str, reads_per_sec: f64, writes_per_sec: f64, tolerance: f64) {
+    let snapshot = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(err) => {
+            eprintln!("# regression guard: cannot read snapshot {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    let (Some(snap_read), Some(snap_write)) = (
+        snapshot_reqs_per_sec(&snapshot, "read"),
+        snapshot_reqs_per_sec(&snapshot, "write"),
+    ) else {
+        eprintln!("# regression guard: snapshot {path} has no reqs_per_sec fields");
+        std::process::exit(2);
+    };
+    let floor = 1.0 - tolerance;
+    let mut failed = false;
+    for (name, measured, snap) in [
+        ("read", reads_per_sec, snap_read),
+        ("write", writes_per_sec, snap_write),
+    ] {
+        let ratio = if snap > 0.0 { measured / snap } else { 1.0 };
+        let verdict = if ratio < floor {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "# regression guard [{verdict}]: {name} {measured:.0}/s vs snapshot {snap:.0}/s \
+             (ratio {ratio:.2}, floor {floor:.2})"
+        );
+    }
+    if failed {
+        eprintln!(
+            "# regression guard: hot-path throughput regressed more than {:.0}% below {path}",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,248 @@
+//! **Recovery convergence** — how fast the system returns to steady state
+//! after losing a whole rack, the headline scenario the cluster-dynamics
+//! subsystem exists for. The paper's §3.3 argues cache servers are
+//! disposable because the durable tier can regenerate any view; this bench
+//! quantifies the price: the recovery traffic burst at the moment of the
+//! failure, and the number of requests until per-read traffic re-converges
+//! to its pre-failure level.
+//!
+//! ```text
+//! cargo run --release -p dynasore-bench --bin recovery_convergence \
+//!     [-- --users N --seed N --quick]
+//! ```
+//!
+//! Method: drive a converged DynaSoRe engine directly (as
+//! `hotpath_throughput` does), measure the average messages per read over a
+//! healthy window, kill rack 0, then replay read windows until the per-read
+//! message average plateaus (two consecutive windows within 5% of each
+//! other). The shrunken cluster settles at a *new* steady state — reported
+//! as a ratio over the healthy level, since 4% of the capacity is gone —
+//! and the windows spent getting there are the convergence time. The same
+//! is repeated after bringing the rack back. The replay is compressed time
+//! (no maintenance ticks run between windows), so the trajectory isolates
+//! the placement's reaction from statistics-window rotation.
+
+use std::time::Instant;
+
+use dynasore_core::{DynaSoReEngine, InitialPlacement};
+use dynasore_graph::{GraphPreset, SocialGraph};
+use dynasore_topology::Topology;
+use dynasore_types::{
+    ClusterEvent, MemoryBudget, Message, PlacementEngine, RackId, SimTime, UserId,
+};
+
+struct Options {
+    users: usize,
+    seed: u64,
+    quick: bool,
+}
+
+impl Options {
+    fn from_args() -> Options {
+        let mut o = Options {
+            users: 50_000,
+            seed: 42,
+            quick: false,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--users" if i + 1 < args.len() => {
+                    o.users = args[i + 1].parse().unwrap_or(o.users);
+                    i += 1;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    o.seed = args[i + 1].parse().unwrap_or(o.seed);
+                    i += 1;
+                }
+                "--quick" => o.quick = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        if o.quick {
+            o.users = o.users.min(2_000);
+        }
+        o
+    }
+}
+
+/// Drives one window of reads and returns the average application messages
+/// per read (the per-request network cost the placement is minimising).
+fn read_window(
+    engine: &mut DynaSoReEngine,
+    graph: &SocialGraph,
+    out: &mut Vec<Message>,
+    start: u64,
+    len: u64,
+    users: u64,
+) -> f64 {
+    let mut messages = 0u64;
+    for k in start..start + len {
+        let user = UserId::new(((k.wrapping_mul(7_919)) % users) as u32);
+        out.clear();
+        engine.handle_read(user, graph.followees(user), SimTime::from_secs(2), out);
+        messages += out.len() as u64;
+    }
+    messages as f64 / len as f64
+}
+
+/// Replays read windows until two consecutive windows agree within 5%
+/// (steady state), or `max_windows` is hit. Returns `(windows, peak, final
+/// window average)`.
+fn run_until_plateau(
+    engine: &mut DynaSoReEngine,
+    graph: &SocialGraph,
+    out: &mut Vec<Message>,
+    window: u64,
+    max_windows: u64,
+    window_offset: u64,
+    users: u64,
+) -> (u64, f64, f64) {
+    let mut peak = 0f64;
+    let mut prev: Option<f64> = None;
+    let mut last = 0f64;
+    for w in 0..max_windows {
+        let avg = read_window(
+            engine,
+            graph,
+            out,
+            (window_offset + w) * window,
+            window,
+            users,
+        );
+        peak = peak.max(avg);
+        last = avg;
+        if let Some(prev) = prev {
+            if (avg - prev).abs() <= 0.05 * prev {
+                return (w + 1, peak, avg);
+            }
+        }
+        prev = Some(avg);
+    }
+    (max_windows, peak, last)
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let graph = SocialGraph::generate(GraphPreset::FacebookLike, opts.users, opts.seed)
+        .expect("graph generation");
+    let topology = Topology::paper_tree().expect("paper tree");
+    let mut engine = DynaSoReEngine::builder()
+        .topology(topology)
+        .budget(MemoryBudget::with_extra_percent(opts.users, 30))
+        .initial_placement(InitialPlacement::Random { seed: opts.seed })
+        .build(&graph)
+        .expect("engine build");
+
+    let users = opts.users as u64;
+    let window = if opts.quick { 5_000 } else { 20_000 };
+    let max_windows = 40u64;
+    let mut out: Vec<Message> = Vec::new();
+
+    // Converge the placement, then take the healthy baseline.
+    for k in 0..2 * users {
+        let user = UserId::new(((k.wrapping_mul(7_919)) % users) as u32);
+        out.clear();
+        engine.handle_read(user, graph.followees(user), SimTime::from_secs(1), &mut out);
+        out.clear();
+        engine.handle_write(user, SimTime::from_secs(1), &mut out);
+    }
+    let healthy = read_window(&mut engine, &graph, &mut out, 0, window, users);
+    let healthy_replicas: usize = (0..users)
+        .map(|u| engine.replica_count(UserId::new(u as u32)))
+        .sum();
+
+    // Kill rack 0 and measure the recovery burst.
+    let event_start = Instant::now();
+    out.clear();
+    engine.on_cluster_change(
+        ClusterEvent::RackDown {
+            rack: RackId::new(0),
+        },
+        SimTime::from_secs(2),
+        &mut out,
+    );
+    let failover_secs = event_start.elapsed().as_secs_f64();
+    let recovery_messages = out.iter().filter(|m| m.involves_persistent()).count();
+    let recovered_views = engine.recovered_views();
+
+    // Replay read windows until per-read traffic plateaus: the placement
+    // re-replicates towards the readers the dead rack used to serve, and
+    // settles at the degraded cluster's own steady state.
+    let (windows_to_converge, degraded_peak, degraded_steady) =
+        run_until_plateau(&mut engine, &graph, &mut out, window, max_windows, 1, users);
+
+    // Bring the rack back and measure re-absorption of the capacity.
+    out.clear();
+    engine.on_cluster_change(
+        ClusterEvent::RackUp {
+            rack: RackId::new(0),
+        },
+        SimTime::from_secs(3),
+        &mut out,
+    );
+    let (windows_to_reabsorb, _, restored_steady) = run_until_plateau(
+        &mut engine,
+        &graph,
+        &mut out,
+        window,
+        max_windows,
+        max_windows + 1,
+        users,
+    );
+
+    let unreachable = engine.unreachable_reads();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"recovery_convergence\",\n",
+            "  \"users\": {users},\n",
+            "  \"seed\": {seed},\n",
+            "  \"quick\": {quick},\n",
+            "  \"window_reads\": {window},\n",
+            "  \"healthy_app_messages_per_read\": {healthy:.2},\n",
+            "  \"healthy_total_replicas\": {healthy_replicas},\n",
+            "  \"rack_down\": {{\n",
+            "    \"handling_secs\": {failover:.6},\n",
+            "    \"recovery_messages\": {recovery},\n",
+            "    \"recovered_views\": {recovered},\n",
+            "    \"peak_messages_per_read\": {peak:.2},\n",
+            "    \"steady_messages_per_read\": {steady:.2},\n",
+            "    \"steady_over_healthy\": {steady_ratio:.3},\n",
+            "    \"windows_to_converge\": {converge},\n",
+            "    \"reads_to_converge\": {converge_reads}\n",
+            "  }},\n",
+            "  \"rack_up\": {{\n",
+            "    \"windows_to_reabsorb\": {reabsorb},\n",
+            "    \"steady_messages_per_read\": {restored:.2}\n",
+            "  }},\n",
+            "  \"unreachable_reads\": {unreachable}\n",
+            "}}\n"
+        ),
+        users = opts.users,
+        seed = opts.seed,
+        quick = opts.quick,
+        window = window,
+        healthy = healthy,
+        healthy_replicas = healthy_replicas,
+        failover = failover_secs,
+        recovery = recovery_messages,
+        recovered = recovered_views,
+        peak = degraded_peak,
+        steady = degraded_steady,
+        steady_ratio = degraded_steady / healthy,
+        converge = windows_to_converge,
+        converge_reads = windows_to_converge * window,
+        reabsorb = windows_to_reabsorb,
+        restored = restored_steady,
+        unreachable = unreachable,
+    );
+    eprintln!(
+        "# recovery_convergence: rack loss recovered {recovered_views} views with \
+         {recovery_messages} persistent-tier messages in {failover_secs:.3}s; \
+         converged after {windows_to_converge} windows"
+    );
+    print!("{json}");
+}

@@ -9,7 +9,8 @@
 use dynasore_graph::SocialGraph;
 use dynasore_topology::Topology;
 use dynasore_types::{
-    BrokerId, Error, MachineId, MemoryBudget, Result, SimTime, SubtreeId, UserId,
+    BrokerId, ClusterEvent, Error, MachineId, MemoryBudget, Result, SimTime, SubtreeId, UserId,
+    VIEW_TRANSFER_PROTOCOL_MESSAGES,
 };
 use dynasore_types::{MemoryUsage, Message, PlacementEngine, TrafficSink};
 use dynasore_workload::GraphMutation;
@@ -19,13 +20,6 @@ use crate::placement::initial_assignment;
 use crate::routing::{optimal_proxy_broker, TransferTally};
 use crate::server::{admission_threshold_from_utilities, ServerState};
 use crate::utility::{estimate_creation_profit, estimate_profit, replica_utility};
-
-/// Number of protocol messages used to model the transfer of one view's data
-/// when a replica is created or migrated. A view transfer carries as much
-/// data as an application message (10 protocol units), but it is *system*
-/// traffic, so it is accounted as protocol messages (cf. Figure 6, which
-/// separates application from system traffic).
-const VIEW_TRANSFER_PROTOCOL_MESSAGES: usize = 10;
 
 /// Per-user routing state: the brokers hosting the user's proxies and the
 /// servers holding replicas of her view.
@@ -69,6 +63,13 @@ pub struct DynaSoReEngine {
     scratch: Scratch,
     thresholds: ThresholdCache,
     loads: LoadCache,
+    /// Read targets that could not be served because the view had no live
+    /// replica (only possible while the cluster lacks the capacity to
+    /// re-create every lost master).
+    unreachable_reads: u64,
+    /// Views whose last replica was lost to a failure and re-created from
+    /// the persistent tier.
+    recovered_views: u64,
 }
 
 /// Cached per-subtree minima of the servers' admission thresholds.
@@ -389,6 +390,8 @@ impl DynaSoReEngineBuilder {
             scratch,
             thresholds,
             loads,
+            unreachable_reads: 0,
+            recovered_views: 0,
         };
         engine.rebuild_load_cache();
         Ok(engine)
@@ -510,7 +513,11 @@ impl DynaSoReEngine {
     /// preferred; a full server may be returned (the caller then evicts).
     fn least_loaded_server_in(&self, origin: SubtreeId, exclude: &[usize]) -> Option<usize> {
         if let SubtreeId::Machine(m) = origin {
-            let i = self.topology.server_ordinal(MachineId::new(m))?;
+            let machine = MachineId::new(m);
+            if !self.topology.is_live(machine) {
+                return None;
+            }
+            let i = self.topology.server_ordinal(machine)?;
             return if exclude.contains(&i) { None } else { Some(i) };
         }
         let set = match origin {
@@ -535,6 +542,9 @@ impl DynaSoReEngine {
         let mut best_any: Option<(usize, usize)> = None; // (len, index)
         let mut best_free: Option<(usize, usize)> = None;
         for server in self.topology.servers_in_subtree_slice(origin) {
+            if !self.topology.is_live(server.machine()) {
+                continue;
+            }
             let Some(i) = self.topology.server_ordinal(server.machine()) else {
                 continue;
             };
@@ -557,6 +567,12 @@ impl DynaSoReEngine {
     fn build_candidate_set(&self, subtree: SubtreeId) -> CandidateSet {
         let mut set = CandidateSet::default();
         for server in self.topology.servers_in_subtree_slice(subtree) {
+            // Dead servers never receive replicas: the liveness mask filters
+            // them out of the candidate sets here, so the per-request query
+            // path stays mask-free.
+            if !self.topology.is_live(server.machine()) {
+                continue;
+            }
             let Some(i) = self.topology.server_ordinal(server.machine()) else {
                 continue;
             };
@@ -615,11 +631,16 @@ impl DynaSoReEngine {
                 .get(r as usize)
                 .copied()
                 .unwrap_or(f64::INFINITY),
-            SubtreeId::Machine(m) => self
-                .topology
-                .server_ordinal(MachineId::new(m))
-                .map(|i| self.servers[i].admission_threshold())
-                .unwrap_or(f64::INFINITY),
+            SubtreeId::Machine(m) => {
+                let machine = MachineId::new(m);
+                if !self.topology.is_live(machine) {
+                    return f64::INFINITY;
+                }
+                self.topology
+                    .server_ordinal(machine)
+                    .map(|i| self.servers[i].admission_threshold())
+                    .unwrap_or(f64::INFINITY)
+            }
         }
     }
 
@@ -637,8 +658,11 @@ impl DynaSoReEngine {
             .for_each(|t| *t = f64::INFINITY);
         self.thresholds.root = f64::INFINITY;
         for server in &self.servers {
-            let t = server.admission_threshold();
             let machine = server.machine();
+            if !self.topology.is_live(machine) {
+                continue;
+            }
+            let t = server.admission_threshold();
             if let Ok(rack) = self.topology.rack_of(machine) {
                 let r = rack.as_usize();
                 self.thresholds.rack[r] = self.thresholds.rack[r].min(t);
@@ -927,6 +951,296 @@ impl DynaSoReEngine {
         }
     }
 
+    // --- Cluster dynamics --------------------------------------------------
+
+    /// The topology (including its liveness mask) as this engine sees it.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Views whose last replica was lost to a failure and re-created from
+    /// the persistent tier (cumulative).
+    pub fn recovered_views(&self) -> u64 {
+        self.recovered_views
+    }
+
+    /// Re-homes every proxy hosted on the (dead or draining) broker machine
+    /// `broker` to the closest live broker. Write-proxy moves are announced
+    /// to the affected replicas, as in [`DynaSoReEngine::maybe_migrate_proxy`].
+    fn reassign_proxies(&mut self, broker: MachineId, out: &mut dyn TrafficSink) {
+        let Some(new_broker) = self.topology.closest_live_broker(broker) else {
+            return; // No live broker anywhere: proxies are unreachable anyway.
+        };
+        for uidx in 0..self.users.len() {
+            if self.users[uidx].read_proxy.machine() == broker {
+                self.users[uidx].read_proxy = new_broker;
+            }
+            if self.users[uidx].write_proxy.machine() == broker {
+                self.users[uidx].write_proxy = new_broker;
+                for k in 0..self.users[uidx].replicas.len() {
+                    let ridx = self.users[uidx].replicas[k];
+                    out.record(Message::protocol(
+                        new_broker.machine(),
+                        self.servers[ridx].machine(),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Re-creates the (lost) sole replica of `view` from the persistent
+    /// tier. The view data travels from the durable store down through the
+    /// top switch — that is the recovery traffic the paper's §3.3 makes
+    /// possible by keeping cache servers disposable. Returns `false` when no
+    /// live server can take the view (it stays lost until capacity returns).
+    ///
+    /// Target order: the least-loaded live server of the write proxy's rack
+    /// (the recovered master lands near its writer), then the cluster-wide
+    /// least-loaded pick, then — because a converged cluster runs its
+    /// memory nearly full, so placement is about who can still *evict*, not
+    /// who has free slots — every live server in ordinal order until one
+    /// can make room.
+    fn recover_view(&mut self, view: UserId, out: &mut dyn TrafficSink) -> bool {
+        let write_proxy = self.users[view.as_usize()].write_proxy.machine();
+        let preferred = self
+            .topology
+            .rack_of(write_proxy)
+            .ok()
+            .and_then(|rack| self.least_loaded_server_in(SubtreeId::Rack(rack.index()), &[]))
+            .filter(|&i| !self.servers[i].is_full());
+        if let Some(target) = preferred {
+            if self.place_recovered(view, target, out) {
+                return true;
+            }
+        }
+        if let Some(target) = self.least_loaded_server_in(SubtreeId::Root, &[]) {
+            if self.place_recovered(view, target, out) {
+                return true;
+            }
+        }
+        for target in 0..self.servers.len() {
+            if !self.topology.is_live(self.servers[target].machine()) {
+                continue;
+            }
+            if self.place_recovered(view, target, out) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Tries to place the recovered master of `view` on server `target`,
+    /// evicting a redundant replica if the server is full. Charges the
+    /// persistent-tier transfer on success.
+    fn place_recovered(&mut self, view: UserId, target: usize, out: &mut dyn TrafficSink) -> bool {
+        if self.servers[target].contains(view) || !self.ensure_space(target, out) {
+            return false;
+        }
+        let write_proxy = self.users[view.as_usize()].write_proxy.machine();
+        let target_machine = self.servers[target].machine();
+        // The write proxy orchestrates the refill; the view data streams
+        // from the persistent tier across the core switch.
+        out.record(Message::protocol(write_proxy, target_machine));
+        for _ in 0..VIEW_TRANSFER_PROTOCOL_MESSAGES {
+            out.record(Message::persistent_fetch(target_machine));
+        }
+        self.servers[target].insert(view);
+        self.users[view.as_usize()].replicas.push(target);
+        self.update_load_cache(target);
+        self.recovered_views += 1;
+        true
+    }
+
+    /// Crash-fails a set of machines at once (one machine, or a whole rack
+    /// for correlated failures): marks them dead, re-homes proxies off dead
+    /// brokers, drops every replica they held, and re-creates lost masters
+    /// from the persistent tier. Handling the set as a batch means views
+    /// replicated only within a failing rack are recovered once, not moved
+    /// from dying machine to dying machine.
+    fn take_down(&mut self, machines: &[MachineId], out: &mut dyn TrafficSink) {
+        let mut newly_dead: Vec<MachineId> = Vec::new();
+        for &machine in machines {
+            if self.topology.is_live(machine) && self.topology.set_live(machine, false).is_ok() {
+                newly_dead.push(machine);
+            }
+        }
+        if newly_dead.is_empty() {
+            return;
+        }
+        for &machine in &newly_dead {
+            if self.topology.is_broker(machine) {
+                self.reassign_proxies(machine, out);
+            }
+        }
+        let mut lost: Vec<UserId> = Vec::new();
+        for &machine in &newly_dead {
+            let Some(sidx) = self.topology.server_ordinal(machine) else {
+                continue;
+            };
+            // The machine is dead: its replicas vanish without eviction
+            // protocol traffic.
+            let mut views = std::mem::take(&mut self.scratch.views);
+            views.clear();
+            views.extend(self.servers[sidx].views().map(|(view, _)| view));
+            self.servers[sidx].clear();
+            for &view in &views {
+                let replicas = &mut self.users[view.as_usize()].replicas;
+                replicas.retain(|&i| i != sidx);
+                if replicas.is_empty() {
+                    lost.push(view);
+                }
+            }
+            views.clear();
+            self.scratch.views = views;
+        }
+        // Candidate and threshold caches must exclude the dead machines
+        // before recovery picks targets.
+        self.rebuild_load_cache();
+        self.refresh_threshold_cache();
+        lost.sort_unstable();
+        for view in lost {
+            self.recover_view(view, out);
+        }
+    }
+
+    /// Brings a set of machines back (empty caches). The returning capacity
+    /// immediately becomes the least-loaded landing spot for new replicas,
+    /// and any view that stayed lost for lack of capacity is recovered now.
+    fn bring_up(&mut self, machines: &[MachineId], out: &mut dyn TrafficSink) {
+        let mut changed = false;
+        for &machine in machines {
+            if !self.topology.contains(machine) || self.topology.is_live(machine) {
+                continue;
+            }
+            self.topology
+                .set_live(machine, true)
+                .expect("machine exists");
+            changed = true;
+        }
+        if !changed {
+            return;
+        }
+        self.rebuild_load_cache();
+        self.refresh_threshold_cache();
+        for uidx in 0..self.users.len() {
+            if self.users[uidx].replicas.is_empty() {
+                self.recover_view(UserId::new(uidx as u32), out);
+            }
+        }
+    }
+
+    /// Gracefully empties `machine` before taking it out of service: extra
+    /// replicas are dropped, sole replicas are migrated machine-to-machine
+    /// (no persistent-tier traffic), proxies are re-homed — then the machine
+    /// is marked dead. If a sole replica cannot be placed anywhere (no live
+    /// capacity), it falls back to the crash path and is recovered from the
+    /// persistent tier when capacity returns.
+    fn drain_machine(&mut self, machine: MachineId, out: &mut dyn TrafficSink) {
+        if !self.topology.is_live(machine) {
+            return;
+        }
+        self.topology
+            .set_live(machine, false)
+            .expect("machine exists");
+        // Exclude the draining machine from every placement decision first.
+        self.rebuild_load_cache();
+        self.refresh_threshold_cache();
+        if self.topology.is_broker(machine) {
+            self.reassign_proxies(machine, out);
+        }
+        let Some(sidx) = self.topology.server_ordinal(machine) else {
+            return;
+        };
+        let mut views = std::mem::take(&mut self.scratch.views);
+        views.clear();
+        views.extend(self.servers[sidx].views().map(|(view, _)| view));
+        views.sort_unstable();
+        for &view in &views {
+            if self.users[view.as_usize()].replicas.len() > 1 {
+                self.remove_replica(view, sidx, out);
+                continue;
+            }
+            // Sole replica: it must land somewhere before the machine goes.
+            // Try the least-loaded live server first, then — a draining rack
+            // can outsize any single server's evictable stock — every live
+            // server in ordinal order until one can make room.
+            let mut migrated = false;
+            if let Some(target) =
+                self.least_loaded_server_in(SubtreeId::Root, &self.users[view.as_usize()].replicas)
+            {
+                migrated = self.create_replica(view, sidx, target, out)
+                    && self.remove_replica(view, sidx, out);
+            }
+            if !migrated {
+                for target in 0..self.servers.len() {
+                    if target == sidx || !self.topology.is_live(self.servers[target].machine()) {
+                        continue;
+                    }
+                    if self.create_replica(view, sidx, target, out) {
+                        migrated = self.remove_replica(view, sidx, out);
+                        break;
+                    }
+                }
+            }
+            if !migrated {
+                // Genuinely no live capacity anywhere: lose the replica as a
+                // crash would (a later MachineUp/RackUp recovers it from the
+                // persistent tier).
+                self.servers[sidx].remove(view);
+                self.users[view.as_usize()].replicas.retain(|&i| i != sidx);
+            }
+        }
+        views.clear();
+        self.scratch.views = views;
+        self.servers[sidx].clear();
+        self.update_load_cache(sidx);
+    }
+
+    /// Absorbs a freshly added rack: mirrors the new topology servers with
+    /// empty [`ServerState`]s, grows the per-subtree caches and the
+    /// transfer tally, and announces the new brokers to the old ones. The
+    /// empty servers become the least-loaded candidates everywhere, so
+    /// regular replication/migration traffic spreads load onto them.
+    fn absorb_new_rack(&mut self, out: &mut dyn TrafficSink) {
+        let capacity = self.capacity_per_server();
+        let rack = match self.topology.add_rack() {
+            Ok(rack) => rack,
+            Err(_) => return, // Flat topologies cannot grow by racks.
+        };
+        for server in &self.topology.servers()[self.servers.len()..] {
+            self.servers.push(ServerState::new(
+                server.machine(),
+                capacity,
+                self.config.counter_slots,
+                self.users.len(),
+            ));
+        }
+        self.scratch.tally = TransferTally::new(&self.topology);
+        self.thresholds
+            .rack
+            .resize(self.topology.rack_count(), f64::INFINITY);
+        self.thresholds
+            .inter
+            .resize(self.topology.intermediate_count(), f64::INFINITY);
+        self.loads
+            .rack
+            .resize(self.topology.rack_count(), CandidateSet::default());
+        self.loads
+            .inter
+            .resize(self.topology.intermediate_count(), CandidateSet::default());
+        self.rebuild_load_cache();
+        self.refresh_threshold_cache();
+        // Routing-table propagation: the new rack's broker introduces itself
+        // to every existing broker.
+        if let Some(new_broker) = self.topology.first_broker_in_rack(rack) {
+            for broker in self.topology.brokers() {
+                if broker.machine() != new_broker.machine() {
+                    out.record(Message::protocol(new_broker.machine(), broker.machine()));
+                }
+            }
+        }
+    }
+
     /// Background eviction sweep for one server (§3.2, *Eviction of views*):
     /// first drop replicas with negative utility, then, if occupancy still
     /// exceeds the threshold, evict the least useful evictable replicas
@@ -996,6 +1310,8 @@ impl PlacementEngine for DynaSoReEngine {
                 continue;
             }
             let Some((sidx, server_machine)) = self.closest_replica_of(target, broker) else {
+                // Only possible while a lost master awaits recovery capacity.
+                self.unreachable_reads += 1;
                 continue;
             };
             // Request and answer.
@@ -1042,10 +1358,15 @@ impl PlacementEngine for DynaSoReEngine {
             server.rotate_counters();
         }
         // 2. Refresh admission thresholds: one pass over each server's slab
-        // into a reused scratch buffer, then a select on that buffer.
+        // into a reused scratch buffer, then a select on that buffer. Dead
+        // servers are empty and excluded from the threshold caches; skip
+        // them.
         let fill_target = self.config.admission_fill_target;
         let mut utilities = std::mem::take(&mut self.scratch.utilities);
         for sidx in 0..self.servers.len() {
+            if !self.topology.is_live(self.servers[sidx].machine()) {
+                continue;
+            }
             utilities.clear();
             for slot in 0..self.servers[sidx].slot_count() {
                 let Some(view) = self.servers[sidx].view_at(slot) else {
@@ -1062,6 +1383,9 @@ impl PlacementEngine for DynaSoReEngine {
         self.refresh_threshold_cache();
         // 3. Background eviction.
         for sidx in 0..self.servers.len() {
+            if !self.topology.is_live(self.servers[sidx].machine()) {
+                continue;
+            }
             self.eviction_sweep(sidx, out);
         }
     }
@@ -1077,6 +1401,42 @@ impl PlacementEngine for DynaSoReEngine {
         // new read targets simply start showing up in the access statistics.
     }
 
+    /// Threads one [`ClusterEvent`] through the engine: crash-failed
+    /// machines lose their replicas (masters are re-filled from the
+    /// persistent tier, charged to `out`), returning machines rejoin empty,
+    /// drained machines migrate their state first, and a new rack is
+    /// mirrored with empty server slabs. The per-subtree candidate and
+    /// threshold caches are rebuilt against the updated liveness mask.
+    fn on_cluster_change(
+        &mut self,
+        event: ClusterEvent,
+        _time: SimTime,
+        out: &mut dyn TrafficSink,
+    ) {
+        match event {
+            ClusterEvent::MachineDown { machine } => self.take_down(&[machine], out),
+            ClusterEvent::MachineUp { machine } => self.bring_up(&[machine], out),
+            ClusterEvent::RackDown { rack } => {
+                let machines = self
+                    .topology
+                    .machines_in_subtree(SubtreeId::Rack(rack.index()));
+                self.take_down(&machines, out);
+            }
+            ClusterEvent::RackUp { rack } => {
+                let machines = self
+                    .topology
+                    .machines_in_subtree(SubtreeId::Rack(rack.index()));
+                self.bring_up(&machines, out);
+            }
+            ClusterEvent::DrainMachine { machine } => self.drain_machine(machine, out),
+            ClusterEvent::AddRack => self.absorb_new_rack(out),
+        }
+    }
+
+    fn unreachable_reads(&self) -> u64 {
+        self.unreachable_reads
+    }
+
     fn replica_count(&self, user: UserId) -> usize {
         self.users
             .get(user.as_usize())
@@ -1085,9 +1445,21 @@ impl PlacementEngine for DynaSoReEngine {
     }
 
     fn memory_usage(&self) -> MemoryUsage {
+        // Dead servers contribute neither stored views (their slabs are
+        // cleared on failure) nor capacity (their memory is unreachable).
         MemoryUsage {
-            used_slots: self.servers.iter().map(ServerState::len).sum(),
-            capacity_slots: self.servers.iter().map(ServerState::capacity).sum(),
+            used_slots: self
+                .servers
+                .iter()
+                .filter(|s| self.topology.is_live(s.machine()))
+                .map(ServerState::len)
+                .sum(),
+            capacity_slots: self
+                .servers
+                .iter()
+                .filter(|s| self.topology.is_live(s.machine()))
+                .map(ServerState::capacity)
+                .sum(),
         }
     }
 }
@@ -1417,6 +1789,165 @@ mod tests {
                     "origin {origin}, exclude {exclude:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn machine_failure_recovers_lost_masters_from_the_persistent_tier() {
+        let (mut engine, graph, _topology) = engine_with_extra(30);
+        let mut out = Vec::new();
+        let victim = engine.replica_servers(UserId::new(0))[0];
+        engine.on_cluster_change(
+            ClusterEvent::MachineDown { machine: victim },
+            SimTime::ZERO,
+            &mut out,
+        );
+        assert!(!engine.topology().is_live(victim));
+        for user in graph.users() {
+            assert!(engine.replica_count(user) >= 1, "view of {user} lost");
+            assert!(
+                !engine.replica_servers(user).contains(&victim),
+                "replica of {user} still on the dead machine"
+            );
+        }
+        assert!(engine.recovered_views() > 0);
+        assert!(
+            out.iter().any(|m| m.involves_persistent()),
+            "recovery must charge persistent-tier traffic"
+        );
+        for (machine, occupancy) in engine.server_occupancies() {
+            assert!(
+                occupancy <= 1.0 + 1e-9,
+                "server {machine} over capacity: {occupancy}"
+            );
+        }
+        // Reads keep working against the shrunken cluster.
+        out.clear();
+        let reader = UserId::new(1);
+        let targets: Vec<UserId> = graph.followees(reader).to_vec();
+        engine.handle_read(reader, &targets, SimTime::from_secs(1), &mut out);
+        assert_eq!(engine.unreachable_reads(), 0);
+
+        // The machine rejoins empty and becomes a replication target again.
+        out.clear();
+        engine.on_cluster_change(
+            ClusterEvent::MachineUp { machine: victim },
+            SimTime::ZERO,
+            &mut out,
+        );
+        assert!(engine.topology().is_live(victim));
+        let usage = engine.memory_usage();
+        assert!(usage.used_slots >= graph.user_count());
+    }
+
+    #[test]
+    fn broker_failure_rehomes_proxies() {
+        let (mut engine, graph, topology) = engine_with_extra(30);
+        let mut out = Vec::new();
+        // Machine 0 is the broker of rack 0 in the 2x2x5 tree.
+        let broker = dynasore_types::MachineId::new(0);
+        assert!(topology.is_broker(broker));
+        let affected: Vec<UserId> = graph
+            .users()
+            .filter(|&u| engine.read_proxy(u).unwrap().machine() == broker)
+            .collect();
+        assert!(!affected.is_empty());
+        engine.on_cluster_change(
+            ClusterEvent::MachineDown { machine: broker },
+            SimTime::ZERO,
+            &mut out,
+        );
+        for &user in &affected {
+            let new_proxy = engine.read_proxy(user).unwrap().machine();
+            assert_ne!(new_proxy, broker);
+            assert!(engine.topology().is_live(new_proxy));
+            assert!(topology.is_broker(new_proxy));
+        }
+        // Reads from an affected user still execute.
+        out.clear();
+        let reader = affected[0];
+        let targets: Vec<UserId> = graph.followees(reader).to_vec();
+        engine.handle_read(reader, &targets, SimTime::from_secs(1), &mut out);
+        assert_eq!(engine.unreachable_reads(), 0);
+    }
+
+    #[test]
+    fn rack_failure_is_survived_as_a_batch() {
+        let (mut engine, graph, _topology) = engine_with_extra(50);
+        let mut out = Vec::new();
+        let rack = dynasore_types::RackId::new(0);
+        engine.on_cluster_change(ClusterEvent::RackDown { rack }, SimTime::ZERO, &mut out);
+        for user in graph.users() {
+            assert!(engine.replica_count(user) >= 1, "view of {user} lost");
+            for machine in engine.replica_servers(user) {
+                assert!(engine.topology().is_live(machine));
+                assert_ne!(engine.topology().rack_of(machine).unwrap(), rack);
+            }
+        }
+        assert!(out.iter().any(|m| m.involves_persistent()));
+        out.clear();
+        engine.on_cluster_change(ClusterEvent::RackUp { rack }, SimTime::ZERO, &mut out);
+        assert!(engine.topology().is_live(dynasore_types::MachineId::new(0)));
+    }
+
+    #[test]
+    fn drain_migrates_without_touching_the_persistent_tier() {
+        let (mut engine, graph, _topology) = engine_with_extra(50);
+        let mut out = Vec::new();
+        let victim = engine.replica_servers(UserId::new(0))[0];
+        engine.on_cluster_change(
+            ClusterEvent::DrainMachine { machine: victim },
+            SimTime::ZERO,
+            &mut out,
+        );
+        assert!(!engine.topology().is_live(victim));
+        assert!(
+            out.iter().all(|m| !m.involves_persistent()),
+            "drain must move state machine-to-machine, not via the durable store"
+        );
+        assert!(
+            out.iter().any(|m| m.from == victim),
+            "drained state travels from the draining machine"
+        );
+        for user in graph.users() {
+            assert!(engine.replica_count(user) >= 1, "view of {user} lost");
+            assert!(!engine.replica_servers(user).contains(&victim));
+        }
+        assert_eq!(engine.recovered_views(), 0);
+    }
+
+    #[test]
+    fn added_rack_grows_capacity_and_absorbs_replicas() {
+        let (mut engine, graph, _topology) = engine_with_extra(30);
+        let mut out = Vec::new();
+        let before = engine.memory_usage();
+        let old_rack_count = engine.topology().rack_count();
+        engine.on_cluster_change(ClusterEvent::AddRack, SimTime::ZERO, &mut out);
+        assert_eq!(engine.topology().rack_count(), old_rack_count + 1);
+        let after = engine.memory_usage();
+        assert!(after.capacity_slots > before.capacity_slots);
+        assert_eq!(after.used_slots, before.used_slots);
+        // The announcement reached the pre-existing brokers.
+        assert!(!out.is_empty());
+        // The cached least-loaded answers agree with the exact scan over the
+        // grown cluster, and the empty servers are the preferred targets.
+        let root_pick = engine.least_loaded_server_in(SubtreeId::Root, &[]).unwrap();
+        assert_eq!(
+            Some(root_pick),
+            engine.least_loaded_scan(SubtreeId::Root, &[])
+        );
+        assert_eq!(engine.servers[root_pick].len(), 0);
+        // Traffic keeps flowing after the resize (tally was re-sized too).
+        out.clear();
+        for i in 0..20u32 {
+            let user = UserId::new(i);
+            let targets: Vec<UserId> = graph.followees(user).to_vec();
+            engine.handle_read(user, &targets, SimTime::from_secs(i as u64), &mut out);
+            engine.handle_write(user, SimTime::from_secs(i as u64), &mut out);
+        }
+        engine.on_tick(SimTime::from_hours(1), &mut out);
+        for user in graph.users() {
+            assert!(engine.replica_count(user) >= 1);
         }
     }
 

@@ -158,7 +158,9 @@ pub fn optimal_proxy_broker(topology: &Topology, tally: &mut TransferTally) -> O
                 tally.rack_units[rack.as_usize()] = 0;
                 tally.inter_units[inter as usize] = 0;
             }
-            topology.first_broker_in_rack(RackId::new(best_rack as u32))
+            // O(1) liveness-table lookup: never migrate a proxy onto a dead
+            // broker (the heaviest rack's servers can outlive its brokers).
+            topology.first_live_broker_in_rack(RackId::new(best_rack as u32))
         }
     }
 }

@@ -211,6 +211,19 @@ impl ServerState {
         self.admission_threshold = threshold;
     }
 
+    /// Drops every stored view and resets the slab to its freshly-built
+    /// state (all slots free, threshold zero). Models a machine crash: the
+    /// in-memory cache content is lost wholesale, while the server object
+    /// survives so it can rejoin empty later.
+    pub fn clear(&mut self) {
+        let capacity = self.capacity;
+        self.slots = (0..capacity).map(|_| None).collect();
+        self.free = (0..capacity as u32).rev().collect();
+        self.user_slot.iter_mut().for_each(|s| *s = NO_SLOT);
+        self.len = 0;
+        self.admission_threshold = 0.0;
+    }
+
     /// Updates the admission threshold from the utilities of the views
     /// currently stored: the threshold is chosen so that `fill_target` of
     /// the memory is occupied by views whose utility is above it, and 0 if
@@ -322,6 +335,27 @@ mod tests {
         assert!(s.stats(UserId::new(1)).unwrap().is_idle());
         assert!(s.stats(UserId::new(2)).unwrap().is_idle());
         assert_eq!(s.views().count(), 2);
+    }
+
+    #[test]
+    fn clear_resets_to_the_freshly_built_state() {
+        let mut s = server(3);
+        s.insert(UserId::new(1));
+        s.insert(UserId::new(2));
+        s.stats_mut(UserId::new(1))
+            .unwrap()
+            .record_read(SubtreeId::Rack(0));
+        s.set_admission_threshold(4.0);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(UserId::new(1)));
+        assert!(s.stats(UserId::new(1)).is_none());
+        assert_eq!(s.admission_threshold(), 0.0);
+        assert_eq!(s.slot_count(), 3);
+        // The slab is fully reusable after the wipe.
+        assert!(s.insert(UserId::new(5)));
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! The interface between the simulator and a view-placement strategy.
 //!
-//! The trait and its message types live in `dynasore-types` (layer 0) so the
-//! engines in `dynasore-core`/`dynasore-baselines` can implement it without
-//! depending on the simulator above them. They are re-exported here because
-//! the simulator is their natural home for readers of the docs.
+//! The trait and its message/event types live in `dynasore-types` (layer 0)
+//! so the engines in `dynasore-core`/`dynasore-baselines` can implement it
+//! without depending on the simulator above them. The re-exports below are
+//! kept **for backward compatibility only** — new code should import these
+//! names from `dynasore_types` directly.
 
-pub use dynasore_types::{MemoryUsage, Message, PlacementEngine, TrafficSink};
+pub use dynasore_types::{
+    ClusterEvent, MemoryUsage, Message, PlacementEngine, TimedClusterEvent, TrafficSink,
+};

@@ -79,6 +79,8 @@ mod engine;
 mod report;
 mod simulation;
 
-pub use engine::{MemoryUsage, Message, PlacementEngine, TrafficSink};
-pub use report::SimReport;
+pub use engine::{
+    ClusterEvent, MemoryUsage, Message, PlacementEngine, TimedClusterEvent, TrafficSink,
+};
+pub use report::{ReliabilityStats, SimReport};
 pub use simulation::{switch_counts, Simulation, SimulationConfig};

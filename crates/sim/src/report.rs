@@ -5,6 +5,23 @@ use dynasore_types::{SimTime, TrafficUnits};
 
 use crate::engine::MemoryUsage;
 
+/// Availability and recovery measurements of one run — the quantities the
+/// fault-injection experiments read off a simulation: how much traffic the
+/// persistent tier had to serve to re-create lost views, and how many read
+/// targets went unserved while masters awaited recovery capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReliabilityStats {
+    /// Messages exchanged with the persistent tier (view recovery after
+    /// failures; zero in a run without failures).
+    pub recovery_messages: u64,
+    /// Read targets the engine could not serve because the view had no live
+    /// replica.
+    pub unreachable_reads: u64,
+    /// Total read targets attempted, the denominator of
+    /// [`SimReport::availability`].
+    pub read_targets: u64,
+}
+
 /// The measurements produced by one simulation run.
 ///
 /// All of the paper's figures and tables are derived from these quantities:
@@ -24,6 +41,7 @@ pub struct SimReport {
     /// Switch counts per tier `[top, intermediate, rack]`, used to compute
     /// per-switch averages.
     switch_counts: [usize; 3],
+    reliability: ReliabilityStats,
 }
 
 impl SimReport {
@@ -38,6 +56,7 @@ impl SimReport {
         end_time: SimTime,
         memory: MemoryUsage,
         switch_counts: [usize; 3],
+        reliability: ReliabilityStats,
     ) -> Self {
         SimReport {
             engine_name,
@@ -49,6 +68,7 @@ impl SimReport {
             end_time,
             memory,
             switch_counts,
+            reliability,
         }
     }
 
@@ -91,6 +111,33 @@ impl SimReport {
     /// Memory usage of the engine at the end of the run.
     pub fn memory_usage(&self) -> MemoryUsage {
         self.memory
+    }
+
+    /// Availability and recovery measurements of the run.
+    pub fn reliability(&self) -> ReliabilityStats {
+        self.reliability
+    }
+
+    /// Messages exchanged with the persistent tier to re-create views lost
+    /// to failures. Zero in a run without failures.
+    pub fn recovery_messages(&self) -> u64 {
+        self.reliability.recovery_messages
+    }
+
+    /// Read targets that went unserved because the view had no live replica.
+    pub fn unreachable_reads(&self) -> u64 {
+        self.reliability.unreachable_reads
+    }
+
+    /// Fraction of read targets served, in `[0, 1]`. A run in which every
+    /// lost master was re-created before anyone asked for it reports 1.0
+    /// even though machines failed — that is the disposable-cache-server
+    /// property the paper's §3.3 design buys.
+    pub fn availability(&self) -> f64 {
+        if self.reliability.read_targets == 0 {
+            return 1.0;
+        }
+        1.0 - self.reliability.unreachable_reads as f64 / self.reliability.read_targets as f64
     }
 
     /// Total traffic (application + protocol) through the top switch — the
@@ -166,6 +213,11 @@ mod tests {
                 capacity_slots: 20,
             },
             [1, 5, 25],
+            ReliabilityStats {
+                recovery_messages: 40,
+                unreachable_reads: 2,
+                read_targets: 50,
+            },
         )
     }
 
@@ -182,6 +234,18 @@ mod tests {
         assert_eq!(r.top_switch_total(), 30);
         assert_eq!(r.top_switch_traffic().application, 30);
         assert_eq!(r.top_switch_series().len(), 1);
+        assert_eq!(r.recovery_messages(), 40);
+        assert_eq!(r.unreachable_reads(), 2);
+        assert_eq!(r.reliability().read_targets, 50);
+        assert!((r.availability() - 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_defaults_to_full_without_read_targets() {
+        let mut r = report_with_top_units(1);
+        r.reliability = ReliabilityStats::default();
+        assert_eq!(r.availability(), 1.0);
+        assert_eq!(r.recovery_messages(), 0);
     }
 
     #[test]

@@ -2,11 +2,11 @@
 
 use dynasore_graph::SocialGraph;
 use dynasore_topology::{Topology, TopologyKind, TrafficAccount};
-use dynasore_types::{MessageClass, Result, SimTime, TrafficSink, HOUR_SECS};
+use dynasore_types::{MessageClass, Result, SimTime, TimedClusterEvent, TrafficSink, HOUR_SECS};
 use dynasore_workload::{GraphMutation, Request, TimedMutation};
 
 use crate::engine::{Message, PlacementEngine};
-use crate::report::SimReport;
+use crate::report::{ReliabilityStats, SimReport};
 
 /// A [`TrafficSink`] that charges every message to the switches on its path
 /// the moment the engine emits it — the simulation never materializes a
@@ -17,6 +17,7 @@ struct AccountingSink<'a> {
     time: SimTime,
     app_messages: &'a mut u64,
     proto_messages: &'a mut u64,
+    recovery_messages: &'a mut u64,
 }
 
 impl TrafficSink for AccountingSink<'_> {
@@ -24,6 +25,9 @@ impl TrafficSink for AccountingSink<'_> {
         match message.class {
             MessageClass::Application => *self.app_messages += 1,
             MessageClass::Protocol => *self.proto_messages += 1,
+        }
+        if message.involves_persistent() {
+            *self.recovery_messages += 1;
         }
         if message.is_local() {
             return;
@@ -70,6 +74,7 @@ pub struct Simulation<E> {
     engine: E,
     graph: SocialGraph,
     mutations: Vec<TimedMutation>,
+    cluster_events: Vec<TimedClusterEvent>,
     config: SimulationConfig,
 }
 
@@ -82,6 +87,7 @@ impl<E: PlacementEngine> Simulation<E> {
             engine,
             graph: graph.clone(),
             mutations: Vec::new(),
+            cluster_events: Vec::new(),
             config: SimulationConfig::default(),
         }
     }
@@ -91,6 +97,18 @@ impl<E: PlacementEngine> Simulation<E> {
     pub fn with_mutations(mut self, mut mutations: Vec<TimedMutation>) -> Self {
         mutations.sort_by_key(|m| m.time);
         self.mutations = mutations;
+        self
+    }
+
+    /// Schedules a failure/elasticity schedule: machine and rack outages,
+    /// drains and capacity additions applied at their due times, interleaved
+    /// deterministically with the request trace and the graph mutations.
+    /// Unsorted input is accepted and sorted by time; events due at the same
+    /// time apply in schedule order. Events dated after the last request do
+    /// not fire (the simulation ends with the trace).
+    pub fn with_cluster_events(mut self, mut events: Vec<TimedClusterEvent>) -> Self {
+        events.sort_by_key(|e| e.time);
+        self.cluster_events = events;
         self
     }
 
@@ -156,8 +174,11 @@ impl<E: PlacementEngine> Simulation<E> {
         let mut writes = 0u64;
         let mut app_messages = 0u64;
         let mut proto_messages = 0u64;
+        let mut recovery_messages = 0u64;
+        let mut read_targets = 0u64;
 
         let mut mutation_idx = 0usize;
+        let mut event_idx = 0usize;
         let mut next_tick = self.config.tick_secs;
         let mut next_probe = if probe_secs == u64::MAX {
             u64::MAX
@@ -169,28 +190,65 @@ impl<E: PlacementEngine> Simulation<E> {
         for request in trace {
             now = request.time;
 
-            // Apply pending graph mutations.
-            while mutation_idx < self.mutations.len()
-                && self.mutations[mutation_idx].time <= request.time
-            {
-                let m = self.mutations[mutation_idx];
-                match m.mutation {
-                    GraphMutation::AddEdge { follower, followee } => {
-                        let _ = self.graph.try_add_edge(follower, followee);
-                    }
-                    GraphMutation::RemoveEdge { follower, followee } => {
-                        self.graph.remove_edge(follower, followee);
-                    }
-                }
-                let mut sink = AccountingSink {
-                    topology: &self.topology,
-                    traffic: &mut traffic,
-                    time: m.time,
-                    app_messages: &mut app_messages,
-                    proto_messages: &mut proto_messages,
+            // Apply pending graph mutations and cluster events, merged by
+            // their due times (a mutation and an event due at the same
+            // instant apply mutation-first) so the engine observes both
+            // schedules in true simulated-time order. For cluster events the
+            // driver's own topology copy is updated first so that traffic
+            // accounting knows about machines added at runtime; the engine
+            // then reacts through its cluster-change hook, reporting any
+            // recovery traffic inline.
+            loop {
+                let next_mutation = self
+                    .mutations
+                    .get(mutation_idx)
+                    .map(|m| m.time)
+                    .filter(|&t| t <= request.time);
+                let next_event = self
+                    .cluster_events
+                    .get(event_idx)
+                    .map(|e| e.time)
+                    .filter(|&t| t <= request.time);
+                let mutation_first = match (next_mutation, next_event) {
+                    (None, None) => break,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (Some(mt), Some(et)) => mt <= et,
                 };
-                self.engine.on_graph_change(m.mutation, m.time, &mut sink);
-                mutation_idx += 1;
+                if mutation_first {
+                    let m = self.mutations[mutation_idx];
+                    match m.mutation {
+                        GraphMutation::AddEdge { follower, followee } => {
+                            let _ = self.graph.try_add_edge(follower, followee);
+                        }
+                        GraphMutation::RemoveEdge { follower, followee } => {
+                            self.graph.remove_edge(follower, followee);
+                        }
+                    }
+                    let mut sink = AccountingSink {
+                        topology: &self.topology,
+                        traffic: &mut traffic,
+                        time: m.time,
+                        app_messages: &mut app_messages,
+                        proto_messages: &mut proto_messages,
+                        recovery_messages: &mut recovery_messages,
+                    };
+                    self.engine.on_graph_change(m.mutation, m.time, &mut sink);
+                    mutation_idx += 1;
+                } else {
+                    let e = self.cluster_events[event_idx];
+                    self.topology.apply_cluster_event(e.event)?;
+                    let mut sink = AccountingSink {
+                        topology: &self.topology,
+                        traffic: &mut traffic,
+                        time: e.time,
+                        app_messages: &mut app_messages,
+                        proto_messages: &mut proto_messages,
+                        recovery_messages: &mut recovery_messages,
+                    };
+                    self.engine.on_cluster_change(e.event, e.time, &mut sink);
+                    event_idx += 1;
+                }
             }
 
             // Engine maintenance ticks.
@@ -202,6 +260,7 @@ impl<E: PlacementEngine> Simulation<E> {
                     time: tick_time,
                     app_messages: &mut app_messages,
                     proto_messages: &mut proto_messages,
+                    recovery_messages: &mut recovery_messages,
                 };
                 self.engine.on_tick(tick_time, &mut sink);
                 next_tick += self.config.tick_secs;
@@ -221,10 +280,12 @@ impl<E: PlacementEngine> Simulation<E> {
                 time: request.time,
                 app_messages: &mut app_messages,
                 proto_messages: &mut proto_messages,
+                recovery_messages: &mut recovery_messages,
             };
             if request.is_read() {
                 reads += 1;
                 let targets = self.graph.followees(request.user);
+                read_targets += targets.len() as u64;
                 self.engine
                     .handle_read(request.user, targets, request.time, &mut sink);
             } else {
@@ -258,6 +319,11 @@ impl<E: PlacementEngine> Simulation<E> {
             now,
             self.engine.memory_usage(),
             switch_counts,
+            ReliabilityStats {
+                recovery_messages,
+                unreachable_reads: self.engine.unreachable_reads(),
+                read_targets,
+            },
         ))
     }
 }
@@ -288,6 +354,7 @@ mod tests {
         topology: Topology,
         ticks: u64,
         graph_changes: u64,
+        cluster_changes: u64,
     }
 
     impl ModuloEngine {
@@ -296,6 +363,7 @@ mod tests {
                 topology,
                 ticks: 0,
                 graph_changes: 0,
+                cluster_changes: 0,
             }
         }
 
@@ -358,6 +426,24 @@ mod tests {
                 brokers[0].machine(),
                 brokers[0].machine(),
             ));
+        }
+
+        fn on_cluster_change(
+            &mut self,
+            _event: dynasore_types::ClusterEvent,
+            _time: SimTime,
+            out: &mut dyn TrafficSink,
+        ) {
+            self.cluster_changes += 1;
+            // One recovery fetch per event so the accounting can be
+            // asserted.
+            out.record(Message::persistent_fetch(
+                self.topology.servers()[0].machine(),
+            ));
+        }
+
+        fn unreachable_reads(&self) -> u64 {
+            self.cluster_changes // Arbitrary nonzero value to test plumbing.
         }
 
         fn replica_count(&self, _user: UserId) -> usize {
@@ -471,6 +557,163 @@ mod tests {
         // final probe at the end of the trace.
         assert!(probes >= 4, "probes: {probes}");
         assert!(report.end_time().as_secs() > 0);
+    }
+
+    #[test]
+    fn cluster_events_fire_in_time_order_and_are_accounted() {
+        let (graph, topology) = small_setup();
+        let engine = ModuloEngine::new(topology.clone());
+        let victim = topology.servers()[0].machine();
+        let events = vec![
+            TimedClusterEvent {
+                time: SimTime::from_secs(200),
+                event: dynasore_types::ClusterEvent::MachineUp { machine: victim },
+            },
+            TimedClusterEvent {
+                time: SimTime::from_secs(50),
+                event: dynasore_types::ClusterEvent::MachineDown { machine: victim },
+            },
+            // Dated after the last request: must not fire.
+            TimedClusterEvent {
+                time: SimTime::from_secs(10_000),
+                event: dynasore_types::ClusterEvent::AddRack,
+            },
+        ];
+        let trace = vec![
+            Request::read(SimTime::from_secs(10), UserId::new(1)),
+            Request::read(SimTime::from_secs(300), UserId::new(2)),
+        ];
+        let mut sim = Simulation::new(topology.clone(), engine, &graph).with_cluster_events(events);
+        let report = sim.run(trace).unwrap();
+        // Both due events fired (unsorted input was sorted), the late one
+        // did not.
+        assert_eq!(sim.engine().cluster_changes, 2);
+        // The driver's topology tracked the liveness flips: down then up.
+        assert!(sim.topology().is_live(victim));
+        assert_eq!(sim.topology().rack_count(), topology.rack_count());
+        // Each event's persistent fetch was counted as recovery traffic and
+        // charged through the top switch.
+        assert_eq!(report.recovery_messages(), 2);
+        assert!(report.traffic().tier_total(Tier::Top).protocol >= 2);
+        // The engine's unreachable counter is surfaced, and availability is
+        // derived from it.
+        assert_eq!(report.unreachable_reads(), 2);
+        assert!(report.availability() < 1.0);
+        assert!(report.reliability().read_targets > 0);
+    }
+
+    /// Records the order in which schedule callbacks fire, to pin the
+    /// merged mutation/event interleaving.
+    struct OrderRecorder {
+        log: std::cell::RefCell<Vec<(&'static str, u64)>>,
+    }
+
+    impl PlacementEngine for OrderRecorder {
+        fn name(&self) -> &str {
+            "order-recorder"
+        }
+        fn handle_read(
+            &mut self,
+            _user: UserId,
+            _targets: &[UserId],
+            _time: SimTime,
+            _out: &mut dyn TrafficSink,
+        ) {
+        }
+        fn handle_write(&mut self, _user: UserId, _time: SimTime, _out: &mut dyn TrafficSink) {}
+        fn on_graph_change(
+            &mut self,
+            _mutation: GraphMutation,
+            time: SimTime,
+            _out: &mut dyn TrafficSink,
+        ) {
+            self.log.borrow_mut().push(("mutation", time.as_secs()));
+        }
+        fn on_cluster_change(
+            &mut self,
+            _event: dynasore_types::ClusterEvent,
+            time: SimTime,
+            _out: &mut dyn TrafficSink,
+        ) {
+            self.log.borrow_mut().push(("event", time.as_secs()));
+        }
+        fn replica_count(&self, _user: UserId) -> usize {
+            1
+        }
+        fn memory_usage(&self) -> MemoryUsage {
+            MemoryUsage::default()
+        }
+    }
+
+    #[test]
+    fn mutations_and_cluster_events_merge_by_timestamp() {
+        let (graph, topology) = small_setup();
+        let victim = topology.servers()[0].machine();
+        // Event at t=50 predates the mutation at t=60; both are pending at
+        // the t=100 request and must apply in simulated-time order. The
+        // t=70 mutation/event tie applies mutation-first.
+        let mutations = vec![
+            TimedMutation {
+                time: SimTime::from_secs(60),
+                mutation: GraphMutation::AddEdge {
+                    follower: UserId::new(0),
+                    followee: UserId::new(1),
+                },
+            },
+            TimedMutation {
+                time: SimTime::from_secs(70),
+                mutation: GraphMutation::RemoveEdge {
+                    follower: UserId::new(0),
+                    followee: UserId::new(1),
+                },
+            },
+        ];
+        let events = vec![
+            TimedClusterEvent {
+                time: SimTime::from_secs(50),
+                event: dynasore_types::ClusterEvent::MachineDown { machine: victim },
+            },
+            TimedClusterEvent {
+                time: SimTime::from_secs(70),
+                event: dynasore_types::ClusterEvent::MachineUp { machine: victim },
+            },
+        ];
+        let engine = OrderRecorder {
+            log: std::cell::RefCell::new(Vec::new()),
+        };
+        let trace = vec![Request::read(SimTime::from_secs(100), UserId::new(1))];
+        let mut sim = Simulation::new(topology, engine, &graph)
+            .with_mutations(mutations)
+            .with_cluster_events(events);
+        sim.run(trace).unwrap();
+        assert_eq!(
+            *sim.engine().log.borrow(),
+            vec![
+                ("event", 50),
+                ("mutation", 60),
+                ("mutation", 70),
+                ("event", 70),
+            ]
+        );
+    }
+
+    #[test]
+    fn add_rack_events_grow_the_accounting_topology() {
+        let (graph, topology) = small_setup();
+        let engine = ModuloEngine::new(topology.clone());
+        let events = vec![TimedClusterEvent {
+            time: SimTime::from_secs(20),
+            event: dynasore_types::ClusterEvent::AddRack,
+        }];
+        let trace = vec![
+            Request::read(SimTime::from_secs(10), UserId::new(1)),
+            Request::read(SimTime::from_secs(30), UserId::new(2)),
+        ];
+        let mut sim = Simulation::new(topology.clone(), engine, &graph).with_cluster_events(events);
+        let report = sim.run(trace).unwrap();
+        assert_eq!(sim.topology().rack_count(), topology.rack_count() + 1);
+        // The report's per-tier averages use the final switch counts.
+        assert!(report.tier_average(Tier::Rack) >= 0.0);
     }
 
     #[test]

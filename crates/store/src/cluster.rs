@@ -2,15 +2,20 @@
 //! threads + persistent store.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
 use dynasore_core::{routing::closest_replica, DynaSoReEngine, InitialPlacement};
 use dynasore_graph::SocialGraph;
-use dynasore_sim::PlacementEngine;
 use dynasore_topology::Topology;
-use dynasore_types::{Error, Event, MachineId, MemoryBudget, Result, SimTime, UserId, View};
+// `PlacementEngine` lives in `dynasore-types` (layer 0); import it from
+// there, not through the `dynasore_sim` re-export two layers up — the store
+// needs the trait, not the simulator.
+use dynasore_types::{
+    ClusterEvent, Error, Event, MachineId, MemoryBudget, Message, PlacementEngine, Result, SimTime,
+    SubtreeId, UserId, View,
+};
 
 use crate::persistent::MockPersistentStore;
 use crate::server::ServerHandle;
@@ -50,6 +55,20 @@ pub struct StoreStats {
     pub persistent_reads: u64,
     /// Views currently cached across all servers.
     pub cached_views: usize,
+    /// Protocol messages exchanged with the persistent tier to re-create
+    /// views lost to machine failures.
+    pub recovery_messages: u64,
+}
+
+/// What one [`Cluster::apply_event`] call did: how many placement-protocol
+/// messages the engine emitted while reacting, and how many of them were
+/// recovery traffic from the persistent tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterChangeReport {
+    /// All messages the engine emitted while absorbing the event.
+    pub messages: u64,
+    /// The subset exchanged with the persistent tier (lost-master refills).
+    pub recovery_messages: u64,
 }
 
 /// A running in-memory view store: one thread per cache server, routed by a
@@ -67,6 +86,8 @@ pub struct Cluster {
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    recovery_messages: AtomicU64,
+    shut_down: AtomicBool,
 }
 
 impl Cluster {
@@ -108,6 +129,8 @@ impl Cluster {
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            recovery_messages: AtomicU64::new(0),
+            shut_down: AtomicBool::new(false),
         })
     }
 
@@ -116,6 +139,9 @@ impl Cluster {
     }
 
     fn check_user(&self, user: UserId) -> Result<()> {
+        if self.shut_down.load(Ordering::Acquire) {
+            return Err(Error::ClusterShutdown);
+        }
         if self.graph.contains_user(user) {
             Ok(())
         } else {
@@ -255,12 +281,118 @@ impl Cluster {
             persistent_writes: self.persistent.write_count(),
             persistent_reads: self.persistent.read_count(),
             cached_views: self.servers.iter().map(ServerHandle::len).sum(),
+            recovery_messages: self.recovery_messages.load(Ordering::Relaxed),
         }
     }
 
-    /// Stops every server thread. Dropping the cluster has the same effect;
-    /// this method only makes the teardown explicit.
-    pub fn shutdown(mut self) {
+    /// Applies a [`ClusterEvent`] to the *live* store: machine/rack failures
+    /// kill the real server threads (their cached views die with them),
+    /// recoveries and added racks spawn fresh ones, and drains migrate state
+    /// first. The placement engine reacts through its cluster-change hook —
+    /// re-filling lost masters from the persistent tier — and subsequent
+    /// reads transparently demand-fill the restarted caches from
+    /// [`MockPersistentStore`].
+    ///
+    /// Takes `&mut self`: cluster reconfiguration is an administrative
+    /// operation that excludes concurrent clients for its (short) duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ClusterShutdown`] after [`Cluster::shutdown`], and
+    /// propagates topology errors (unknown machines, growth on a flat
+    /// layout).
+    pub fn apply_event(&mut self, event: ClusterEvent) -> Result<ClusterChangeReport> {
+        if self.shut_down.load(Ordering::Acquire) {
+            return Err(Error::ClusterShutdown);
+        }
+        let time = self.now();
+        // Snapshot liveness before the event so revivals only touch machines
+        // that were actually down: restarting a running server thread would
+        // wipe its warm cache while the engine still counts it warm.
+        let previously_dead: Vec<MachineId> = match event {
+            ClusterEvent::MachineUp { machine } if !self.topology.is_live(machine) => {
+                vec![machine]
+            }
+            ClusterEvent::RackUp { rack } => {
+                let topology = &self.topology;
+                topology
+                    .machines_in_subtree(SubtreeId::Rack(rack.index()))
+                    .into_iter()
+                    .filter(|&m| !topology.is_live(m))
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        // Validate against (and sync) the store's own topology copy first,
+        // then let the engine absorb the event. Both copies see the same
+        // event stream, so they stay identical.
+        self.topology.apply_cluster_event(event)?;
+        let mut out: Vec<Message> = Vec::new();
+        self.engine
+            .get_mut()
+            .on_cluster_change(event, time, &mut out);
+        match event {
+            ClusterEvent::MachineDown { machine } | ClusterEvent::DrainMachine { machine } => {
+                self.stop_server_thread(machine);
+            }
+            ClusterEvent::MachineUp { .. } | ClusterEvent::RackUp { .. } => {
+                for machine in previously_dead {
+                    self.restart_server_thread(machine);
+                }
+            }
+            ClusterEvent::RackDown { rack } => {
+                for machine in self
+                    .topology
+                    .machines_in_subtree(SubtreeId::Rack(rack.index()))
+                {
+                    self.stop_server_thread(machine);
+                }
+            }
+            ClusterEvent::AddRack => {
+                // The topology grew above; spawn threads for the new servers.
+                for server in self.topology.servers() {
+                    let machine = server.machine();
+                    if !self.server_index.contains_key(&machine) {
+                        self.server_index.insert(machine, self.servers.len());
+                        self.servers.push(ServerHandle::spawn(machine));
+                    }
+                }
+            }
+        }
+        let recovery = out.iter().filter(|m| m.involves_persistent()).count() as u64;
+        self.recovery_messages
+            .fetch_add(recovery, Ordering::Relaxed);
+        Ok(ClusterChangeReport {
+            messages: out.len() as u64,
+            recovery_messages: recovery,
+        })
+    }
+
+    /// Kills the cache-server thread of `machine` (no-op for brokers or
+    /// already-stopped servers). The thread's views are gone; the engine has
+    /// already rerouted around them.
+    fn stop_server_thread(&mut self, machine: MachineId) {
+        if let Some(&idx) = self.server_index.get(&machine) {
+            self.servers[idx].shutdown();
+        }
+    }
+
+    /// Spawns a fresh (empty) cache-server thread for `machine`, replacing
+    /// the dead handle.
+    fn restart_server_thread(&mut self, machine: MachineId) {
+        if let Some(&idx) = self.server_index.get(&machine) {
+            self.servers[idx] = ServerHandle::spawn(machine);
+        }
+    }
+
+    /// Stops every server thread and rejects all further requests with
+    /// [`Error::ClusterShutdown`]. Idempotent: calling it again is a no-op.
+    /// Dropping the cluster without calling this joins the threads just the
+    /// same; `shutdown` only makes the teardown explicit.
+    pub fn shutdown(&mut self) {
+        if self.shut_down.swap(true, Ordering::AcqRel) {
+            return;
+        }
         for server in &mut self.servers {
             server.shutdown();
         }
@@ -281,7 +413,7 @@ mod tests {
 
     #[test]
     fn read_your_writes_through_a_follower() {
-        let (cluster, graph) = cluster();
+        let (mut cluster, graph) = cluster();
         // Find an author who has at least one follower.
         let author = graph
             .users()
@@ -300,7 +432,7 @@ mod tests {
 
     #[test]
     fn misses_fill_the_cache_and_turn_into_hits() {
-        let (cluster, graph) = cluster();
+        let (mut cluster, graph) = cluster();
         let author = graph
             .users()
             .find(|&u| !graph.followers(u).is_empty())
@@ -321,7 +453,7 @@ mod tests {
 
     #[test]
     fn unknown_users_are_rejected() {
-        let (cluster, _) = cluster();
+        let (mut cluster, _) = cluster();
         let ghost = UserId::new(9_999);
         assert!(matches!(
             cluster.write(ghost, vec![]),
@@ -344,7 +476,7 @@ mod tests {
 
     #[test]
     fn writes_reach_every_replica() {
-        let (cluster, graph) = cluster();
+        let (mut cluster, graph) = cluster();
         let author = graph
             .users()
             .find(|&u| !graph.followers(u).is_empty())
@@ -358,10 +490,131 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_is_idempotent_and_rejects_further_requests() {
+        let (mut cluster, graph) = cluster();
+        let user = graph.users().next().unwrap();
+        cluster.write(user, b"pre-shutdown".to_vec()).unwrap();
+        cluster.shutdown();
+        cluster.shutdown(); // Second call is a no-op.
+        assert!(matches!(
+            cluster.write(user, b"post".to_vec()),
+            Err(Error::ClusterShutdown)
+        ));
+        assert!(matches!(
+            cluster.read(user, &[]),
+            Err(Error::ClusterShutdown)
+        ));
+        assert!(matches!(
+            cluster.read_feed(user),
+            Err(Error::ClusterShutdown)
+        ));
+        assert!(matches!(
+            cluster.apply_event(ClusterEvent::AddRack),
+            Err(Error::ClusterShutdown)
+        ));
+        let message = Error::ClusterShutdown.to_string();
+        assert!(message.contains("shut down"), "undescriptive: {message}");
+    }
+
+    #[test]
+    fn dropping_without_shutdown_joins_all_threads() {
+        // The drop impls must neither hang nor leak: spawning and dropping
+        // repeatedly would deadlock here if a join were missed.
+        for seed in 0..3 {
+            let graph = SocialGraph::generate(GraphPreset::TwitterLike, 60, seed).unwrap();
+            let topology = Topology::tree(2, 2, 3, 1).unwrap();
+            let cluster = Cluster::spawn(&graph, topology, StoreConfig::default()).unwrap();
+            let user = graph.users().next().unwrap();
+            cluster.write(user, vec![seed as u8]).unwrap();
+            drop(cluster);
+        }
+    }
+
+    #[test]
+    fn killed_machines_fall_back_to_the_persistent_store() {
+        let (mut cluster, graph) = cluster();
+        let author = graph
+            .users()
+            .find(|&u| !graph.followers(u).is_empty())
+            .unwrap();
+        let reader = graph.followers(author)[0];
+        cluster.write(author, b"durable".to_vec()).unwrap();
+        let victim = {
+            let engine = cluster.engine.lock();
+            engine.replica_servers(author)[0]
+        };
+        let change = cluster
+            .apply_event(ClusterEvent::MachineDown { machine: victim })
+            .unwrap();
+        assert!(
+            change.recovery_messages > 0,
+            "losing a master must cost persistent-tier traffic"
+        );
+        assert!(change.messages >= change.recovery_messages);
+        // The data survives the crash: the read is served via the recovered
+        // replica, demand-filled from the persistent store.
+        let views = cluster.read(reader, &[author]).unwrap();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].latest().unwrap().payload(), b"durable");
+        assert!(!cluster
+            .engine
+            .lock()
+            .replica_servers(author)
+            .contains(&victim));
+        assert!(cluster.stats().recovery_messages > 0);
+
+        // Restart the machine: it rejoins empty and serves again.
+        cluster
+            .apply_event(ClusterEvent::MachineUp { machine: victim })
+            .unwrap();
+        let views = cluster.read(reader, &[author]).unwrap();
+        assert_eq!(views.len(), 1);
+        // Unknown machines are rejected.
+        assert!(cluster
+            .apply_event(ClusterEvent::MachineDown {
+                machine: MachineId::new(9_999)
+            })
+            .is_err());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn rack_failure_and_live_resize_keep_serving() {
+        let (mut cluster, graph) = cluster();
+        let author = graph
+            .users()
+            .find(|&u| !graph.followers(u).is_empty())
+            .unwrap();
+        let reader = graph.followers(author)[0];
+        cluster
+            .write(author, b"survives the rack".to_vec())
+            .unwrap();
+        cluster
+            .apply_event(ClusterEvent::RackDown {
+                rack: dynasore_types::RackId::new(0),
+            })
+            .unwrap();
+        let views = cluster.read(reader, &[author]).unwrap();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].latest().unwrap().payload(), b"survives the rack");
+
+        // Grow the cluster while it runs: new server threads spawn and the
+        // store keeps serving.
+        let servers_before = cluster.servers.len();
+        cluster.apply_event(ClusterEvent::AddRack).unwrap();
+        assert!(cluster.servers.len() > servers_before);
+        assert_eq!(cluster.topology().server_count(), cluster.servers.len());
+        cluster.write(author, b"after resize".to_vec()).unwrap();
+        let feed = cluster.read_feed(reader).unwrap();
+        assert!(feed.iter().any(|e| e.payload() == b"after resize"));
+        cluster.shutdown();
+    }
+
+    #[test]
     fn concurrent_clients_make_progress() {
         let graph = SocialGraph::generate(GraphPreset::TwitterLike, 100, 9).unwrap();
         let topology = Topology::tree(2, 2, 4, 1).unwrap();
-        let cluster = Cluster::spawn(&graph, topology, StoreConfig::default()).unwrap();
+        let mut cluster = Cluster::spawn(&graph, topology, StoreConfig::default()).unwrap();
         std::thread::scope(|scope| {
             for t in 0..4u32 {
                 let cluster = &cluster;

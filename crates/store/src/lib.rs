@@ -29,7 +29,7 @@
 //! # fn main() -> Result<(), dynasore_types::Error> {
 //! let graph = SocialGraph::generate(GraphPreset::TwitterLike, 200, 7)?;
 //! let topology = Topology::tree(2, 2, 4, 1)?;
-//! let cluster = Cluster::spawn(&graph, topology, StoreConfig::default())?;
+//! let mut cluster = Cluster::spawn(&graph, topology, StoreConfig::default())?;
 //!
 //! let alice = UserId::new(0);
 //! let follower = graph.followers(alice).first().copied();
@@ -50,5 +50,5 @@ mod cluster;
 mod persistent;
 mod server;
 
-pub use cluster::{Cluster, StoreConfig, StoreStats};
+pub use cluster::{Cluster, ClusterChangeReport, StoreConfig, StoreStats};
 pub use persistent::MockPersistentStore;

@@ -7,8 +7,8 @@
 //! table lookups — no tree walks and no heap allocation.
 
 use dynasore_types::{
-    BrokerId, Error, MachineId, MachineKind, MessageClass, RackId, Result, ServerId, SimTime,
-    SubtreeId,
+    BrokerId, ClusterEvent, Error, MachineId, MachineKind, MessageClass, RackId, Result, ServerId,
+    SimTime, SubtreeId,
 };
 
 use crate::traffic::TrafficAccount;
@@ -222,10 +222,24 @@ pub struct Topology {
     racks_per_intermediate: usize,
     machines_per_rack: usize,
     brokers_per_rack: usize,
+    rack_count: usize,
     machines: Vec<MachineInfo>,
     servers: Vec<ServerId>,
     brokers: Vec<BrokerId>,
     tables: RoutingTables,
+    /// Liveness mask over the dense machine table. All machines start live;
+    /// [`Topology::set_live`] flips entries when the cluster-dynamics layer
+    /// kills or revives machines. Hot-path queries stay mask-free (engines
+    /// maintain the invariant that replica lists only reference live
+    /// machines); placement-decision paths consult [`Topology::is_live`] in
+    /// O(1).
+    live: Vec<bool>,
+    live_machines: usize,
+    /// rack → its first *live* broker, kept in sync by [`Topology::set_live`]
+    /// so the per-request proxy-placement walk stays an O(1) table lookup
+    /// even while machines are down. `None` when every broker of the rack is
+    /// dead.
+    rack_first_live_broker: Vec<Option<BrokerId>>,
 }
 
 impl Topology {
@@ -301,16 +315,23 @@ impl Topology {
             racks_per_intermediate,
             intermediate_count,
         );
+        let live = vec![true; machines.len()];
+        let live_machines = machines.len();
+        let rack_first_live_broker = tables.rack_first_broker.iter().copied().map(Some).collect();
         Ok(Topology {
             kind: TopologyKind::Tree,
             intermediate_count,
             racks_per_intermediate,
             machines_per_rack,
             brokers_per_rack,
+            rack_count,
             machines,
             servers,
             brokers,
             tables,
+            live,
+            live_machines,
+            rack_first_live_broker,
         })
     }
 
@@ -338,16 +359,23 @@ impl Topology {
             brokers.push(BrokerId::new(id));
         }
         let tables = RoutingTables::build(&machines, &servers, &brokers, 1, 1, 1);
+        let live = vec![true; machines.len()];
+        let live_machines = machines.len();
+        let rack_first_live_broker = tables.rack_first_broker.iter().copied().map(Some).collect();
         Ok(Topology {
             kind: TopologyKind::Flat,
             intermediate_count: 1,
             racks_per_intermediate: 1,
             machines_per_rack: machine_count,
             brokers_per_rack: machine_count,
+            rack_count: 1,
             machines,
             servers,
             brokers,
             tables,
+            live,
+            live_machines,
+            rack_first_live_broker,
         })
     }
 
@@ -373,7 +401,7 @@ impl Topology {
 
     /// Number of racks.
     pub fn rack_count(&self) -> usize {
-        self.intermediate_count * self.racks_per_intermediate
+        self.rack_count
     }
 
     /// Number of intermediate switches.
@@ -547,9 +575,40 @@ impl Topology {
 
     /// Writes the switches a message from `a` to `b` traverses into `buf`
     /// (path order) and returns how many were written. Zero when `a == b`.
+    ///
+    /// Either endpoint may be [`MachineId::PERSISTENT`]: the durable store
+    /// attaches above the core switch, so its messages cross the top switch
+    /// and then descend through the other endpoint's intermediate and rack
+    /// switches.
     fn fill_path(&self, a: MachineId, b: MachineId, buf: &mut [Switch; 5]) -> usize {
         if a == b {
             return 0;
+        }
+        if a.is_persistent() || b.is_persistent() {
+            let machine = if a.is_persistent() { b } else { a };
+            if machine.is_persistent() {
+                return 0;
+            }
+            match self.kind {
+                TopologyKind::Flat => {
+                    buf[0] = Switch::Top;
+                    return 1;
+                }
+                TopologyKind::Tree => {
+                    let rack = self.tables.machine_rack[machine.as_usize()];
+                    let inter = self.tables.machine_intermediate[machine.as_usize()];
+                    if a.is_persistent() {
+                        buf[0] = Switch::Top;
+                        buf[1] = Switch::Intermediate(inter);
+                        buf[2] = Switch::Rack(rack);
+                    } else {
+                        buf[0] = Switch::Rack(rack);
+                        buf[1] = Switch::Intermediate(inter);
+                        buf[2] = Switch::Top;
+                    }
+                    return 3;
+                }
+            }
         }
         match self.kind {
             TopologyKind::Flat => {
@@ -697,10 +756,11 @@ impl Topology {
                 .map(SubtreeId::Intermediate)
                 .collect(),
             (TopologyKind::Tree, SubtreeId::Intermediate(i)) => {
+                // The last intermediate switch may hold fewer racks after
+                // elastic growth, so clamp to the actual rack count.
                 let first = i * self.racks_per_intermediate as u32;
-                (first..first + self.racks_per_intermediate as u32)
-                    .map(SubtreeId::Rack)
-                    .collect()
+                let last = (first + self.racks_per_intermediate as u32).min(self.rack_count as u32);
+                (first..last).map(SubtreeId::Rack).collect()
             }
             (TopologyKind::Tree, SubtreeId::Rack(r)) => self
                 .machines
@@ -810,7 +870,9 @@ impl Topology {
                 let is_ = rs / self.racks_per_intermediate as u32;
                 let mut origins = Vec::new();
                 let first_rack = is_ * self.racks_per_intermediate as u32;
-                for r in first_rack..first_rack + self.racks_per_intermediate as u32 {
+                let last_rack =
+                    (first_rack + self.racks_per_intermediate as u32).min(self.rack_count as u32);
+                for r in first_rack..last_rack {
                     origins.push(SubtreeId::Rack(r));
                 }
                 for i in 0..self.intermediate_count as u32 {
@@ -879,9 +941,196 @@ impl Topology {
     }
 
     /// The first broker of `rack` (the broker a rack's proxies deploy on),
-    /// if the rack exists.
+    /// if the rack exists. Ignores liveness — use
+    /// [`Topology::first_live_broker_in_rack`] on paths that must route
+    /// around failures.
     pub fn first_broker_in_rack(&self, rack: RackId) -> Option<BrokerId> {
         self.tables.rack_first_broker.get(rack.as_usize()).copied()
+    }
+
+    // --- Liveness and elasticity -------------------------------------------
+    //
+    // The queries below power the cluster-dynamics subsystem. The mask
+    // itself is a dense per-machine bit vector; the derived per-rack
+    // first-live-broker table is maintained eagerly by `set_live` so the
+    // per-request proxy-placement walk stays an O(1) lookup while machines
+    // are down.
+
+    /// Whether `machine` is currently live. Unknown machines (including
+    /// [`MachineId::PERSISTENT`]) report `false`.
+    #[inline]
+    pub fn is_live(&self, machine: MachineId) -> bool {
+        self.live.get(machine.as_usize()).copied().unwrap_or(false)
+    }
+
+    /// Marks `machine` live or dead, updating the derived first-live-broker
+    /// table. Setting the current state again is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`] for out-of-range ids.
+    pub fn set_live(&mut self, machine: MachineId, live: bool) -> Result<()> {
+        let info = self.info(machine)?.clone();
+        let entry = &mut self.live[machine.as_usize()];
+        if *entry == live {
+            return Ok(());
+        }
+        *entry = live;
+        if live {
+            self.live_machines += 1;
+        } else {
+            self.live_machines -= 1;
+        }
+        if info.is_broker {
+            let first_live = self
+                .brokers_in_rack_slice(RackId::new(info.rack))
+                .iter()
+                .copied()
+                .find(|b| self.live[b.machine().as_usize()]);
+            self.rack_first_live_broker[info.rack as usize] = first_live;
+        }
+        Ok(())
+    }
+
+    /// Number of machines currently live.
+    pub fn live_machine_count(&self) -> usize {
+        self.live_machines
+    }
+
+    /// The first *live* broker of `rack`, an O(1) lookup in the liveness
+    /// table. `None` when the rack does not exist or all its brokers are
+    /// dead.
+    #[inline]
+    pub fn first_live_broker_in_rack(&self, rack: RackId) -> Option<BrokerId> {
+        self.rack_first_live_broker
+            .get(rack.as_usize())
+            .copied()
+            .flatten()
+    }
+
+    /// The live broker closest to `machine`: the first live broker of its
+    /// own rack, then of the sibling racks under its intermediate switch
+    /// (index order), then of any rack. Used to re-home proxies after a
+    /// broker failure. `None` only when every broker in the cluster is dead
+    /// or `machine` is unknown.
+    pub fn closest_live_broker(&self, machine: MachineId) -> Option<BrokerId> {
+        let info = self.machines.get(machine.as_usize())?;
+        if self.kind == TopologyKind::Flat {
+            if self.is_live(machine) {
+                return Some(BrokerId::new(machine));
+            }
+            return self
+                .brokers
+                .iter()
+                .copied()
+                .find(|b| self.is_live(b.machine()));
+        }
+        let rack = info.rack as usize;
+        if let Some(broker) = self.first_live_broker_in_rack(RackId::new(info.rack)) {
+            return Some(broker);
+        }
+        let inter = self.tables.rack_intermediate[rack] as usize;
+        let first = inter * self.racks_per_intermediate;
+        let last = (first + self.racks_per_intermediate).min(self.rack_count);
+        for r in first..last {
+            if let Some(broker) = self.first_live_broker_in_rack(RackId::new(r as u32)) {
+                return Some(broker);
+            }
+        }
+        (0..self.rack_count).find_map(|r| self.first_live_broker_in_rack(RackId::new(r as u32)))
+    }
+
+    /// Appends one rack of machines — same shape as the existing racks
+    /// (`machines_per_rack` machines of which `brokers_per_rack` are
+    /// brokers) — to the tree, rebuilding the dense routing tables. The new
+    /// rack lands under the last intermediate switch if it has room,
+    /// otherwise a new intermediate switch is created. New machines start
+    /// live and get the highest machine ids, so existing ids, server
+    /// ordinals and rack indices are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] on a flat topology, which has no
+    /// rack structure to extend.
+    pub fn add_rack(&mut self) -> Result<RackId> {
+        if self.kind != TopologyKind::Tree {
+            return Err(Error::invalid_config(
+                "only tree topologies can grow by racks",
+            ));
+        }
+        let rack = self.rack_count as u32;
+        for slot in 0..self.machines_per_rack {
+            let id = MachineId::new(self.machines.len() as u32);
+            let is_broker = slot < self.brokers_per_rack;
+            self.machines.push(MachineInfo {
+                rack,
+                is_server: !is_broker,
+                is_broker,
+            });
+            if is_broker {
+                self.brokers.push(BrokerId::new(id));
+            } else {
+                self.servers.push(ServerId::new(id));
+            }
+            self.live.push(true);
+            self.live_machines += 1;
+        }
+        self.rack_count += 1;
+        self.intermediate_count = self.rack_count.div_ceil(self.racks_per_intermediate);
+        self.tables = RoutingTables::build(
+            &self.machines,
+            &self.servers,
+            &self.brokers,
+            self.rack_count,
+            self.racks_per_intermediate,
+            self.intermediate_count,
+        );
+        // Rebuild the live-broker table from scratch: the broker slices may
+        // have shifted and the new rack's brokers are all live.
+        self.rack_first_live_broker = (0..self.rack_count)
+            .map(|r| {
+                self.brokers_in_rack_slice(RackId::new(r as u32))
+                    .iter()
+                    .copied()
+                    .find(|b| self.live[b.machine().as_usize()])
+            })
+            .collect();
+        Ok(RackId::new(rack))
+    }
+
+    /// Applies a [`ClusterEvent`] to this topology's liveness mask and (for
+    /// [`ClusterEvent::AddRack`]) its shape. Engines and drivers each own a
+    /// topology clone; both apply the same event stream so their views stay
+    /// in sync. Draining a machine marks it dead here — the graceful part
+    /// (migrating state first) is the engine's job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`] for events naming machines outside
+    /// the topology and [`Error::InvalidConfig`] for growth events the
+    /// topology kind does not support.
+    pub fn apply_cluster_event(&mut self, event: ClusterEvent) -> Result<()> {
+        match event {
+            ClusterEvent::MachineDown { machine } | ClusterEvent::DrainMachine { machine } => {
+                self.set_live(machine, false)
+            }
+            ClusterEvent::MachineUp { machine } => self.set_live(machine, true),
+            ClusterEvent::RackDown { rack } | ClusterEvent::RackUp { rack } => {
+                let live = matches!(event, ClusterEvent::RackUp { .. });
+                if rack.as_usize() >= self.rack_count {
+                    return Err(Error::invalid_config(format!(
+                        "{rack} does not exist in this topology"
+                    )));
+                }
+                for i in 0..self.machines.len() {
+                    if self.machines[i].rack == rack.index() {
+                        self.set_live(MachineId::new(i as u32), live)?;
+                    }
+                }
+                Ok(())
+            }
+            ClusterEvent::AddRack => self.add_rack().map(|_| ()),
+        }
     }
 }
 
@@ -1081,6 +1330,148 @@ mod tests {
         );
         assert!(t.is_broker(broker.machine()));
         assert!(t.local_broker(m(9_999)).is_err());
+    }
+
+    #[test]
+    fn liveness_mask_tracks_machines_and_brokers() {
+        let mut t = Topology::tree(2, 2, 3, 1).unwrap();
+        assert_eq!(t.live_machine_count(), 12);
+        assert!(t.is_live(m(0)));
+        assert!(!t.is_live(MachineId::PERSISTENT));
+        // Killing a server changes nothing broker-wise.
+        t.set_live(m(1), false).unwrap();
+        assert!(!t.is_live(m(1)));
+        assert_eq!(t.live_machine_count(), 11);
+        assert_eq!(
+            t.first_live_broker_in_rack(RackId::new(0)),
+            Some(BrokerId::new(m(0)))
+        );
+        // Killing rack 0's only broker empties its live-broker slot and
+        // re-homes to the sibling rack under the same intermediate.
+        t.set_live(m(0), false).unwrap();
+        assert_eq!(t.first_live_broker_in_rack(RackId::new(0)), None);
+        assert_eq!(t.closest_live_broker(m(2)), Some(BrokerId::new(m(3))));
+        // Idempotent sets do not corrupt the counters.
+        t.set_live(m(0), false).unwrap();
+        assert_eq!(t.live_machine_count(), 10);
+        t.set_live(m(0), true).unwrap();
+        assert_eq!(
+            t.first_live_broker_in_rack(RackId::new(0)),
+            Some(BrokerId::new(m(0)))
+        );
+        assert!(t.set_live(m(99), false).is_err());
+    }
+
+    #[test]
+    fn closest_live_broker_escalates_to_remote_intermediates() {
+        let mut t = Topology::tree(2, 2, 3, 1).unwrap();
+        // Kill every broker under intermediate 0 (racks 0 and 1).
+        t.set_live(m(0), false).unwrap();
+        t.set_live(m(3), false).unwrap();
+        assert_eq!(t.closest_live_broker(m(1)), Some(BrokerId::new(m(6))));
+        // Kill the rest: no live broker anywhere.
+        t.set_live(m(6), false).unwrap();
+        t.set_live(m(9), false).unwrap();
+        assert_eq!(t.closest_live_broker(m(1)), None);
+        assert_eq!(t.closest_live_broker(m(999)), None);
+    }
+
+    #[test]
+    fn flat_closest_live_broker_prefers_self() {
+        let mut t = Topology::flat(4).unwrap();
+        assert_eq!(t.closest_live_broker(m(2)), Some(BrokerId::new(m(2))));
+        t.set_live(m(2), false).unwrap();
+        assert_eq!(t.closest_live_broker(m(2)), Some(BrokerId::new(m(0))));
+    }
+
+    #[test]
+    fn persistent_tier_paths_cross_the_top_switch() {
+        let t = Topology::paper_tree().unwrap();
+        let down = t.path_switches(MachineId::PERSISTENT, m(51));
+        assert_eq!(
+            down,
+            vec![Switch::Top, Switch::Intermediate(1), Switch::Rack(5)]
+        );
+        let up = t.path_switches(m(51), MachineId::PERSISTENT);
+        assert_eq!(
+            up,
+            vec![Switch::Rack(5), Switch::Intermediate(1), Switch::Top]
+        );
+        let flat = Topology::flat(3).unwrap();
+        assert_eq!(
+            flat.path_switches(MachineId::PERSISTENT, m(1)),
+            vec![Switch::Top]
+        );
+    }
+
+    #[test]
+    fn add_rack_grows_the_tree_without_renumbering() {
+        let mut t = Topology::tree(2, 2, 3, 1).unwrap();
+        let before_servers: Vec<_> = t.servers().to_vec();
+        // 4 racks over 2 intermediates: the next rack opens intermediate 2.
+        let rack = t.add_rack().unwrap();
+        assert_eq!(rack, RackId::new(4));
+        assert_eq!(t.rack_count(), 5);
+        assert_eq!(t.intermediate_count(), 3);
+        assert_eq!(t.machine_count(), 15);
+        assert_eq!(t.live_machine_count(), 15);
+        // Existing ids and ordinals are untouched; new machines append.
+        assert_eq!(&t.servers()[..before_servers.len()], &before_servers[..]);
+        assert_eq!(t.rack_of(m(12)).unwrap(), RackId::new(4));
+        assert!(t.is_broker(m(12)));
+        assert!(t.is_server(m(13)));
+        assert_eq!(t.intermediate_of(m(13)).unwrap(), 2);
+        assert_eq!(t.servers_in_rack(RackId::new(4)).len(), 2);
+        assert_eq!(
+            t.first_live_broker_in_rack(RackId::new(4)),
+            Some(BrokerId::new(m(12)))
+        );
+        // Partial intermediate 2 holds only the new rack.
+        assert_eq!(
+            t.children(SubtreeId::Intermediate(2)),
+            vec![SubtreeId::Rack(4)]
+        );
+        assert_eq!(t.servers_in_subtree(SubtreeId::Intermediate(2)).len(), 2);
+        // Distances to the new rack cross the core.
+        assert_eq!(t.distance(m(1), m(13)), 5);
+        // Origins of a server in the partial intermediate stay consistent.
+        let origins = t.possible_origins(m(13));
+        assert!(origins.contains(&SubtreeId::Rack(4)));
+        assert!(!origins.contains(&SubtreeId::Rack(5)));
+        // Flat topologies cannot grow by racks.
+        assert!(Topology::flat(3).unwrap().add_rack().is_err());
+    }
+
+    #[test]
+    fn apply_cluster_event_updates_the_mask_and_shape() {
+        let mut t = Topology::tree(2, 2, 3, 1).unwrap();
+        t.apply_cluster_event(ClusterEvent::MachineDown { machine: m(1) })
+            .unwrap();
+        assert!(!t.is_live(m(1)));
+        t.apply_cluster_event(ClusterEvent::MachineUp { machine: m(1) })
+            .unwrap();
+        assert!(t.is_live(m(1)));
+        t.apply_cluster_event(ClusterEvent::RackDown {
+            rack: RackId::new(1),
+        })
+        .unwrap();
+        assert!((3..6).all(|i| !t.is_live(m(i))));
+        assert_eq!(t.live_machine_count(), 9);
+        t.apply_cluster_event(ClusterEvent::RackUp {
+            rack: RackId::new(1),
+        })
+        .unwrap();
+        assert_eq!(t.live_machine_count(), 12);
+        t.apply_cluster_event(ClusterEvent::DrainMachine { machine: m(4) })
+            .unwrap();
+        assert!(!t.is_live(m(4)));
+        t.apply_cluster_event(ClusterEvent::AddRack).unwrap();
+        assert_eq!(t.rack_count(), 5);
+        assert!(t
+            .apply_cluster_event(ClusterEvent::RackDown {
+                rack: RackId::new(99)
+            })
+            .is_err());
     }
 
     #[test]

@@ -6,7 +6,75 @@
 //! must live below both to keep the dependency DAG acyclic and strictly
 //! layered.
 
-use crate::{MachineId, MessageClass, SimTime, UserId};
+use crate::{MachineId, MessageClass, RackId, SimTime, UserId};
+
+/// A change of the cluster itself: machines failing, recovering, being
+/// drained for maintenance, or capacity being added while the system runs.
+///
+/// The paper's design makes cache servers disposable — the durable backing
+/// store can regenerate any view (§3.3) — so the interesting questions are
+/// *how much recovery traffic* a failure causes and *how fast* the placement
+/// re-converges. These events are scheduled in a simulation (alongside graph
+/// mutations) or applied to a live store, and delivered to every
+/// [`PlacementEngine`] through
+/// [`PlacementEngine::on_cluster_change`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// A machine crashes: its cached views and proxies are lost instantly.
+    MachineDown {
+        /// The failing machine.
+        machine: MachineId,
+    },
+    /// A previously failed machine rejoins with an empty cache.
+    MachineUp {
+        /// The recovering machine.
+        machine: MachineId,
+    },
+    /// A whole rack fails at once (correlated failure: shared switch or
+    /// power domain).
+    RackDown {
+        /// The failing rack.
+        rack: RackId,
+    },
+    /// A previously failed rack rejoins, all machines empty.
+    RackUp {
+        /// The recovering rack.
+        rack: RackId,
+    },
+    /// A machine is gracefully taken out of service: its state is migrated
+    /// to live machines *before* it stops, so no recovery from the
+    /// persistent tier is needed.
+    DrainMachine {
+        /// The machine being drained.
+        machine: MachineId,
+    },
+    /// A new rack of machines (same shape as the existing racks) is added to
+    /// the cluster, growing its capacity while it serves traffic.
+    AddRack,
+}
+
+impl std::fmt::Display for ClusterEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterEvent::MachineDown { machine } => write!(f, "machine-down {machine}"),
+            ClusterEvent::MachineUp { machine } => write!(f, "machine-up {machine}"),
+            ClusterEvent::RackDown { rack } => write!(f, "rack-down {rack}"),
+            ClusterEvent::RackUp { rack } => write!(f, "rack-up {rack}"),
+            ClusterEvent::DrainMachine { machine } => write!(f, "drain {machine}"),
+            ClusterEvent::AddRack => write!(f, "add-rack"),
+        }
+    }
+}
+
+/// A [`ClusterEvent`] scheduled at a specific simulation time — the unit of
+/// a failure schedule, mirroring the `TimedMutation` of graph changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedClusterEvent {
+    /// When the event takes effect.
+    pub time: SimTime,
+    /// The event itself.
+    pub event: ClusterEvent,
+}
 
 /// A timed modification of the social graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +126,24 @@ impl Message {
             to,
             class: MessageClass::Protocol,
         }
+    }
+
+    /// Creates one protocol message of a view transfer from the persistent
+    /// tier to `to` — the unit of recovery traffic after a cache-machine
+    /// failure. The durable store attaches above the core switch, so this
+    /// message crosses the top of the tree on its way down to `to`.
+    pub fn persistent_fetch(to: MachineId) -> Self {
+        Message {
+            from: MachineId::PERSISTENT,
+            to,
+            class: MessageClass::Protocol,
+        }
+    }
+
+    /// Whether this message involves the persistent tier (recovery or
+    /// demand-fill traffic rather than cache-to-cache traffic).
+    pub fn involves_persistent(&self) -> bool {
+        self.from.is_persistent() || self.to.is_persistent()
     }
 
     /// Whether the message stays on one machine (and therefore crosses no
@@ -150,6 +236,30 @@ pub trait PlacementEngine {
     ) {
     }
 
+    /// Notification that the cluster itself changed: a machine or rack
+    /// failed or recovered, a machine is being drained, or capacity was
+    /// added. Engines drop replicas lost to failures, re-create sole
+    /// replicas from the persistent tier (reporting the recovery traffic to
+    /// `out`), and absorb new capacity.
+    ///
+    /// The default is a no-op so custom engines keep compiling; such engines
+    /// simply behave as if the cluster were static.
+    fn on_cluster_change(
+        &mut self,
+        _event: ClusterEvent,
+        _time: SimTime,
+        _out: &mut dyn TrafficSink,
+    ) {
+    }
+
+    /// Number of read targets the engine could not serve because the view
+    /// had no live replica (cumulative over the engine's lifetime). Always 0
+    /// for engines that never lose views — the default keeps custom engines
+    /// compiling.
+    fn unreachable_reads(&self) -> u64 {
+        0
+    }
+
     /// Number of replicas of `user`'s view currently stored (≥ 1 for every
     /// known user). Used by the flash-event experiment (Figure 5).
     fn replica_count(&self, user: UserId) -> usize;
@@ -190,6 +300,14 @@ impl<T: PlacementEngine + ?Sized> PlacementEngine for Box<T> {
         (**self).on_graph_change(mutation, time, out);
     }
 
+    fn on_cluster_change(&mut self, event: ClusterEvent, time: SimTime, out: &mut dyn TrafficSink) {
+        (**self).on_cluster_change(event, time, out);
+    }
+
+    fn unreachable_reads(&self) -> u64 {
+        (**self).unreachable_reads()
+    }
+
     fn replica_count(&self, user: UserId) -> usize {
         (**self).replica_count(user)
     }
@@ -226,6 +344,51 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0], Message::application(a, b));
         assert_eq!(out[1], Message::protocol(b, a));
+    }
+
+    #[test]
+    fn persistent_fetch_marks_recovery_traffic() {
+        let m = MachineId::new(3);
+        let fetch = Message::persistent_fetch(m);
+        assert_eq!(fetch.class, MessageClass::Protocol);
+        assert_eq!(fetch.from, MachineId::PERSISTENT);
+        assert!(fetch.involves_persistent());
+        assert!(!fetch.is_local());
+        assert!(!Message::application(m, m).involves_persistent());
+        assert!(MachineId::PERSISTENT.is_persistent());
+        assert!(!m.is_persistent());
+    }
+
+    #[test]
+    fn cluster_events_render_for_logs() {
+        let m = MachineId::new(4);
+        let r = RackId::new(2);
+        assert_eq!(
+            ClusterEvent::MachineDown { machine: m }.to_string(),
+            "machine-down m4"
+        );
+        assert_eq!(
+            ClusterEvent::MachineUp { machine: m }.to_string(),
+            "machine-up m4"
+        );
+        assert_eq!(
+            ClusterEvent::RackDown { rack: r }.to_string(),
+            "rack-down rack2"
+        );
+        assert_eq!(
+            ClusterEvent::RackUp { rack: r }.to_string(),
+            "rack-up rack2"
+        );
+        assert_eq!(
+            ClusterEvent::DrainMachine { machine: m }.to_string(),
+            "drain m4"
+        );
+        assert_eq!(ClusterEvent::AddRack.to_string(), "add-rack");
+        let timed = TimedClusterEvent {
+            time: SimTime::from_secs(5),
+            event: ClusterEvent::AddRack,
+        };
+        assert_eq!(timed, timed);
     }
 
     #[test]

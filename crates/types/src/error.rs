@@ -37,6 +37,9 @@ pub enum Error {
     /// not be found on any server. Indicates a placement-invariant
     /// violation.
     ViewLost(UserId),
+    /// The cluster has been shut down; no further reads or writes are
+    /// accepted.
+    ClusterShutdown,
     /// An I/O error occurred while reading or writing a dataset file.
     Io(String),
 }
@@ -67,6 +70,9 @@ impl fmt::Display for Error {
                 "insufficient cluster capacity: {required} view slots required, {available} available"
             ),
             Error::ServerFull(m) => write!(f, "server {m} is full"),
+            Error::ClusterShutdown => {
+                write!(f, "cluster is shut down and accepts no further requests")
+            }
             Error::ViewLost(u) => write!(f, "view of user {u} has no replica"),
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
         }
@@ -102,6 +108,10 @@ mod tests {
                 "insufficient cluster capacity: 10 view slots required, 5 available",
             ),
             (Error::ServerFull(MachineId::new(2)), "server m2 is full"),
+            (
+                Error::ClusterShutdown,
+                "cluster is shut down and accepts no further requests",
+            ),
             (
                 Error::ViewLost(UserId::new(9)),
                 "view of user u9 has no replica",

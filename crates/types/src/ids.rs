@@ -71,9 +71,22 @@ impl fmt::Display for UserId {
 pub struct MachineId(u32);
 
 impl MachineId {
+    /// Sentinel id for the durable persistent tier (§3.3 of the paper). It
+    /// is not a cluster machine — topologies never contain it — but it can
+    /// appear as a message endpoint so that recovery and demand-fill traffic
+    /// is charged to the switches between a cache machine and the store,
+    /// which attaches above the core switch.
+    pub const PERSISTENT: MachineId = MachineId(u32::MAX);
+
     /// Creates a machine id from its dense index.
     pub fn new(index: u32) -> Self {
         MachineId(index)
+    }
+
+    /// Whether this is the persistent-tier sentinel rather than a cluster
+    /// machine.
+    pub fn is_persistent(self) -> bool {
+        self == MachineId::PERSISTENT
     }
 
     /// Returns the dense index of this machine.

@@ -45,12 +45,18 @@ mod time;
 mod traffic;
 
 pub use budget::MemoryBudget;
-pub use engine::{GraphMutation, MemoryUsage, Message, PlacementEngine, TrafficSink};
+pub use engine::{
+    ClusterEvent, GraphMutation, MemoryUsage, Message, PlacementEngine, TimedClusterEvent,
+    TrafficSink,
+};
 pub use error::{Error, Result};
 pub use event::{Event, View};
 pub use ids::{BrokerId, MachineId, MachineKind, RackId, ServerId, SubtreeId, UserId};
 pub use time::{SimTime, DAY_SECS, HOUR_SECS, MINUTE_SECS};
-pub use traffic::{MessageClass, TrafficUnits, APP_MESSAGE_UNITS, PROTOCOL_MESSAGE_UNITS};
+pub use traffic::{
+    MessageClass, TrafficUnits, APP_MESSAGE_UNITS, PROTOCOL_MESSAGE_UNITS,
+    VIEW_TRANSFER_PROTOCOL_MESSAGES,
+};
 
 /// The kind of request a user submits to the store.
 ///

@@ -15,6 +15,15 @@ pub const APP_MESSAGE_UNITS: u64 = 10;
 /// threshold piggybacking), in traffic units.
 pub const PROTOCOL_MESSAGE_UNITS: u64 = 1;
 
+/// Number of protocol messages modelling the transfer of one view's data
+/// when a replica is created, migrated or recovered. A view transfer carries
+/// as much data as an application message (10 protocol units), but it is
+/// *system* traffic, so it is accounted as protocol messages (cf. Figure 6,
+/// which separates application from system traffic). Shared by every engine
+/// so replica creation, drain migration and persistent-tier recovery all
+/// cost the same.
+pub const VIEW_TRANSFER_PROTOCOL_MESSAGES: usize = 10;
+
 /// Accumulated traffic, in abstract units.
 pub type TrafficUnits = u64;
 

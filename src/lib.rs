@@ -68,10 +68,15 @@ pub mod prelude {
     pub use dynasore_core::{DynaSoReConfig, DynaSoReEngine, InitialPlacement};
     pub use dynasore_graph::{GraphPreset, SocialGraph};
     pub use dynasore_partition::{Partitioner, Partitioning, TreeShape};
-    pub use dynasore_sim::{MemoryUsage, Message, PlacementEngine, SimReport, Simulation};
-    pub use dynasore_store::{Cluster, StoreConfig};
+    pub use dynasore_sim::{
+        MemoryUsage, Message, PlacementEngine, ReliabilityStats, SimReport, Simulation,
+    };
+    pub use dynasore_store::{Cluster, ClusterChangeReport, StoreConfig};
     pub use dynasore_topology::{Switch, Tier, Topology, TrafficAccount};
-    pub use dynasore_types::{Error, Event, MemoryBudget, Operation, SimTime, UserId, View};
+    pub use dynasore_types::{
+        ClusterEvent, Error, Event, MemoryBudget, Operation, SimTime, TimedClusterEvent, UserId,
+        View,
+    };
     pub use dynasore_workload::{
         DiurnalConfig, DiurnalTraceGenerator, FlashEventPlan, Request, SyntheticConfig,
         SyntheticTraceGenerator,

@@ -11,7 +11,7 @@ use dynasore::prelude::*;
 use dynasore_baselines::{SparEngine, StaticPlacement};
 use dynasore_sim::SimReport;
 use dynasore_topology::Tier;
-use dynasore_types::{Message, MessageClass, TrafficSink};
+use dynasore_types::{MachineId, Message, MessageClass, RackId, TrafficSink};
 
 const USERS: usize = 500;
 const SEED: u64 = 97;
@@ -94,6 +94,133 @@ fn same_seed_produces_identical_reports() {
         // Belt and braces: the debug rendering (which includes every field,
         // time series included) must match byte for byte.
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}
+
+/// A failure schedule interleaved with the trace: machine m1 (a rack-0
+/// server) crashes at hour 6 and returns at hour 18, with a drain and a
+/// capacity addition later in the run.
+fn failure_schedule() -> Vec<TimedClusterEvent> {
+    vec![
+        TimedClusterEvent {
+            time: SimTime::from_hours(6),
+            event: ClusterEvent::MachineDown {
+                machine: MachineId::new(1),
+            },
+        },
+        TimedClusterEvent {
+            time: SimTime::from_hours(18),
+            event: ClusterEvent::MachineUp {
+                machine: MachineId::new(1),
+            },
+        },
+        TimedClusterEvent {
+            time: SimTime::from_hours(26),
+            event: ClusterEvent::RackDown {
+                rack: RackId::new(1),
+            },
+        },
+        TimedClusterEvent {
+            time: SimTime::from_hours(30),
+            event: ClusterEvent::RackUp {
+                rack: RackId::new(1),
+            },
+        },
+        TimedClusterEvent {
+            time: SimTime::from_hours(34),
+            event: ClusterEvent::DrainMachine {
+                machine: MachineId::new(2),
+            },
+        },
+        TimedClusterEvent {
+            time: SimTime::from_hours(40),
+            event: ClusterEvent::AddRack,
+        },
+    ]
+}
+
+fn run_with_failures<E: PlacementEngine>(
+    engine: E,
+    graph: &SocialGraph,
+    topology: &Topology,
+) -> SimReport {
+    let trace = SyntheticTraceGenerator::paper_defaults(graph, 2, SEED).unwrap();
+    let mut sim =
+        Simulation::new(topology.clone(), engine, graph).with_cluster_events(failure_schedule());
+    sim.run(trace).unwrap()
+}
+
+/// A seeded simulation with a scheduled MachineDown/MachineUp pair (plus a
+/// rack outage, a drain and a capacity addition) must be byte-identical
+/// across runs for every engine kind, report nonzero recovery traffic, and
+/// reach 100% eventual availability.
+#[test]
+fn failure_schedules_interleave_deterministically() {
+    let graph = graph();
+    let topology = topology();
+
+    let runs: Vec<(SimReport, SimReport)> = vec![
+        (
+            run_with_failures(dynasore(&graph, &topology), &graph, &topology),
+            run_with_failures(dynasore(&graph, &topology), &graph, &topology),
+        ),
+        (
+            run_with_failures(
+                SparEngine::new(
+                    &graph,
+                    &topology,
+                    MemoryBudget::with_extra_percent(USERS, 40),
+                    SEED,
+                )
+                .unwrap(),
+                &graph,
+                &topology,
+            ),
+            run_with_failures(
+                SparEngine::new(
+                    &graph,
+                    &topology,
+                    MemoryBudget::with_extra_percent(USERS, 40),
+                    SEED,
+                )
+                .unwrap(),
+                &graph,
+                &topology,
+            ),
+        ),
+        (
+            run_with_failures(
+                StaticPlacement::random(&graph, &topology, SEED).unwrap(),
+                &graph,
+                &topology,
+            ),
+            run_with_failures(
+                StaticPlacement::random(&graph, &topology, SEED).unwrap(),
+                &graph,
+                &topology,
+            ),
+        ),
+    ];
+    for (a, b) in &runs {
+        assert_eq!(
+            a,
+            b,
+            "engine {} is not deterministic under failures",
+            a.engine_name()
+        );
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(
+            a.recovery_messages() > 0,
+            "engine {}: machine loss must cost recovery traffic",
+            a.engine_name()
+        );
+        assert_eq!(
+            a.availability(),
+            1.0,
+            "engine {}: every lost master must be recovered",
+            a.engine_name()
+        );
+        assert_eq!(a.unreachable_reads(), 0, "engine {}", a.engine_name());
     }
 }
 

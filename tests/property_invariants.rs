@@ -105,6 +105,134 @@ proptest! {
     }
 
     #[test]
+    fn workload_samplers_are_deterministic_and_time_ordered(
+        users in 20usize..100,
+        days in 1u64..3,
+        seed in 0u64..500,
+    ) {
+        // Failure schedules interleave with generated traces by timestamp,
+        // so reproducible fault experiments need every sampler to be a pure
+        // function of its seed AND to emit time-ordered requests. Pin both
+        // properties for each generator family.
+        let graph = SocialGraph::generate(GraphPreset::FacebookLike, users, seed).unwrap();
+
+        // Synthetic: identical replay, different seed diverges.
+        let a: Vec<_> = SyntheticTraceGenerator::paper_defaults(&graph, days, seed)
+            .unwrap()
+            .collect();
+        let b: Vec<_> = SyntheticTraceGenerator::paper_defaults(&graph, days, seed)
+            .unwrap()
+            .collect();
+        prop_assert_eq!(&a, &b);
+        let other: Vec<_> = SyntheticTraceGenerator::paper_defaults(&graph, days, seed + 1)
+            .unwrap()
+            .collect();
+        prop_assert!(a != other, "different seeds must diverge");
+        prop_assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+
+        // Diurnal: same contract despite the non-homogeneous clock.
+        let config = DiurnalConfig { days, ..DiurnalConfig::default() };
+        let a: Vec<_> = DiurnalTraceGenerator::new(&graph, config, seed).unwrap().collect();
+        let b: Vec<_> = DiurnalTraceGenerator::new(&graph, config, seed).unwrap().collect();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+        prop_assert!(a.iter().all(|r| graph.contains_user(r.user)));
+
+        // Flash events: same plan per seed, time-ordered mutations. Dense
+        // little graphs may leave few non-followers, so size the spike to
+        // what is available.
+        let target = UserId::new(seed as u32 % users as u32);
+        let existing: std::collections::HashSet<UserId> =
+            graph.followers(target).iter().copied().collect();
+        let candidates = graph
+            .users()
+            .filter(|&u| u != target && !existing.contains(&u))
+            .count();
+        if candidates > 0 {
+            let spike = candidates.min(5);
+            let plan_a = FlashEventPlan::random(
+                &graph,
+                target,
+                spike,
+                SimTime::from_hours(1),
+                SimTime::from_hours(20),
+                seed,
+            )
+            .unwrap();
+            let plan_b = FlashEventPlan::random(
+                &graph,
+                target,
+                spike,
+                SimTime::from_hours(1),
+                SimTime::from_hours(20),
+                seed,
+            )
+            .unwrap();
+            prop_assert_eq!(&plan_a, &plan_b);
+            let muts = plan_a.mutations();
+            prop_assert!(muts.windows(2).all(|w| w[0].time <= w[1].time));
+        }
+    }
+
+    #[test]
+    fn dynasore_survives_arbitrary_failure_sequences(
+        seed in 0u64..100,
+        events in proptest::collection::vec((0u32..12, 0usize..5), 1..12),
+    ) {
+        // Random walks over the event space: whatever order machines fail,
+        // recover, drain or racks get added, no view is ever lost for good
+        // as long as at least one server lives, and reads stay available.
+        let users = 80usize;
+        let graph = SocialGraph::generate(GraphPreset::TwitterLike, users, seed).unwrap();
+        let topology = Topology::tree(2, 2, 3, 1).unwrap(); // 8 servers
+        let mut engine = DynaSoReEngine::builder()
+            .topology(topology.clone())
+            .budget(MemoryBudget::with_extra_percent(users, 100))
+            .initial_placement(InitialPlacement::Random { seed })
+            .build(&graph)
+            .unwrap();
+        let mut out = Vec::new();
+        let mut time = 0u64;
+        for &(machine_pick, kind) in &events {
+            time += 600;
+            let machine = dynasore::types::MachineId::new(machine_pick);
+            let event = match kind {
+                0 => ClusterEvent::MachineDown { machine },
+                1 => ClusterEvent::MachineUp { machine },
+                2 => ClusterEvent::DrainMachine { machine },
+                3 => ClusterEvent::RackDown {
+                    rack: dynasore::types::RackId::new(machine_pick % 4),
+                },
+                _ => ClusterEvent::RackUp {
+                    rack: dynasore::types::RackId::new(machine_pick % 4),
+                },
+            };
+            engine.on_cluster_change(event, SimTime::from_secs(time), &mut out);
+            out.clear();
+            // Interleave some traffic.
+            let user = UserId::new((time % users as u64) as u32);
+            let targets = graph.followees(user).to_vec();
+            engine.handle_read(user, &targets, SimTime::from_secs(time), &mut out);
+            out.clear();
+        }
+        // Revive everything: full availability must return.
+        for rack in 0..topology.rack_count() as u32 {
+            engine.on_cluster_change(
+                ClusterEvent::RackUp {
+                    rack: dynasore::types::RackId::new(rack),
+                },
+                SimTime::from_secs(time + 600),
+                &mut out,
+            );
+        }
+        for u in graph.users() {
+            prop_assert!(engine.replica_count(u) >= 1, "view of {} lost", u);
+        }
+        let usage = engine.memory_usage();
+        prop_assert!(usage.used_slots <= usage.capacity_slots);
+    }
+
+    #[test]
     fn dynasore_never_loses_views_nor_overflows_servers(
         seed in 0u64..200,
         extra in 0u32..120,

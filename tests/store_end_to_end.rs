@@ -21,7 +21,7 @@ fn spawn_cluster(users: usize, seed: u64) -> (Cluster, SocialGraph) {
 
 #[test]
 fn feeds_contain_exactly_the_followees_events_in_order() {
-    let (cluster, graph) = spawn_cluster(300, 3);
+    let (mut cluster, graph) = spawn_cluster(300, 3);
     let reader = graph
         .users()
         .find(|&u| graph.followees(u).len() >= 2)
@@ -53,7 +53,7 @@ fn feeds_contain_exactly_the_followees_events_in_order() {
 
 #[test]
 fn repeated_reads_are_served_from_cache() {
-    let (cluster, graph) = spawn_cluster(300, 9);
+    let (mut cluster, graph) = spawn_cluster(300, 9);
     let reader = graph
         .users()
         .find(|&u| !graph.followees(u).is_empty())
@@ -71,7 +71,7 @@ fn repeated_reads_are_served_from_cache() {
 
 #[test]
 fn hot_views_gain_replicas_in_the_live_store() {
-    let (cluster, graph) = spawn_cluster(400, 13);
+    let (mut cluster, graph) = spawn_cluster(400, 13);
     // The most-followed user becomes hot: every follower refreshes her feed
     // repeatedly.
     let celebrity = graph
@@ -100,7 +100,7 @@ fn hot_views_gain_replicas_in_the_live_store() {
 
 #[test]
 fn writes_remain_visible_after_heavy_mixed_traffic() {
-    let (cluster, graph) = spawn_cluster(300, 21);
+    let (mut cluster, graph) = spawn_cluster(300, 21);
     let author = graph
         .users()
         .find(|&u| !graph.followers(u).is_empty())
