@@ -16,17 +16,26 @@
 //!
 //! `--check-against PATH` turns the run into a regression guard: after
 //! measuring, the binary reads the committed snapshot at `PATH` and exits
-//! nonzero if either `read.reqs_per_sec` or `write.reqs_per_sec` dropped
-//! more than `--tolerance` (default 0.30, i.e. 30%) below it. CI runs
-//! `--quick --check-against BENCH_hotpath.json` so hot-path regressions
-//! fail the pipeline.
+//! nonzero if `read.reqs_per_sec`, `write.reqs_per_sec` or
+//! `read_accounted.reqs_per_sec` dropped more than `--tolerance` (default
+//! 0.30, i.e. 30%) below it. CI runs `--quick --check-against
+//! BENCH_hotpath_quick.json` (the quick-scale snapshot, so the comparison
+//! is same-scale) so hot-path regressions fail the pipeline.
+//!
+//! The `read_accounted` phase drives the same reads through a sink that
+//! charges a queue-tracking [`TrafficAccount`] under the datacenter
+//! [`NetworkModel`] — the simulator's full per-message latency bookkeeping —
+//! so the guard also proves the time-aware accounting does not regress the
+//! hot path.
 
 use std::time::Instant;
 
 use dynasore_core::{DynaSoReEngine, InitialPlacement};
 use dynasore_graph::{GraphPreset, SocialGraph};
-use dynasore_topology::Topology;
-use dynasore_types::{MemoryBudget, PlacementEngine, SimTime, UserId};
+use dynasore_topology::{Topology, TrafficAccount};
+use dynasore_types::{
+    MemoryBudget, Message, NetworkModel, PlacementEngine, SimTime, TrafficSink, UserId, HOUR_SECS,
+};
 
 /// Pre-refactor numbers (commit eec0658, `--users 100000 --seed 42` on the
 /// development reference machine), kept so the JSON always records the
@@ -98,6 +107,31 @@ impl Options {
     }
 }
 
+/// Counts messages while charging each non-local one to a queue-tracking
+/// account — the same work the simulator's accounting sink performs per
+/// message under a time-aware network model.
+struct AccountedSink<'a> {
+    topology: &'a Topology,
+    account: TrafficAccount,
+    messages: u64,
+}
+
+impl TrafficSink for AccountedSink<'_> {
+    fn record(&mut self, message: Message) {
+        self.messages += 1;
+        if message.is_local() {
+            return;
+        }
+        self.topology.record_path_timed(
+            message.from,
+            message.to,
+            message.class,
+            SimTime::from_secs(4),
+            &mut self.account,
+        );
+    }
+}
+
 fn main() {
     let opts = Options::from_args();
     let setup_start = Instant::now();
@@ -105,7 +139,7 @@ fn main() {
         .expect("graph generation");
     let topology = Topology::paper_tree().expect("paper tree");
     let mut engine = DynaSoReEngine::builder()
-        .topology(topology)
+        .topology(topology.clone())
         .budget(MemoryBudget::with_extra_percent(opts.users, 30))
         .initial_placement(InitialPlacement::Random { seed: opts.seed })
         .build(&graph)
@@ -130,6 +164,12 @@ fn main() {
     }
     let warmup_secs = warmup_start.elapsed().as_secs_f64();
 
+    // Snapshot the converged engine so the accounted-read phase below can
+    // replay the *same* requests from the *same* starting state as the
+    // plain read phase — otherwise placement keeps converging during the
+    // earlier phases and the two read measurements cover unlike workloads.
+    let mut accounted_engine = engine.clone();
+
     // Measured read phase.
     let read_start = Instant::now();
     let mut read_messages = 0u64;
@@ -141,10 +181,14 @@ fn main() {
     }
     let read_secs = read_start.elapsed().as_secs_f64();
 
-    // Measured write phase.
+    // Measured write phase. Writes are orders of magnitude faster than
+    // reads, so the phase gets an iteration floor: measuring 20k quick-mode
+    // writes takes ~1 ms and the resulting rate is noisy enough to trip the
+    // regression guard on its own.
+    let write_iters = opts.iters.max(1_000_000);
     let write_start = Instant::now();
     let mut write_messages = 0u64;
-    for k in 0..opts.iters {
+    for k in 0..write_iters {
         let user = user_at(k);
         out.clear();
         engine.handle_write(user, SimTime::from_secs(3), &mut out);
@@ -152,8 +196,32 @@ fn main() {
     }
     let write_secs = write_start.elapsed().as_secs_f64();
 
+    // Measured accounted-read phase: the identical reads from the identical
+    // pre-read-phase engine state, but every message is charged to the
+    // time-aware account (switch totals + queue bookkeeping), which is what
+    // the simulator's hot path does per message — so the rate is directly
+    // comparable to the plain read phase.
+    let mut accounted = AccountedSink {
+        topology: &topology,
+        account: TrafficAccount::with_model(HOUR_SECS, NetworkModel::datacenter()),
+        messages: 0,
+    };
+    let accounted_start = Instant::now();
+    for k in 0..opts.iters {
+        let user = user_at(k);
+        accounted_engine.handle_read(
+            user,
+            graph.followees(user),
+            SimTime::from_secs(2),
+            &mut accounted,
+        );
+    }
+    let accounted_secs = accounted_start.elapsed().as_secs_f64();
+    let accounted_messages = accounted.messages;
+
     let reads_per_sec = opts.iters as f64 / read_secs;
-    let writes_per_sec = opts.iters as f64 / write_secs;
+    let writes_per_sec = write_iters as f64 / write_secs;
+    let accounted_reads_per_sec = opts.iters as f64 / accounted_secs;
 
     let json = format!(
         concat!(
@@ -172,8 +240,14 @@ fn main() {
             "  }},\n",
             "  \"write\": {{\n",
             "    \"reqs_per_sec\": {wps:.0},\n",
+            "    \"iters\": {witers},\n",
             "    \"elapsed_secs\": {wsecs:.3},\n",
             "    \"messages\": {wmsgs}\n",
+            "  }},\n",
+            "  \"read_accounted\": {{\n",
+            "    \"reqs_per_sec\": {aps:.0},\n",
+            "    \"elapsed_secs\": {asecs:.3},\n",
+            "    \"messages\": {amsgs}\n",
             "  }},\n",
             "  \"baseline_pre_refactor\": {{\n",
             "    \"commit\": \"eec0658\",\n",
@@ -194,8 +268,12 @@ fn main() {
         rsecs = read_secs,
         rmsgs = read_messages,
         wps = writes_per_sec,
+        witers = write_iters,
         wsecs = write_secs,
         wmsgs = write_messages,
+        aps = accounted_reads_per_sec,
+        asecs = accounted_secs,
+        amsgs = accounted_messages,
         brps = BASELINE_READS_PER_SEC,
         bwps = BASELINE_WRITES_PER_SEC,
         rspeed = reads_per_sec / BASELINE_READS_PER_SEC,
@@ -203,13 +281,20 @@ fn main() {
     );
     std::fs::write(&opts.out, &json).expect("write BENCH_hotpath.json");
     eprintln!(
-        "# hotpath_throughput: {} users, {} iters — reads {:.0}/s, writes {:.0}/s → {}",
-        opts.users, opts.iters, reads_per_sec, writes_per_sec, opts.out
+        "# hotpath_throughput: {} users, {} iters — reads {:.0}/s, writes {:.0}/s, \
+         accounted reads {:.0}/s → {}",
+        opts.users, opts.iters, reads_per_sec, writes_per_sec, accounted_reads_per_sec, opts.out
     );
     print!("{json}");
 
     if let Some(path) = &opts.check_against {
-        check_against_snapshot(path, reads_per_sec, writes_per_sec, opts.tolerance);
+        check_against_snapshot(
+            path,
+            reads_per_sec,
+            writes_per_sec,
+            accounted_reads_per_sec,
+            opts.tolerance,
+        );
     }
 }
 
@@ -230,9 +315,16 @@ fn snapshot_reqs_per_sec(json: &str, section: &str) -> Option<f64> {
     value.parse().ok()
 }
 
-/// The regression guard: fails the process when either measured rate drops
-/// more than `tolerance` below the committed snapshot.
-fn check_against_snapshot(path: &str, reads_per_sec: f64, writes_per_sec: f64, tolerance: f64) {
+/// The regression guard: fails the process when any measured rate drops
+/// more than `tolerance` below the committed snapshot. The accounted-read
+/// check is skipped for snapshots predating that section.
+fn check_against_snapshot(
+    path: &str,
+    reads_per_sec: f64,
+    writes_per_sec: f64,
+    accounted_reads_per_sec: f64,
+    tolerance: f64,
+) {
     let snapshot = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(err) => {
@@ -247,12 +339,18 @@ fn check_against_snapshot(path: &str, reads_per_sec: f64, writes_per_sec: f64, t
         eprintln!("# regression guard: snapshot {path} has no reqs_per_sec fields");
         std::process::exit(2);
     };
-    let floor = 1.0 - tolerance;
-    let mut failed = false;
-    for (name, measured, snap) in [
+    let mut checks = vec![
         ("read", reads_per_sec, snap_read),
         ("write", writes_per_sec, snap_write),
-    ] {
+    ];
+    if let Some(snap_accounted) = snapshot_reqs_per_sec(&snapshot, "read_accounted") {
+        checks.push(("read_accounted", accounted_reads_per_sec, snap_accounted));
+    } else {
+        eprintln!("# regression guard: snapshot {path} predates read_accounted; skipping it");
+    }
+    let floor = 1.0 - tolerance;
+    let mut failed = false;
+    for (name, measured, snap) in checks {
         let ratio = if snap > 0.0 { measured / snap } else { 1.0 };
         let verdict = if ratio < floor {
             failed = true;

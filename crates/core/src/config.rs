@@ -64,6 +64,15 @@ pub struct DynaSoReConfig {
     pub eviction_threshold: f64,
     /// Occupancy the eviction sweep tries to bring a server back to.
     pub eviction_target: f64,
+    /// Congestion-aware placement: how many profit units (switch crossings
+    /// saved per statistics window) one full second of queueing delay at a
+    /// candidate rack's switch costs. Replica creation and migration
+    /// subtract `delay_secs × this` from a candidate's estimated profit, so
+    /// replicas steer away from congested racks. The congestion signal comes
+    /// from the driver's [`dynasore_types::TrafficSink::congestion`]; unit
+    /// count sinks report zero delay, leaving decisions untouched. Set to 0
+    /// to disable entirely.
+    pub congestion_penalty_per_sec: f64,
 }
 
 impl DynaSoReConfig {
@@ -76,6 +85,7 @@ impl DynaSoReConfig {
             admission_fill_target: 0.90,
             eviction_threshold: 0.95,
             eviction_target: 0.90,
+            congestion_penalty_per_sec: 500.0,
         }
     }
 
@@ -102,6 +112,11 @@ impl DynaSoReConfig {
         if self.eviction_target > self.eviction_threshold {
             return Err(Error::invalid_config(
                 "eviction_target must not exceed eviction_threshold",
+            ));
+        }
+        if !self.congestion_penalty_per_sec.is_finite() || self.congestion_penalty_per_sec < 0.0 {
+            return Err(Error::invalid_config(
+                "congestion_penalty_per_sec must be finite and non-negative",
             ));
         }
         Ok(())
@@ -140,6 +155,19 @@ mod tests {
         c.eviction_target = 0.99;
         c.eviction_threshold = 0.95;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn congestion_penalty_is_validated() {
+        let budget = MemoryBudget::exact(10);
+        let mut c = DynaSoReConfig::new(budget);
+        assert!((c.congestion_penalty_per_sec - 500.0).abs() < 1e-12);
+        c.congestion_penalty_per_sec = -1.0;
+        assert!(c.validate().is_err());
+        c.congestion_penalty_per_sec = f64::NAN;
+        assert!(c.validate().is_err());
+        c.congestion_penalty_per_sec = 0.0;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

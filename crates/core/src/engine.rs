@@ -9,8 +9,8 @@
 use dynasore_graph::SocialGraph;
 use dynasore_topology::Topology;
 use dynasore_types::{
-    BrokerId, ClusterEvent, Error, MachineId, MemoryBudget, Result, SimTime, SubtreeId, UserId,
-    VIEW_TRANSFER_PROTOCOL_MESSAGES,
+    BrokerId, ClusterEvent, Error, Latency, MachineId, MemoryBudget, Result, SimTime, SubtreeId,
+    UserId, VIEW_TRANSFER_PROTOCOL_MESSAGES,
 };
 use dynasore_types::{MemoryUsage, Message, PlacementEngine, TrafficSink};
 use dynasore_workload::GraphMutation;
@@ -110,6 +110,20 @@ struct CandidateSet {
     any_seen: u32,
 }
 
+/// Equality over the *live* list prefixes only: slots beyond `count` are
+/// never read, and incremental removals leave stale keys there that a fresh
+/// rebuild zero-fills.
+impl PartialEq for CandidateSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.free_seen == other.free_seen
+            && self.any_seen == other.any_seen
+            && self.free[..self.free_count as usize] == other.free[..other.free_count as usize]
+            && self.any[..self.any_count as usize] == other.any[..other.any_count as usize]
+    }
+}
+
+impl Eq for CandidateSet {}
+
 impl CandidateSet {
     fn offer_into(
         list: &mut [(u32, u32); LOAD_TOP_K],
@@ -118,6 +132,13 @@ impl CandidateSet {
         key: (u32, u32),
     ) {
         *seen += 1;
+        Self::list_insert(list, count, key);
+    }
+
+    /// Inserts `key` into a sorted top-K list, dropping the largest entry
+    /// when the list is full and `key` beats it. Does not touch `seen` —
+    /// callers account for the population change themselves.
+    fn list_insert(list: &mut [(u32, u32); LOAD_TOP_K], count: &mut u8, key: (u32, u32)) {
         let n = *count as usize;
         let mut pos = n;
         for (k, entry) in list.iter().enumerate().take(n) {
@@ -141,6 +162,122 @@ impl CandidateSet {
         if n < LOAD_TOP_K {
             *count += 1;
         }
+    }
+
+    /// Applies one list's share of an incremental update: the tracked
+    /// server's key changed from `old` to `new`, where `None` means the
+    /// server was/is not part of this list's population (e.g. it gained or
+    /// lost its free slot for the `free` list).
+    ///
+    /// Returns `false` when the list can no longer prove it holds the K
+    /// smallest keys — removing a listed entry from a truncated list, or a
+    /// listed server whose key grew past the retained tail — and the caller
+    /// must rebuild from an exact scan. Every other transition is resolved
+    /// in O(K): the surviving entries are provably still the smallest, and
+    /// any unseen key is no smaller than the old full list's maximum.
+    fn list_update(
+        list: &mut [(u32, u32); LOAD_TOP_K],
+        count: &mut u8,
+        seen: &mut u32,
+        old: Option<(u32, u32)>,
+        new: Option<(u32, u32)>,
+    ) -> bool {
+        let n = *count as usize;
+        let pos = old.and_then(|key| list[..n].iter().position(|e| *e == key));
+        match (old, new) {
+            (None, None) => true,
+            (None, Some(key)) => {
+                *seen += 1;
+                Self::list_insert(list, count, key);
+                true
+            }
+            (Some(_), None) => match pos {
+                Some(p) => {
+                    if *seen > n as u32 {
+                        // Truncated: the successor that should take the
+                        // freed slot was never recorded.
+                        return false;
+                    }
+                    for k in p..n - 1 {
+                        list[k] = list[k + 1];
+                    }
+                    *count -= 1;
+                    *seen -= 1;
+                    true
+                }
+                None => {
+                    // The server sat beyond the truncated tail; the listed
+                    // entries are still the K smallest of what remains.
+                    debug_assert!(*seen > n as u32, "complete list missing a member");
+                    *seen = seen.saturating_sub(1);
+                    true
+                }
+            },
+            (Some(_), Some(key)) => match pos {
+                Some(p) => {
+                    // Every unseen key is ≥ the old K-th smallest (the list
+                    // maximum), so the new key can be re-inserted exactly as
+                    // long as it does not grow past that bound.
+                    let old_max = list[n - 1];
+                    for k in p..n - 1 {
+                        list[k] = list[k + 1];
+                    }
+                    *count -= 1;
+                    let truncated = *seen > n as u32;
+                    if truncated && key > old_max {
+                        // The key may have fallen behind an unseen one.
+                        return false;
+                    }
+                    Self::list_insert(list, count, key);
+                    true
+                }
+                None => {
+                    if n < LOAD_TOP_K {
+                        // A complete list contains its whole population; a
+                        // miss means the caller's bookkeeping drifted.
+                        debug_assert!(*seen > n as u32, "complete list missing a member");
+                        return false;
+                    }
+                    // Beyond the truncated tail: pulls into the top-K only
+                    // by beating the current largest listed key.
+                    if key < list[n - 1] {
+                        Self::list_insert(list, count, key);
+                    }
+                    true
+                }
+            },
+        }
+    }
+
+    /// Incrementally applies a load change of server `ord` (`old_len` →
+    /// `new_len` views, `old_space`/`new_space` = had/has a free slot) to
+    /// both top-K lists. Returns `false` when either list lost track of its
+    /// top-K and the whole set must be rebuilt with an exact scan.
+    fn update(
+        &mut self,
+        ord: u32,
+        old_len: u32,
+        new_len: u32,
+        old_space: bool,
+        new_space: bool,
+    ) -> bool {
+        let old_key = (old_len, ord);
+        let new_key = (new_len, ord);
+        let any_ok = Self::list_update(
+            &mut self.any,
+            &mut self.any_count,
+            &mut self.any_seen,
+            Some(old_key),
+            Some(new_key),
+        );
+        let free_ok = Self::list_update(
+            &mut self.free,
+            &mut self.free_count,
+            &mut self.free_seen,
+            old_space.then_some(old_key),
+            new_space.then_some(new_key),
+        );
+        any_ok && free_ok
     }
 
     fn offer(&mut self, key: (u32, u32), has_space: bool) {
@@ -217,6 +354,7 @@ pub struct DynaSoReEngineBuilder {
     admission_fill_target: f64,
     eviction_threshold: f64,
     eviction_target: f64,
+    congestion_penalty_per_sec: f64,
     name: Option<String>,
 }
 
@@ -230,6 +368,7 @@ impl Default for DynaSoReEngineBuilder {
             admission_fill_target: 0.90,
             eviction_threshold: 0.95,
             eviction_target: 0.90,
+            congestion_penalty_per_sec: 500.0,
             name: None,
         }
     }
@@ -279,6 +418,15 @@ impl DynaSoReEngineBuilder {
         self
     }
 
+    /// Profit units one second of queueing delay at a candidate rack's
+    /// switch costs in replica-placement decisions (default 500; 0 disables
+    /// congestion-aware placement). Only effective when the driving sink
+    /// reports real congestion, i.e. under a time-aware network model.
+    pub fn congestion_penalty_per_sec(mut self, per_sec: f64) -> Self {
+        self.congestion_penalty_per_sec = per_sec;
+        self
+    }
+
     /// Overrides the engine name used in reports.
     pub fn name(mut self, name: impl Into<String>) -> Self {
         self.name = Some(name.into());
@@ -311,6 +459,7 @@ impl DynaSoReEngineBuilder {
         config.admission_fill_target = self.admission_fill_target;
         config.eviction_threshold = self.eviction_threshold;
         config.eviction_target = self.eviction_target;
+        config.congestion_penalty_per_sec = self.congestion_penalty_per_sec;
         config.validate()?;
 
         let server_count = topology.server_count();
@@ -594,23 +743,54 @@ impl DynaSoReEngine {
     }
 
     /// Refreshes the candidate sets containing server `sidx` after its load
-    /// changed (replica created or evicted).
+    /// changed from `old_len` views (a replica was created or evicted).
     ///
-    /// Rebuilding the root set scans every server, so replica churn costs
-    /// O(servers) per event — negligible at the paper's 225 servers and
-    /// only paid on (rare) placement changes, but worth replacing with an
-    /// incremental top-K update (the changed key moves by ±1) if the
-    /// cluster grows by orders of magnitude.
-    fn update_load_cache(&mut self, sidx: usize) {
+    /// The changed key moves by ±1, so each per-subtree top-K list is
+    /// patched in O(K) instead of rescanning its servers; only when a
+    /// truncated list can no longer prove its top-K (the changed server fell
+    /// past the retained tail) does that one set fall back to the exact
+    /// rebuild scan. This is what keeps replica churn cheap when the cluster
+    /// grows past the paper's 225 servers: the former full rescan of the
+    /// root set cost O(servers) per churn event.
+    fn update_load_cache(&mut self, sidx: usize, old_len: usize) {
         let machine = self.servers[sidx].machine();
-        if let Ok(rack) = self.topology.rack_of(machine) {
-            let set = self.build_candidate_set(SubtreeId::Rack(rack.index()));
-            self.loads.rack[rack.as_usize()] = set;
-            let inter = self.topology.intermediate_of_rack(rack);
-            let set = self.build_candidate_set(SubtreeId::Intermediate(inter));
-            self.loads.inter[inter as usize] = set;
+        // Dead machines are filtered out of every candidate set when the
+        // liveness mask changes (bulk rebuild), so their load changes cannot
+        // move a top-K list.
+        if !self.topology.is_live(machine) {
+            return;
         }
-        self.loads.root = self.build_candidate_set(SubtreeId::Root);
+        let new_len = self.servers[sidx].len();
+        if new_len == old_len {
+            return;
+        }
+        let capacity = self.servers[sidx].capacity();
+        let old_space = old_len < capacity;
+        let new_space = new_len < capacity;
+        let (ord, old_len, new_len) = (sidx as u32, old_len as u32, new_len as u32);
+        if let Ok(rack) = self.topology.rack_of(machine) {
+            if !self.loads.rack[rack.as_usize()].update(ord, old_len, new_len, old_space, new_space)
+            {
+                self.loads.rack[rack.as_usize()] =
+                    self.build_candidate_set(SubtreeId::Rack(rack.index()));
+            }
+            // Flat topologies have no intermediate tier: their (empty) inter
+            // sets track no servers, so there is nothing to patch.
+            if self.topology.kind() == dynasore_topology::TopologyKind::Tree {
+                let inter = self.topology.intermediate_of_rack(rack) as usize;
+                if !self.loads.inter[inter].update(ord, old_len, new_len, old_space, new_space) {
+                    self.loads.inter[inter] =
+                        self.build_candidate_set(SubtreeId::Intermediate(inter as u32));
+                }
+            }
+        }
+        if !self
+            .loads
+            .root
+            .update(ord, old_len, new_len, old_space, new_space)
+        {
+            self.loads.root = self.build_candidate_set(SubtreeId::Root);
+        }
     }
 
     /// The lowest admission threshold among the servers under `origin`
@@ -750,8 +930,9 @@ impl DynaSoReEngine {
             }
         }
 
+        let old_len = self.servers[target].len();
         self.servers[target].insert(view);
-        self.update_load_cache(target);
+        self.update_load_cache(target, old_len);
         self.users[view.as_usize()].replicas.push(target);
         self.users[view.as_usize()].replicas.sort_unstable();
 
@@ -800,15 +981,40 @@ impl DynaSoReEngine {
                 out.record(Message::protocol(write_proxy, broker.machine()));
             }
         }
+        let old_len = self.servers[sidx].len();
         self.servers[sidx].remove(view);
-        self.update_load_cache(sidx);
+        self.update_load_cache(sidx, old_len);
         self.users[view.as_usize()].replicas.retain(|&i| i != sidx);
         true
+    }
+
+    /// Profit penalty for placing a replica on `machine`, derived from the
+    /// sink's live congestion signal for the machine's rack switch: seconds
+    /// of pending queueing delay × the configured penalty rate. Unit-count
+    /// sinks report zero delay, so decisions are untouched outside a
+    /// time-aware run. Allocation-free.
+    fn rack_congestion_penalty(&self, out: &dyn TrafficSink, machine: MachineId) -> i64 {
+        if self.config.congestion_penalty_per_sec <= 0.0 {
+            return 0;
+        }
+        let Ok(rack) = self.topology.rack_of(machine) else {
+            return 0;
+        };
+        let delay = out.congestion(SubtreeId::Rack(rack.index()));
+        if delay == Latency::ZERO {
+            return 0;
+        }
+        (delay.as_secs_f64() * self.config.congestion_penalty_per_sec) as i64
     }
 
     /// Algorithm 2 (*Evaluate Creation of Replica*) followed, when no
     /// replica is created, by Algorithm 3 (*Compute Optimal Position of
     /// Replica*), run by server `sidx` after serving a read of `view`.
+    ///
+    /// Both algorithms are congestion-aware: a candidate position's profit
+    /// is reduced by [`DynaSoReEngine::rack_congestion_penalty`], so under a
+    /// time-aware network model replicas steer away from racks whose switch
+    /// queues are backed up instead of piling further load onto them.
     fn evaluate_replica(&mut self, view: UserId, sidx: usize, out: &mut dyn TrafficSink) {
         let server_machine = self.servers[sidx].machine();
         let write_proxy = self.users[view.as_usize()].write_proxy.machine();
@@ -837,7 +1043,7 @@ impl DynaSoReEngine {
                     candidate_machine,
                     server_machine,
                     write_proxy,
-                );
+                ) - self.rack_congestion_penalty(out, candidate_machine);
                 let threshold = self.admission_threshold_of(origin);
                 if (profit as f64) > threshold && profit > best_profit {
                     best_profit = profit;
@@ -887,7 +1093,7 @@ impl DynaSoReEngine {
                     candidate_machine,
                     nearest,
                     write_proxy,
-                );
+                ) - self.rack_congestion_penalty(out, candidate_machine);
                 let threshold = self.admission_threshold_of(origin);
                 if profit > best_profit && (profit as f64) > threshold {
                     best_profit = profit;
@@ -1044,9 +1250,10 @@ impl DynaSoReEngine {
         for _ in 0..VIEW_TRANSFER_PROTOCOL_MESSAGES {
             out.record(Message::persistent_fetch(target_machine));
         }
+        let old_len = self.servers[target].len();
         self.servers[target].insert(view);
         self.users[view.as_usize()].replicas.push(target);
-        self.update_load_cache(target);
+        self.update_load_cache(target, old_len);
         self.recovered_views += 1;
         true
     }
@@ -1192,8 +1399,10 @@ impl DynaSoReEngine {
         }
         views.clear();
         self.scratch.views = views;
+        // The machine is already dead (and thus absent from every candidate
+        // set since the rebuild above), so clearing its slab needs no cache
+        // update.
         self.servers[sidx].clear();
-        self.update_load_cache(sidx);
     }
 
     /// Absorbs a freshly added rack: mirrors the new topology servers with
@@ -1789,6 +1998,159 @@ mod tests {
                     "origin {origin}, exclude {exclude:?}"
                 );
             }
+        }
+    }
+
+    /// The incremental top-K update must leave every candidate set exactly
+    /// as an exact rescan would build it.
+    fn assert_cache_equals_rescan(engine: &DynaSoReEngine, context: &str) {
+        for r in 0..engine.topology.rack_count() {
+            assert_eq!(
+                engine.loads.rack[r],
+                engine.build_candidate_set(SubtreeId::Rack(r as u32)),
+                "{context}: rack {r} candidate set diverged from rescan"
+            );
+        }
+        for i in 0..engine.topology.intermediate_count() {
+            assert_eq!(
+                engine.loads.inter[i],
+                engine.build_candidate_set(SubtreeId::Intermediate(i as u32)),
+                "{context}: intermediate {i} candidate set diverged from rescan"
+            );
+        }
+        assert_eq!(
+            engine.loads.root,
+            engine.build_candidate_set(SubtreeId::Root),
+            "{context}: root candidate set diverged from rescan"
+        );
+    }
+
+    #[test]
+    fn incremental_load_cache_is_equivalent_to_rescan_under_churn() {
+        // Tight memory (10% extra) keeps servers near full so the truncated
+        // fallback paths, the free-list transitions (full ↔ has-space) and
+        // evictions are all exercised; checking after every single request
+        // pins each individual ±1 update, not just the end state.
+        let (mut engine, graph, _topology) = engine_with_extra(10);
+        let mut out = Vec::new();
+        assert_cache_equals_rescan(&engine, "initial");
+        for round in 0..6u64 {
+            for u in (0..400u32).step_by(11) {
+                let user = UserId::new(u);
+                let targets: Vec<UserId> = graph.followees(user).to_vec();
+                engine.handle_read(user, &targets, SimTime::from_secs(round * 60), &mut out);
+                assert_cache_equals_rescan(&engine, "after read");
+                engine.handle_write(user, SimTime::from_secs(round * 60), &mut out);
+            }
+            engine.on_tick(SimTime::from_hours(round + 1), &mut out);
+            assert_cache_equals_rescan(&engine, "after tick");
+            out.clear();
+        }
+        // Failures and recoveries interleave bulk rebuilds with incremental
+        // recovery placements; the invariant must survive the mix.
+        let victim = engine.replica_servers(UserId::new(0))[0];
+        engine.on_cluster_change(
+            ClusterEvent::MachineDown { machine: victim },
+            SimTime::ZERO,
+            &mut out,
+        );
+        assert_cache_equals_rescan(&engine, "after machine-down");
+        for u in (0..400u32).step_by(17) {
+            let user = UserId::new(u);
+            let targets: Vec<UserId> = graph.followees(user).to_vec();
+            engine.handle_read(user, &targets, SimTime::from_secs(9_000), &mut out);
+            assert_cache_equals_rescan(&engine, "degraded read");
+        }
+        engine.on_cluster_change(
+            ClusterEvent::MachineUp { machine: victim },
+            SimTime::ZERO,
+            &mut out,
+        );
+        assert_cache_equals_rescan(&engine, "after machine-up");
+    }
+
+    /// A sink that reports heavy congestion on every rack except one,
+    /// mimicking what the simulator's accounting sink exposes when switch
+    /// queues are backed up.
+    struct CongestedRacksSink {
+        messages: Vec<Message>,
+        clear_rack: u32,
+        delay: Latency,
+    }
+
+    impl TrafficSink for CongestedRacksSink {
+        fn record(&mut self, message: Message) {
+            self.messages.push(message);
+        }
+
+        fn congestion(&self, subtree: SubtreeId) -> Latency {
+            match subtree {
+                SubtreeId::Rack(r) if r == self.clear_rack => Latency::ZERO,
+                _ => self.delay,
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_penalty_steers_replication_away_from_congested_racks() {
+        // Remote reads that would normally trigger replication towards the
+        // reader: with every rack congested the penalty outweighs any
+        // possible profit, so no replica is created at all.
+        let (mut engine, _graph, topology) = engine_with_extra(100);
+        let view = UserId::new(0);
+        let view_server = engine.replica_servers(view)[0];
+        let view_inter = topology.intermediate_of(view_server).unwrap();
+        let reader = (0..400u32)
+            .map(UserId::new)
+            .find(|&u| {
+                let proxy = engine.read_proxy(u).unwrap().machine();
+                topology.intermediate_of(proxy).unwrap() != view_inter
+            })
+            .expect("some reader lives in another sub-tree");
+        let mut congested = CongestedRacksSink {
+            messages: Vec::new(),
+            clear_rack: u32::MAX, // every rack congested
+            delay: Latency::from_secs(10),
+        };
+        for i in 0..200 {
+            engine.handle_read(reader, &[view], SimTime::from_secs(i), &mut congested);
+        }
+        assert_eq!(
+            engine.replica_count(view),
+            1,
+            "congestion everywhere must suppress replica creation"
+        );
+
+        // Control: the identical engine and workload over a congestion-free
+        // sink replicates towards the reader (same as the existing
+        // remote_reads_trigger_replication test).
+        let (mut control, _graph2, _) = engine_with_extra(100);
+        let mut out = Vec::new();
+        for i in 0..200 {
+            control.handle_read(reader, &[view], SimTime::from_secs(i), &mut out);
+        }
+        assert!(control.replica_count(view) >= 2);
+
+        // And with exactly one uncongested rack, creation lands there.
+        let (mut steered, _graph3, _) = engine_with_extra(100);
+        let reader_rack = topology
+            .rack_of(steered.read_proxy(reader).unwrap().machine())
+            .unwrap();
+        let mut one_clear = CongestedRacksSink {
+            messages: Vec::new(),
+            clear_rack: reader_rack.index(),
+            delay: Latency::from_secs(10),
+        };
+        for i in 0..200 {
+            steered.handle_read(reader, &[view], SimTime::from_secs(i), &mut one_clear);
+        }
+        assert!(steered.replica_count(view) >= 2);
+        for machine in steered.replica_servers(view) {
+            let rack = topology.rack_of(machine).unwrap();
+            assert!(
+                rack == reader_rack || machine == view_server,
+                "replica landed in congested rack {rack}"
+            );
         }
     }
 

@@ -76,11 +76,13 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod faults;
 mod report;
 mod simulation;
 
 pub use engine::{
     ClusterEvent, MemoryUsage, Message, PlacementEngine, TimedClusterEvent, TrafficSink,
 };
-pub use report::{ReliabilityStats, SimReport};
+pub use faults::{generate_failure_schedule, FaultInjectionConfig};
+pub use report::{LatencyStats, ReliabilityStats, SimReport};
 pub use simulation::{switch_counts, Simulation, SimulationConfig};

@@ -1,9 +1,36 @@
 //! Simulation results.
 
 use dynasore_topology::{Tier, TierTraffic, TrafficAccount};
-use dynasore_types::{SimTime, TrafficUnits};
+use dynasore_types::{Latency, LatencyHistogram, SimTime, TrafficUnits};
 
 use crate::engine::MemoryUsage;
+
+/// Latency measurements of one run under the configured
+/// [`dynasore_types::NetworkModel`].
+///
+/// With the default infinite-capacity model every sample is zero and
+/// `collapsed` is always `false` — the section exists so unit-count runs
+/// stay byte-identical while time-aware runs read latency percentiles, the
+/// worst switch backlog and congestion collapse off the same report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    /// Per-read response-time samples: the slowest *application* message of
+    /// each read request (fan-out legs run in parallel, the slowest gates
+    /// the answer; protocol messages an engine emits while serving the read
+    /// are asynchronous control-plane work and do not count).
+    pub read: LatencyHistogram,
+    /// Per-write response-time samples (slowest replica-update leg).
+    pub write: LatencyHistogram,
+    /// Largest queueing delay any single message experienced at one switch.
+    pub max_queue_delay: Latency,
+    /// Largest backlog (queued traffic units) any switch held at a message
+    /// arrival.
+    pub max_switch_backlog: u64,
+    /// Whether any switch's queue exceeded the model's collapse threshold:
+    /// arrivals outran service long enough that latencies stopped being
+    /// meaningful. Always `false` under the infinite model.
+    pub collapsed: bool,
+}
 
 /// Availability and recovery measurements of one run — the quantities the
 /// fault-injection experiments read off a simulation: how much traffic the
@@ -42,6 +69,7 @@ pub struct SimReport {
     /// per-switch averages.
     switch_counts: [usize; 3],
     reliability: ReliabilityStats,
+    latency: LatencyStats,
 }
 
 impl SimReport {
@@ -57,6 +85,7 @@ impl SimReport {
         memory: MemoryUsage,
         switch_counts: [usize; 3],
         reliability: ReliabilityStats,
+        latency: LatencyStats,
     ) -> Self {
         SimReport {
             engine_name,
@@ -69,6 +98,7 @@ impl SimReport {
             memory,
             switch_counts,
             reliability,
+            latency,
         }
     }
 
@@ -116,6 +146,39 @@ impl SimReport {
     /// Availability and recovery measurements of the run.
     pub fn reliability(&self) -> ReliabilityStats {
         self.reliability
+    }
+
+    /// Latency measurements of the run (all-zero under the default
+    /// infinite-capacity network model).
+    pub fn latency(&self) -> &LatencyStats {
+        &self.latency
+    }
+
+    /// Median read response time.
+    pub fn read_latency_p50(&self) -> Latency {
+        self.latency.read.percentile(0.50)
+    }
+
+    /// 95th-percentile read response time.
+    pub fn read_latency_p95(&self) -> Latency {
+        self.latency.read.percentile(0.95)
+    }
+
+    /// 99th-percentile read response time.
+    pub fn read_latency_p99(&self) -> Latency {
+        self.latency.read.percentile(0.99)
+    }
+
+    /// Largest backlog (queued traffic units) any switch held during the
+    /// run.
+    pub fn max_switch_backlog(&self) -> u64 {
+        self.latency.max_switch_backlog
+    }
+
+    /// Whether the run hit congestion collapse: some switch's queue exceeded
+    /// the network model's collapse threshold.
+    pub fn congestion_collapsed(&self) -> bool {
+        self.latency.collapsed
     }
 
     /// Messages exchanged with the persistent tier to re-create views lost
@@ -218,6 +281,7 @@ mod tests {
                 unreachable_reads: 2,
                 read_targets: 50,
             },
+            LatencyStats::default(),
         )
     }
 
@@ -238,6 +302,32 @@ mod tests {
         assert_eq!(r.unreachable_reads(), 2);
         assert_eq!(r.reliability().read_targets, 50);
         assert!((r.availability() - 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_section_exposes_percentiles_and_collapse() {
+        let mut r = report_with_top_units(1);
+        assert_eq!(r.read_latency_p50(), Latency::ZERO);
+        assert!(!r.congestion_collapsed());
+        assert_eq!(r.max_switch_backlog(), 0);
+        let mut read = LatencyHistogram::new();
+        for ms in 1..=100u64 {
+            read.record(Latency::from_millis(ms));
+        }
+        r.latency = LatencyStats {
+            read,
+            write: LatencyHistogram::new(),
+            max_queue_delay: Latency::from_millis(80),
+            max_switch_backlog: 1_234,
+            collapsed: true,
+        };
+        assert!(r.read_latency_p50() >= Latency::from_millis(50));
+        assert!(r.read_latency_p95() >= Latency::from_millis(95));
+        assert!(r.read_latency_p99() >= Latency::from_millis(99));
+        assert!(r.read_latency_p99() <= Latency::from_millis(100));
+        assert_eq!(r.max_switch_backlog(), 1_234);
+        assert!(r.congestion_collapsed());
+        assert_eq!(r.latency().max_queue_delay, Latency::from_millis(80));
     }
 
     #[test]

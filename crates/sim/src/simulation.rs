@@ -1,16 +1,31 @@
 //! The trace-driven cluster simulation.
 
 use dynasore_graph::SocialGraph;
-use dynasore_topology::{Topology, TopologyKind, TrafficAccount};
-use dynasore_types::{MessageClass, Result, SimTime, TimedClusterEvent, TrafficSink, HOUR_SECS};
+use dynasore_topology::{Switch, Topology, TopologyKind, TrafficAccount};
+use dynasore_types::{
+    Latency, LatencyHistogram, MachineId, MessageClass, NetworkModel, Result, SimTime, SubtreeId,
+    TimedClusterEvent, TrafficSink, HOUR_SECS,
+};
 use dynasore_workload::{GraphMutation, Request, TimedMutation};
 
 use crate::engine::{Message, PlacementEngine};
-use crate::report::{ReliabilityStats, SimReport};
+use crate::report::{LatencyStats, ReliabilityStats, SimReport};
 
 /// A [`TrafficSink`] that charges every message to the switches on its path
 /// the moment the engine emits it — the simulation never materializes a
 /// message buffer, so the per-request accounting path is allocation-free.
+///
+/// Under a finite [`NetworkModel`] each message additionally samples its
+/// end-to-end latency from the per-switch queues; `request_latency` keeps
+/// the slowest *application-class* sample of the current request (a read
+/// fans out to its target servers in parallel, so the slowest leg gates the
+/// response). Protocol messages — replica transfers, routing updates and
+/// other control-plane work an engine may kick off while serving a request
+/// — still charge the queues they cross (they consume real bandwidth) but
+/// never count towards the request's response time: they complete
+/// asynchronously, off the read's critical path. Finally,
+/// [`TrafficSink::congestion`] answers placement engines from the live
+/// queue state, closing the loop for congestion-aware replica placement.
 struct AccountingSink<'a> {
     topology: &'a Topology,
     traffic: &'a mut TrafficAccount,
@@ -18,6 +33,7 @@ struct AccountingSink<'a> {
     app_messages: &'a mut u64,
     proto_messages: &'a mut u64,
     recovery_messages: &'a mut u64,
+    request_latency: Latency,
 }
 
 impl TrafficSink for AccountingSink<'_> {
@@ -32,13 +48,29 @@ impl TrafficSink for AccountingSink<'_> {
         if message.is_local() {
             return;
         }
-        self.topology.record_path(
+        let latency = self.topology.record_path_timed(
             message.from,
             message.to,
             message.class,
             self.time,
             self.traffic,
         );
+        if message.class.is_application() && latency > self.request_latency {
+            self.request_latency = latency;
+        }
+    }
+
+    fn congestion(&self, subtree: SubtreeId) -> Latency {
+        let switch = match subtree {
+            SubtreeId::Root => Switch::Top,
+            SubtreeId::Intermediate(i) => Switch::Intermediate(i),
+            SubtreeId::Rack(r) => Switch::Rack(r),
+            SubtreeId::Machine(m) => match self.topology.rack_of(MachineId::new(m)) {
+                Ok(rack) => Switch::Rack(rack.index()),
+                Err(_) => return Latency::ZERO,
+            },
+        };
+        self.traffic.queued_delay(switch, self.time)
     }
 }
 
@@ -51,6 +83,11 @@ pub struct SimulationConfig {
     pub tick_secs: u64,
     /// Width of the traffic time-series buckets (default: one hour).
     pub traffic_bucket_secs: u64,
+    /// The time model the run charges switch queues under. The default is
+    /// the degenerate [`NetworkModel::infinite`] model: no queueing, zero
+    /// latency samples, and traffic accounting byte-identical to the
+    /// historical unit-count behaviour.
+    pub network: NetworkModel,
 }
 
 impl Default for SimulationConfig {
@@ -58,6 +95,7 @@ impl Default for SimulationConfig {
         SimulationConfig {
             tick_secs: HOUR_SECS,
             traffic_bucket_secs: HOUR_SECS,
+            network: NetworkModel::infinite(),
         }
     }
 }
@@ -118,6 +156,14 @@ impl<E: PlacementEngine> Simulation<E> {
         self
     }
 
+    /// Runs the simulation under a time-aware [`NetworkModel`]: switch
+    /// queues fill and drain, every read samples a latency, and the report
+    /// gains meaningful percentiles and congestion-collapse detection.
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.config.network = network;
+        self
+    }
+
     /// The engine being driven.
     pub fn engine(&self) -> &E {
         &self.engine
@@ -169,13 +215,16 @@ impl<E: PlacementEngine> Simulation<E> {
         I: IntoIterator<Item = Request>,
         F: FnMut(SimTime, &E, &SocialGraph),
     {
-        let mut traffic = TrafficAccount::new(self.config.traffic_bucket_secs);
+        let mut traffic =
+            TrafficAccount::with_model(self.config.traffic_bucket_secs, self.config.network);
         let mut reads = 0u64;
         let mut writes = 0u64;
         let mut app_messages = 0u64;
         let mut proto_messages = 0u64;
         let mut recovery_messages = 0u64;
         let mut read_targets = 0u64;
+        let mut read_latency = LatencyHistogram::new();
+        let mut write_latency = LatencyHistogram::new();
 
         let mut mutation_idx = 0usize;
         let mut event_idx = 0usize;
@@ -232,6 +281,7 @@ impl<E: PlacementEngine> Simulation<E> {
                         app_messages: &mut app_messages,
                         proto_messages: &mut proto_messages,
                         recovery_messages: &mut recovery_messages,
+                        request_latency: Latency::ZERO,
                     };
                     self.engine.on_graph_change(m.mutation, m.time, &mut sink);
                     mutation_idx += 1;
@@ -245,6 +295,7 @@ impl<E: PlacementEngine> Simulation<E> {
                         app_messages: &mut app_messages,
                         proto_messages: &mut proto_messages,
                         recovery_messages: &mut recovery_messages,
+                        request_latency: Latency::ZERO,
                     };
                     self.engine.on_cluster_change(e.event, e.time, &mut sink);
                     event_idx += 1;
@@ -261,6 +312,7 @@ impl<E: PlacementEngine> Simulation<E> {
                     app_messages: &mut app_messages,
                     proto_messages: &mut proto_messages,
                     recovery_messages: &mut recovery_messages,
+                    request_latency: Latency::ZERO,
                 };
                 self.engine.on_tick(tick_time, &mut sink);
                 next_tick += self.config.tick_secs;
@@ -281,6 +333,7 @@ impl<E: PlacementEngine> Simulation<E> {
                 app_messages: &mut app_messages,
                 proto_messages: &mut proto_messages,
                 recovery_messages: &mut recovery_messages,
+                request_latency: Latency::ZERO,
             };
             if request.is_read() {
                 reads += 1;
@@ -288,10 +341,12 @@ impl<E: PlacementEngine> Simulation<E> {
                 read_targets += targets.len() as u64;
                 self.engine
                     .handle_read(request.user, targets, request.time, &mut sink);
+                read_latency.record(sink.request_latency);
             } else {
                 writes += 1;
                 self.engine
                     .handle_write(request.user, request.time, &mut sink);
+                write_latency.record(sink.request_latency);
             }
         }
 
@@ -309,6 +364,15 @@ impl<E: PlacementEngine> Simulation<E> {
             ],
         };
 
+        let latency = LatencyStats {
+            collapsed: !self.config.network.is_infinite()
+                && traffic.max_queue_delay() >= self.config.network.collapse_threshold,
+            max_queue_delay: traffic.max_queue_delay(),
+            max_switch_backlog: traffic.max_switch_backlog(),
+            read: read_latency,
+            write: write_latency,
+        };
+
         Ok(SimReport::new(
             self.engine.name().to_string(),
             traffic,
@@ -324,6 +388,7 @@ impl<E: PlacementEngine> Simulation<E> {
                 unreachable_reads: self.engine.unreachable_reads(),
                 read_targets,
             },
+            latency,
         ))
     }
 }
@@ -714,6 +779,121 @@ mod tests {
         assert_eq!(sim.topology().rack_count(), topology.rack_count() + 1);
         // The report's per-tier averages use the final switch counts.
         assert!(report.tier_average(Tier::Rack) >= 0.0);
+    }
+
+    #[test]
+    fn finite_network_model_produces_latency_samples() {
+        use dynasore_types::Bandwidth;
+        let (graph, topology) = small_setup();
+        let engine = ModuloEngine::new(topology.clone());
+        let trace: Vec<Request> = SyntheticTraceGenerator::paper_defaults(&graph, 1, 5)
+            .unwrap()
+            .collect();
+        // Slow switches: 1 unit takes 1 ms everywhere.
+        let model = dynasore_types::NetworkModel {
+            top_service: Bandwidth::units_per_sec(1_000),
+            intermediate_service: Bandwidth::units_per_sec(1_000),
+            rack_service: Bandwidth::units_per_sec(1_000),
+            hop_latency: dynasore_types::Latency::from_micros(5),
+            collapse_threshold: dynasore_types::Latency::from_secs(1),
+        };
+        let engine2 = ModuloEngine::new(topology.clone());
+        let report_a = Simulation::new(topology.clone(), engine, &graph)
+            .with_network(model)
+            .run(trace.clone())
+            .unwrap();
+        let report_b = Simulation::new(topology.clone(), engine2, &graph)
+            .with_network(model)
+            .run(trace.clone())
+            .unwrap();
+        // Reads fan out over several 10-unit application messages, so the
+        // slowest leg takes at least one service time.
+        assert!(report_a.read_latency_p50() >= dynasore_types::Latency::from_millis(10));
+        assert!(report_a.read_latency_p99() >= report_a.read_latency_p50());
+        assert!(report_a.latency().read.len() == report_a.read_count());
+        assert!(report_a.latency().write.len() == report_a.write_count());
+        // Time-aware runs stay deterministic.
+        assert_eq!(report_a, report_b);
+
+        // The same trace under the infinite model samples only zeros.
+        let engine3 = ModuloEngine::new(topology.clone());
+        let unit_report = Simulation::new(topology, engine3, &graph)
+            .run(trace)
+            .unwrap();
+        assert_eq!(
+            unit_report.read_latency_p99(),
+            dynasore_types::Latency::ZERO
+        );
+        assert!(!unit_report.congestion_collapsed());
+        // Unit totals agree between the modes: time never changes *what*
+        // crosses a switch, only *when* it gets through.
+        assert_eq!(
+            unit_report.traffic().grand_total(),
+            report_a.traffic().grand_total()
+        );
+    }
+
+    /// An engine that records the congestion feedback it sees, proving the
+    /// sink exposes live queue state to placement decisions.
+    struct CongestionProbe {
+        topology: Topology,
+        observed: std::cell::Cell<u64>,
+    }
+
+    impl PlacementEngine for CongestionProbe {
+        fn name(&self) -> &str {
+            "congestion-probe"
+        }
+        fn handle_read(
+            &mut self,
+            _user: UserId,
+            targets: &[UserId],
+            _time: SimTime,
+            out: &mut dyn TrafficSink,
+        ) {
+            let broker = self.topology.brokers()[0].machine();
+            let server = self.topology.servers()[10].machine(); // another rack
+            for _ in targets {
+                out.record(Message::application(broker, server));
+            }
+            let seen = out
+                .congestion(dynasore_types::SubtreeId::Rack(0))
+                .as_nanos();
+            self.observed.set(self.observed.get().max(seen));
+        }
+        fn handle_write(&mut self, _user: UserId, _time: SimTime, _out: &mut dyn TrafficSink) {}
+        fn replica_count(&self, _user: UserId) -> usize {
+            1
+        }
+        fn memory_usage(&self) -> MemoryUsage {
+            MemoryUsage::default()
+        }
+    }
+
+    #[test]
+    fn sink_reports_congestion_from_live_queue_state() {
+        use dynasore_types::Bandwidth;
+        let (graph, topology) = small_setup();
+        let engine = CongestionProbe {
+            topology: topology.clone(),
+            observed: std::cell::Cell::new(0),
+        };
+        let model = dynasore_types::NetworkModel {
+            top_service: Bandwidth::INFINITE,
+            intermediate_service: Bandwidth::INFINITE,
+            rack_service: Bandwidth::units_per_sec(10), // 1 unit = 100 ms
+            hop_latency: dynasore_types::Latency::ZERO,
+            collapse_threshold: dynasore_types::Latency::from_secs(1),
+        };
+        let trace = vec![
+            Request::read(SimTime::from_secs(1), UserId::new(1)),
+            Request::read(SimTime::from_secs(1), UserId::new(2)),
+        ];
+        let mut sim = Simulation::new(topology, engine, &graph).with_network(model);
+        sim.run(trace).unwrap();
+        // The second read observes the backlog the first one left behind on
+        // rack 0's switch.
+        assert!(sim.engine().observed.get() > 0);
     }
 
     #[test]

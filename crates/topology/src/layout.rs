@@ -670,9 +670,29 @@ impl Topology {
         time: SimTime,
         account: &mut TrafficAccount,
     ) {
+        self.record_path_timed(from, to, class, time, account);
+    }
+
+    /// Like [`Topology::record_path`], but returns the message's end-to-end
+    /// latency sample under the account's [`dynasore_types::NetworkModel`]:
+    /// per hop, the model's forwarding latency plus the wait behind that
+    /// switch's queued work plus the transmission time. Local messages (and
+    /// every message under the infinite model) sample zero. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either machine is out of range.
+    pub fn record_path_timed(
+        &self,
+        from: MachineId,
+        to: MachineId,
+        class: MessageClass,
+        time: SimTime,
+        account: &mut TrafficAccount,
+    ) -> dynasore_types::Latency {
         let mut buf = [Switch::Top; 5];
         let len = self.fill_path(from, to, &mut buf);
-        account.record(&buf[..len], class, time);
+        account.record_timed(&buf[..len], class, time)
     }
 
     /// Lowest common ancestor of two machines in the switch tree, expressed

@@ -6,7 +6,9 @@
 //! tier, and Figure 6 splits application from system (protocol) traffic.
 //! [`TrafficAccount`] accumulates exactly those quantities.
 
-use dynasore_types::{MessageClass, SimTime, TrafficUnits, HOUR_SECS};
+use dynasore_types::{
+    Latency, MessageClass, NetworkModel, SimTime, TrafficUnits, HOUR_SECS, NANOS_PER_SEC,
+};
 
 use crate::layout::{Switch, Tier};
 
@@ -63,6 +65,23 @@ pub struct TrafficAccount {
     /// `series[bucket][tier]`, grown on demand.
     series: Vec<[TierTraffic; 3]>,
     messages: u64,
+    /// The time model. With the default [`NetworkModel::infinite`] the queue
+    /// state below is never touched and accounting is byte-identical to the
+    /// historical unit-count behaviour.
+    model: NetworkModel,
+    /// Per-switch deterministic queues: the absolute instant (ns) until
+    /// which each switch is busy transmitting already-accepted work. A
+    /// message arriving earlier waits for the difference (M/D/1-style:
+    /// deterministic service, drain happens implicitly as simulated time
+    /// advances). Dense and grown on demand, like the totals above.
+    top_busy_until: u64,
+    inter_busy_until: Vec<u64>,
+    rack_busy_until: Vec<u64>,
+    /// Largest queueing delay any message experienced at a single switch.
+    max_queue_delay_ns: u64,
+    /// Largest backlog (queued traffic units) any switch held at a message
+    /// arrival.
+    max_backlog_units: u64,
 }
 
 impl TrafficAccount {
@@ -74,6 +93,19 @@ impl TrafficAccount {
     ///
     /// Panics if `bucket_secs` is zero.
     pub fn new(bucket_secs: u64) -> Self {
+        TrafficAccount::with_model(bucket_secs, NetworkModel::infinite())
+    }
+
+    /// Creates an account that additionally tracks per-switch queueing under
+    /// the given time model: [`TrafficAccount::record_timed`] then returns a
+    /// nonzero latency sample per message and the account accumulates the
+    /// maximum queueing delay and backlog any switch reached. With
+    /// [`NetworkModel::infinite`] this is exactly [`TrafficAccount::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_secs` is zero.
+    pub fn with_model(bucket_secs: u64, model: NetworkModel) -> Self {
         assert!(bucket_secs > 0, "bucket width must be positive");
         TrafficAccount {
             bucket_secs,
@@ -83,7 +115,18 @@ impl TrafficAccount {
             rack_totals: Vec::new(),
             series: Vec::new(),
             messages: 0,
+            model,
+            top_busy_until: 0,
+            inter_busy_until: Vec::new(),
+            rack_busy_until: Vec::new(),
+            max_queue_delay_ns: 0,
+            max_backlog_units: 0,
         }
+    }
+
+    /// The time model this account charges queues under.
+    pub fn model(&self) -> NetworkModel {
+        self.model
     }
 
     fn add_switch(&mut self, switch: Switch, units: TrafficUnits) {
@@ -119,8 +162,22 @@ impl TrafficAccount {
     /// Records one message of `class` traversing the given switches at time
     /// `time`. A message with an empty path (local delivery) costs nothing.
     pub fn record(&mut self, path: &[Switch], class: MessageClass, time: SimTime) {
+        self.record_timed(path, class, time);
+    }
+
+    /// Records one message and returns its end-to-end latency sample: per
+    /// hop, the fixed forwarding latency plus the wait behind the switch's
+    /// queued work plus the message's own transmission time. With the
+    /// infinite model every sample is [`Latency::ZERO`] and the queue state
+    /// is untouched, so unit-count accounting stays byte-identical.
+    ///
+    /// Hops are charged in path order: the arrival time at hop *k* includes
+    /// the delays accumulated at hops *0..k*, so a congested rack switch
+    /// delays the message's arrival at the intermediate tier, exactly as a
+    /// store-and-forward fabric would.
+    pub fn record_timed(&mut self, path: &[Switch], class: MessageClass, time: SimTime) -> Latency {
         if path.is_empty() {
-            return;
+            return Latency::ZERO;
         }
         self.messages += 1;
         let units = class.units();
@@ -128,12 +185,89 @@ impl TrafficAccount {
         if bucket >= self.series.len() {
             self.series.resize(bucket + 1, [TierTraffic::default(); 3]);
         }
+        let infinite = self.model.is_infinite();
+        let hop_ns = self.model.hop_latency.as_nanos();
+        let base_ns = time.as_secs().saturating_mul(NANOS_PER_SEC);
+        let mut latency_ns = 0u64;
         for &switch in path {
             let tier = switch.tier().index();
             self.tier_totals[tier].add(class, units);
             self.series[bucket][tier].add(class, units);
             self.add_switch(switch, units);
+            if infinite {
+                continue;
+            }
+            latency_ns += hop_ns;
+            let ns_per_unit = match switch.tier() {
+                Tier::Top => self.model.top_service.ns_per_unit(),
+                Tier::Intermediate => self.model.intermediate_service.ns_per_unit(),
+                Tier::Rack => self.model.rack_service.ns_per_unit(),
+            };
+            if ns_per_unit == 0 {
+                continue;
+            }
+            let arrival = base_ns + latency_ns;
+            let busy_until = self.busy_slot(switch);
+            let start = (*busy_until).max(arrival);
+            let wait = start - arrival;
+            let service = units * ns_per_unit;
+            *busy_until = start + service;
+            latency_ns += wait + service;
+            if wait > self.max_queue_delay_ns {
+                self.max_queue_delay_ns = wait;
+            }
+            let backlog_units = wait / ns_per_unit;
+            if backlog_units > self.max_backlog_units {
+                self.max_backlog_units = backlog_units;
+            }
         }
+        Latency::from_nanos(latency_ns)
+    }
+
+    fn busy_slot(&mut self, switch: Switch) -> &mut u64 {
+        match switch {
+            Switch::Top => &mut self.top_busy_until,
+            Switch::Intermediate(i) => {
+                let i = i as usize;
+                if i >= self.inter_busy_until.len() {
+                    self.inter_busy_until.resize(i + 1, 0);
+                }
+                &mut self.inter_busy_until[i]
+            }
+            Switch::Rack(r) => {
+                let r = r as usize;
+                if r >= self.rack_busy_until.len() {
+                    self.rack_busy_until.resize(r + 1, 0);
+                }
+                &mut self.rack_busy_until[r]
+            }
+        }
+    }
+
+    /// The queueing delay a message arriving at `switch` at `time` would
+    /// experience before transmission begins: the switch's pending work not
+    /// yet drained at that instant. The congestion signal placement
+    /// decisions consume. Always zero under the infinite model.
+    pub fn queued_delay(&self, switch: Switch, time: SimTime) -> Latency {
+        let busy_until = match switch {
+            Switch::Top => self.top_busy_until,
+            Switch::Intermediate(i) => self.inter_busy_until.get(i as usize).copied().unwrap_or(0),
+            Switch::Rack(r) => self.rack_busy_until.get(r as usize).copied().unwrap_or(0),
+        };
+        let now = time.as_secs().saturating_mul(NANOS_PER_SEC);
+        Latency::from_nanos(busy_until.saturating_sub(now))
+    }
+
+    /// Largest queueing delay any message experienced at a single switch
+    /// over the account's lifetime. Zero under the infinite model.
+    pub fn max_queue_delay(&self) -> Latency {
+        Latency::from_nanos(self.max_queue_delay_ns)
+    }
+
+    /// Largest backlog — queued traffic units awaiting transmission — any
+    /// switch held when a message arrived. Zero under the infinite model.
+    pub fn max_switch_backlog(&self) -> u64 {
+        self.max_backlog_units
     }
 
     /// Number of (non-local) messages recorded.
@@ -185,15 +319,21 @@ impl TrafficAccount {
         self.tier_totals.iter().map(TierTraffic::total).sum()
     }
 
-    /// Merges another account (same bucket width) into this one.
+    /// Merges another account (same bucket width and model) into this one.
+    /// Queue state merges conservatively: each switch keeps the later
+    /// busy-until instant, and the maxima keep the larger observation.
     ///
     /// # Panics
     ///
-    /// Panics if the bucket widths differ.
+    /// Panics if the bucket widths or network models differ.
     pub fn merge(&mut self, other: &TrafficAccount) {
         assert_eq!(
             self.bucket_secs, other.bucket_secs,
             "cannot merge accounts with different bucket widths"
+        );
+        assert_eq!(
+            self.model, other.model,
+            "cannot merge accounts with different network models"
         );
         for tier in 0..3 {
             self.tier_totals[tier].application += other.tier_totals[tier].application;
@@ -224,6 +364,22 @@ impl TrafficAccount {
             }
         }
         self.messages += other.messages;
+        self.top_busy_until = self.top_busy_until.max(other.top_busy_until);
+        if other.inter_busy_until.len() > self.inter_busy_until.len() {
+            self.inter_busy_until
+                .resize(other.inter_busy_until.len(), 0);
+        }
+        for (i, &busy) in other.inter_busy_until.iter().enumerate() {
+            self.inter_busy_until[i] = self.inter_busy_until[i].max(busy);
+        }
+        if other.rack_busy_until.len() > self.rack_busy_until.len() {
+            self.rack_busy_until.resize(other.rack_busy_until.len(), 0);
+        }
+        for (r, &busy) in other.rack_busy_until.iter().enumerate() {
+            self.rack_busy_until[r] = self.rack_busy_until[r].max(busy);
+        }
+        self.max_queue_delay_ns = self.max_queue_delay_ns.max(other.max_queue_delay_ns);
+        self.max_backlog_units = self.max_backlog_units.max(other.max_backlog_units);
     }
 }
 
@@ -351,6 +507,134 @@ mod tests {
         let mut a = TrafficAccount::new(60);
         let b = TrafficAccount::new(120);
         a.merge(&b);
+    }
+
+    #[test]
+    fn infinite_model_keeps_unit_accounting_byte_identical() {
+        let mut plain = TrafficAccount::hourly();
+        let mut modelled = TrafficAccount::with_model(HOUR_SECS, NetworkModel::infinite());
+        for t in [0u64, 30, 4_000] {
+            plain.record(
+                &cross_cluster_path(),
+                MessageClass::Application,
+                SimTime::from_secs(t),
+            );
+            let latency = modelled.record_timed(
+                &cross_cluster_path(),
+                MessageClass::Application,
+                SimTime::from_secs(t),
+            );
+            assert_eq!(latency, Latency::ZERO);
+        }
+        assert_eq!(plain, modelled);
+        assert_eq!(modelled.max_queue_delay(), Latency::ZERO);
+        assert_eq!(modelled.max_switch_backlog(), 0);
+        assert_eq!(
+            modelled.queued_delay(Switch::Top, SimTime::ZERO),
+            Latency::ZERO
+        );
+    }
+
+    #[test]
+    fn finite_model_charges_queues_deterministically() {
+        // 1 unit takes 1 ms at every tier; 1 µs per hop.
+        let model = NetworkModel {
+            top_service: dynasore_types::Bandwidth::units_per_sec(1_000),
+            intermediate_service: dynasore_types::Bandwidth::units_per_sec(1_000),
+            rack_service: dynasore_types::Bandwidth::units_per_sec(1_000),
+            hop_latency: Latency::from_micros(1),
+            collapse_threshold: Latency::from_secs(1),
+        };
+        let mut acc = TrafficAccount::with_model(HOUR_SECS, model);
+        // First protocol message through an idle top switch: 1 hop latency
+        // plus 1 unit × 1 ms service, no wait.
+        let first = acc.record_timed(&[Switch::Top], MessageClass::Protocol, SimTime::ZERO);
+        assert_eq!(first, Latency::from_nanos(1_000 + 1_000_000));
+        // Second message at the same instant queues behind the first: its
+        // arrival (after the hop) is at 1 µs, the switch is busy until
+        // 1 001 µs, so it waits exactly one service quantum.
+        let second = acc.record_timed(&[Switch::Top], MessageClass::Protocol, SimTime::ZERO);
+        assert_eq!(second, Latency::from_nanos(1_000 + 1_000_000 + 1_000_000));
+        assert_eq!(acc.max_queue_delay(), Latency::from_millis(1));
+        assert_eq!(acc.max_switch_backlog(), 1); // one full unit was queued
+        assert!(acc.queued_delay(Switch::Top, SimTime::ZERO) > Latency::ZERO);
+        // After the queue drained (2 ms of work, ask at t=1s) delay is zero.
+        assert_eq!(
+            acc.queued_delay(Switch::Top, SimTime::from_secs(1)),
+            Latency::ZERO
+        );
+        // Unit totals are charged exactly as in unit mode.
+        assert_eq!(acc.tier_total(Tier::Top).protocol, 2);
+        assert_eq!(acc.message_count(), 2);
+        // Determinism: an identical replay produces an identical account.
+        let mut replay = TrafficAccount::with_model(HOUR_SECS, model);
+        replay.record_timed(&[Switch::Top], MessageClass::Protocol, SimTime::ZERO);
+        replay.record_timed(&[Switch::Top], MessageClass::Protocol, SimTime::ZERO);
+        assert_eq!(acc, replay);
+    }
+
+    #[test]
+    fn upstream_congestion_delays_downstream_arrival() {
+        // Rack switch is slow (1 unit = 1 s), top switch is fast. A message
+        // crossing rack → top arrives at the top only after the rack's
+        // service completes, so a message right behind it on the same rack
+        // still finds the top switch idle.
+        let model = NetworkModel {
+            top_service: dynasore_types::Bandwidth::units_per_sec(1_000_000),
+            intermediate_service: dynasore_types::Bandwidth::INFINITE,
+            rack_service: dynasore_types::Bandwidth::units_per_sec(1),
+            hop_latency: Latency::ZERO,
+            collapse_threshold: Latency::from_secs(1),
+        };
+        let mut acc = TrafficAccount::with_model(HOUR_SECS, model);
+        let path = [Switch::Rack(0), Switch::Top];
+        let first = acc.record_timed(&path, MessageClass::Protocol, SimTime::ZERO);
+        // 1 s rack service + 1 µs top service.
+        assert_eq!(first, Latency::from_nanos(NANOS_PER_SEC + 1_000));
+        let second = acc.record_timed(&path, MessageClass::Protocol, SimTime::ZERO);
+        // Waits 1 s behind the first at the rack, transmits for 1 s, then
+        // reaches the top at t=2s — after the first cleared it: no top wait.
+        assert_eq!(second, Latency::from_nanos(2 * NANOS_PER_SEC + 1_000));
+        assert_eq!(acc.max_switch_backlog(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different network models")]
+    fn merge_rejects_mismatched_models() {
+        let mut a = TrafficAccount::with_model(60, NetworkModel::datacenter());
+        let b = TrafficAccount::new(60);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn merge_keeps_later_queue_state() {
+        let model = NetworkModel {
+            top_service: dynasore_types::Bandwidth::units_per_sec(1),
+            intermediate_service: dynasore_types::Bandwidth::INFINITE,
+            rack_service: dynasore_types::Bandwidth::INFINITE,
+            hop_latency: Latency::ZERO,
+            collapse_threshold: Latency::from_secs(1),
+        };
+        let mut a = TrafficAccount::with_model(60, model);
+        let mut b = TrafficAccount::with_model(60, model);
+        a.record_timed(&[Switch::Top], MessageClass::Protocol, SimTime::ZERO);
+        b.record_timed(
+            &[Switch::Top],
+            MessageClass::Protocol,
+            SimTime::from_secs(5),
+        );
+        b.record_timed(
+            &[Switch::Top],
+            MessageClass::Protocol,
+            SimTime::from_secs(5),
+        );
+        a.merge(&b);
+        // b's top queue extends to t=7s, later than a's 1s.
+        assert_eq!(
+            a.queued_delay(Switch::Top, SimTime::from_secs(5)),
+            Latency::from_secs(2)
+        );
+        assert_eq!(a.max_queue_delay(), b.max_queue_delay());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! must live below both to keep the dependency DAG acyclic and strictly
 //! layered.
 
-use crate::{MachineId, MessageClass, RackId, SimTime, UserId};
+use crate::{Latency, MachineId, MessageClass, RackId, SimTime, SubtreeId, UserId};
 
 /// A change of the cluster itself: machines failing, recovering, being
 /// drained for maintenance, or capacity being added while the system runs.
@@ -184,6 +184,19 @@ impl MemoryUsage {
 pub trait TrafficSink {
     /// Accepts one message.
     fn record(&mut self, message: Message);
+
+    /// Congestion feedback for the engine's placement decisions: the
+    /// queueing delay currently pending at the switch that fronts `subtree`
+    /// (its rack switch, intermediate switch, or the core for the whole
+    /// cluster). Sinks that account messages against a time-aware
+    /// [`crate::NetworkModel`] report real queue state here, letting engines
+    /// steer replicas away from congested racks; the default — and every
+    /// unit-count sink, `Vec<Message>` included — reports zero, which keeps
+    /// placement decisions exactly as they were before the network model
+    /// existed.
+    fn congestion(&self, _subtree: SubtreeId) -> Latency {
+        Latency::ZERO
+    }
 }
 
 impl TrafficSink for Vec<Message> {

@@ -41,6 +41,7 @@ mod engine;
 mod error;
 mod event;
 mod ids;
+mod network;
 mod time;
 mod traffic;
 
@@ -52,6 +53,7 @@ pub use engine::{
 pub use error::{Error, Result};
 pub use event::{Event, View};
 pub use ids::{BrokerId, MachineId, MachineKind, RackId, ServerId, SubtreeId, UserId};
+pub use network::{Bandwidth, Latency, LatencyHistogram, NetworkModel, NANOS_PER_SEC};
 pub use time::{SimTime, DAY_SECS, HOUR_SECS, MINUTE_SECS};
 pub use traffic::{
     MessageClass, TrafficUnits, APP_MESSAGE_UNITS, PROTOCOL_MESSAGE_UNITS,

@@ -69,13 +69,14 @@ pub mod prelude {
     pub use dynasore_graph::{GraphPreset, SocialGraph};
     pub use dynasore_partition::{Partitioner, Partitioning, TreeShape};
     pub use dynasore_sim::{
-        MemoryUsage, Message, PlacementEngine, ReliabilityStats, SimReport, Simulation,
+        generate_failure_schedule, FaultInjectionConfig, LatencyStats, MemoryUsage, Message,
+        PlacementEngine, ReliabilityStats, SimReport, Simulation, SimulationConfig,
     };
     pub use dynasore_store::{Cluster, ClusterChangeReport, StoreConfig};
     pub use dynasore_topology::{Switch, Tier, Topology, TrafficAccount};
     pub use dynasore_types::{
-        ClusterEvent, Error, Event, MemoryBudget, Operation, SimTime, TimedClusterEvent, UserId,
-        View,
+        Bandwidth, ClusterEvent, Error, Event, Latency, LatencyHistogram, MemoryBudget,
+        NetworkModel, Operation, SimTime, TimedClusterEvent, UserId, View,
     };
     pub use dynasore_workload::{
         DiurnalConfig, DiurnalTraceGenerator, FlashEventPlan, Request, SyntheticConfig,
