@@ -28,7 +28,18 @@
 //! would spend re-converging; and the recovery burst's persistent-tier
 //! units, pushed through the [`NetworkModel::datacenter`] core switch,
 //! give the time the refill transfer itself occupies the fabric.
+//!
+//! Finally, the bench *measures* recovery bandwidth from real bytes: it
+//! writes every user's view into a file-backed
+//! [`LogStructuredStore`](dynasore_store::LogStructuredStore) (140-byte
+//! tweet-sized events), syncs, then times a cold reopen — the replay that
+//! rebuilds the durable tier's index from disk. `bytes replayed ÷
+//! wall-clock` is printed next to the message-count estimate above.
+//! `--data-dir PATH` chooses where the throwaway segment files live
+//! (default: a per-process directory under the system temp dir); the
+//! directory is removed before the bench exits.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use dynasore_core::{DynaSoReEngine, InitialPlacement};
@@ -43,6 +54,7 @@ struct Options {
     users: usize,
     seed: u64,
     quick: bool,
+    data_dir: Option<PathBuf>,
 }
 
 impl Options {
@@ -51,6 +63,7 @@ impl Options {
             users: 50_000,
             seed: 42,
             quick: false,
+            data_dir: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -64,6 +77,10 @@ impl Options {
                     o.seed = args[i + 1].parse().unwrap_or(o.seed);
                     i += 1;
                 }
+                "--data-dir" if i + 1 < args.len() => {
+                    o.data_dir = Some(PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
                 "--quick" => o.quick = true,
                 _ => {}
             }
@@ -74,6 +91,75 @@ impl Options {
         }
         o
     }
+}
+
+/// Measured (not estimated) recovery I/O of the file-backed durable tier.
+struct MeasuredRecovery {
+    views: usize,
+    events: u64,
+    log_bytes: u64,
+    segments: usize,
+    replayed_bytes: u64,
+    replay_secs: f64,
+    bandwidth_bytes_per_sec: f64,
+}
+
+/// Writes every user's view into a file-backed log store under `dir`, syncs,
+/// then times a cold reopen — the real recovery path: the index is rebuilt
+/// by reading the segment bytes back off disk. The directory is removed
+/// before returning. Because the bench deletes the directory when done, it
+/// refuses to run in one that already has contents: only files this run
+/// created are ever removed.
+fn measure_file_backed_recovery(dir: &PathBuf, users: usize) -> MeasuredRecovery {
+    // Event size shared with the simulator's durable tier (tweet-sized, as
+    // the paper assumes), so the bench and `Simulation::with_durable_tier`
+    // measure the same bytes-per-write calibration.
+    use dynasore_store::{LogConfig, LogStructuredStore, SIM_EVENT_BYTES};
+
+    const EVENTS_PER_USER: u64 = 2;
+
+    if let Ok(mut entries) = std::fs::read_dir(dir) {
+        if entries.next().is_some() {
+            eprintln!(
+                "error: --data-dir {} already exists and is not empty; the bench deletes \
+                 its data directory when done, so pick a fresh (or empty) path",
+                dir.display()
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let result = (|| -> dynasore_types::Result<MeasuredRecovery> {
+        let store = LogStructuredStore::open(dir, LogConfig::default())?;
+        for u in 0..users as u32 {
+            for k in 0..EVENTS_PER_USER {
+                store.append(UserId::new(u), vec![(u as u8) ^ (k as u8); SIM_EVENT_BYTES])?;
+            }
+        }
+        store.sync()?;
+        let log_bytes = store.bytes_on_disk();
+        let segments = store.segment_count();
+        drop(store);
+
+        let start = Instant::now();
+        let recovered = LogStructuredStore::open(dir, LogConfig::default())?;
+        let replay_secs = start.elapsed().as_secs_f64();
+        let stats = recovered.recovery_stats();
+        let views = recovered.user_count();
+        Ok(MeasuredRecovery {
+            views,
+            events: stats.records_replayed,
+            log_bytes,
+            segments,
+            replayed_bytes: stats.bytes_replayed,
+            replay_secs,
+            bandwidth_bytes_per_sec: stats.bytes_replayed as f64 / replay_secs.max(1e-9),
+        })
+    })();
+    let cleanup = std::fs::remove_dir_all(dir);
+    let measured = result.expect("file-backed recovery measurement");
+    cleanup.expect("remove file-backed store directory");
+    measured
 }
 
 /// Drives one window of reads and returns the average application messages
@@ -203,6 +289,13 @@ fn main() {
 
     let unreachable = engine.unreachable_reads();
 
+    // Measured recovery bandwidth from real bytes: persist every view in a
+    // file-backed log store and time the cold reopen that replays it.
+    let data_dir = opts.data_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("dynasore-recovery-{}", std::process::id()))
+    });
+    let measured = measure_file_backed_recovery(&data_dir, opts.users);
+
     // Wall-clock estimates: the paper workload reads at 4 reads per user per
     // day, so a window of N reads spans N / (users × 4 / 86400) seconds of
     // real time; the recovery burst itself occupies the datacenter model's
@@ -242,6 +335,15 @@ fn main() {
             "    \"estimated_wallclock_secs\": {reabsorb_wallclock:.1},\n",
             "    \"steady_messages_per_read\": {restored:.2}\n",
             "  }},\n",
+            "  \"persistent_tier\": {{\n",
+            "    \"views_persisted\": {pt_views},\n",
+            "    \"events_replayed\": {pt_events},\n",
+            "    \"log_bytes\": {pt_log_bytes},\n",
+            "    \"segments\": {pt_segments},\n",
+            "    \"replayed_bytes\": {pt_replayed},\n",
+            "    \"replay_secs\": {pt_secs:.6},\n",
+            "    \"measured_recovery_bandwidth_bytes_per_sec\": {pt_bw:.0}\n",
+            "  }},\n",
             "  \"unreachable_reads\": {unreachable}\n",
             "}}\n"
         ),
@@ -265,6 +367,13 @@ fn main() {
         reabsorb = windows_to_reabsorb,
         reabsorb_wallclock = reabsorb_wallclock_secs,
         restored = restored_steady,
+        pt_views = measured.views,
+        pt_events = measured.events,
+        pt_log_bytes = measured.log_bytes,
+        pt_segments = measured.segments,
+        pt_replayed = measured.replayed_bytes,
+        pt_secs = measured.replay_secs,
+        pt_bw = measured.bandwidth_bytes_per_sec,
         unreachable = unreachable,
     );
     eprintln!(
@@ -273,6 +382,14 @@ fn main() {
          converged after {windows_to_converge} windows \
          (~{converge_wallclock_secs:.0}s wall-clock at the paper's read rate, \
          refill transfer {recovery_transfer_secs:.3}s on the core switch)"
+    );
+    eprintln!(
+        "# recovery_convergence: file-backed tier replayed {} views / {} bytes in {:.3}s \
+         = {:.1} MB/s measured recovery bandwidth",
+        measured.views,
+        measured.replayed_bytes,
+        measured.replay_secs,
+        measured.bandwidth_bytes_per_sec / 1e6,
     );
     print!("{json}");
 }

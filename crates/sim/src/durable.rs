@@ -1,0 +1,55 @@
+//! Optional durable tier mirrored behind a simulation.
+//!
+//! Simulations count persistent-tier *messages* by default; attaching a
+//! [`DurableTier`] makes the recovery path read real bytes: every write
+//! request is mirrored into the tier, and whenever a cluster event makes the
+//! engine fetch lost views from the persistent store, the tier is synced and
+//! replayed end to end — so the run's [`DurableIoStats`] report the actual
+//! I/O volume a recovery would move, next to the message-count estimate.
+//!
+//! The trait lives here (layer 4) so that `dynasore-store` (layer 5) can
+//! implement it with its file-backed log store without inverting the
+//! dependency DAG; see `dynasore_store::SimDurableTier`.
+
+use dynasore_types::{Result, SimTime, UserId};
+
+/// A durable tier a [`crate::Simulation`] mirrors writes into and replays on
+/// recovery. All byte counts must be deterministic for a given call sequence
+/// so that simulations with a tier attached stay reproducible.
+pub trait DurableTier: std::fmt::Debug {
+    /// Mirrors one acknowledged write request into the tier.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying store.
+    fn append(&mut self, user: UserId, time: SimTime) -> Result<()>;
+
+    /// Crash boundary: everything appended so far becomes durable.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying store.
+    fn sync(&mut self) -> Result<()>;
+
+    /// Re-reads the whole tier, exactly as crash recovery would, and returns
+    /// the number of bytes replayed.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying store.
+    fn replay(&mut self) -> Result<u64>;
+}
+
+/// Durable-tier I/O of one simulation run. Present in a
+/// [`crate::SimReport`] only when a [`DurableTier`] was attached; `None`
+/// keeps default runs byte-identical to tier-less ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurableIoStats {
+    /// Write requests mirrored into the tier.
+    pub appends: u64,
+    /// Recovery replays performed (one per cluster event that generated
+    /// persistent-tier traffic).
+    pub replays: u64,
+    /// Total bytes re-read from the tier across all replays.
+    pub bytes_replayed: u64,
+}

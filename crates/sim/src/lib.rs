@@ -75,11 +75,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod durable;
 mod engine;
 pub mod faults;
 mod report;
 mod simulation;
 
+pub use durable::{DurableIoStats, DurableTier};
 pub use engine::{
     ClusterEvent, MemoryUsage, Message, PlacementEngine, TimedClusterEvent, TrafficSink,
 };

@@ -3,6 +3,7 @@
 use dynasore_topology::{Tier, TierTraffic, TrafficAccount};
 use dynasore_types::{Latency, LatencyHistogram, SimTime, TrafficUnits};
 
+use crate::durable::DurableIoStats;
 use crate::engine::MemoryUsage;
 
 /// Latency measurements of one run under the configured
@@ -70,6 +71,9 @@ pub struct SimReport {
     switch_counts: [usize; 3],
     reliability: ReliabilityStats,
     latency: LatencyStats,
+    /// Durable-tier I/O; `Some` only when the run attached a
+    /// [`crate::DurableTier`].
+    durable: Option<DurableIoStats>,
 }
 
 impl SimReport {
@@ -86,6 +90,7 @@ impl SimReport {
         switch_counts: [usize; 3],
         reliability: ReliabilityStats,
         latency: LatencyStats,
+        durable: Option<DurableIoStats>,
     ) -> Self {
         SimReport {
             engine_name,
@@ -99,6 +104,7 @@ impl SimReport {
             switch_counts,
             reliability,
             latency,
+            durable,
         }
     }
 
@@ -152,6 +158,14 @@ impl SimReport {
     /// infinite-capacity network model).
     pub fn latency(&self) -> &LatencyStats {
         &self.latency
+    }
+
+    /// Durable-tier I/O of the run: `Some` only when a
+    /// [`crate::DurableTier`] was attached via
+    /// [`crate::Simulation::with_durable_tier`], so default runs stay
+    /// byte-identical to tier-less ones.
+    pub fn durable_io(&self) -> Option<DurableIoStats> {
+        self.durable
     }
 
     /// Median read response time.
@@ -282,6 +296,7 @@ mod tests {
                 read_targets: 50,
             },
             LatencyStats::default(),
+            None,
         )
     }
 

@@ -8,6 +8,7 @@ use dynasore_types::{
 };
 use dynasore_workload::{GraphMutation, Request, TimedMutation};
 
+use crate::durable::{DurableIoStats, DurableTier};
 use crate::engine::{Message, PlacementEngine};
 use crate::report::{LatencyStats, ReliabilityStats, SimReport};
 
@@ -114,6 +115,7 @@ pub struct Simulation<E> {
     mutations: Vec<TimedMutation>,
     cluster_events: Vec<TimedClusterEvent>,
     config: SimulationConfig,
+    durable: Option<Box<dyn DurableTier>>,
 }
 
 impl<E: PlacementEngine> Simulation<E> {
@@ -127,6 +129,7 @@ impl<E: PlacementEngine> Simulation<E> {
             mutations: Vec::new(),
             cluster_events: Vec::new(),
             config: SimulationConfig::default(),
+            durable: None,
         }
     }
 
@@ -161,6 +164,18 @@ impl<E: PlacementEngine> Simulation<E> {
     /// gains meaningful percentiles and congestion-collapse detection.
     pub fn with_network(mut self, network: NetworkModel) -> Self {
         self.config.network = network;
+        self
+    }
+
+    /// Mirrors the run into a durable tier (optional file-backed recovery
+    /// path): every write request is appended to `tier`, and each cluster
+    /// event that makes the engine fetch lost views from the persistent
+    /// store triggers a sync-and-replay of the tier, so the report's
+    /// [`DurableIoStats`] measure recovery from real bytes instead of
+    /// message counts alone. Without this call, runs are byte-identical to
+    /// the historical tier-less behaviour.
+    pub fn with_durable_tier(mut self, tier: Box<dyn DurableTier>) -> Self {
+        self.durable = Some(tier);
         self
     }
 
@@ -225,6 +240,7 @@ impl<E: PlacementEngine> Simulation<E> {
         let mut read_targets = 0u64;
         let mut read_latency = LatencyHistogram::new();
         let mut write_latency = LatencyHistogram::new();
+        let mut durable_io = DurableIoStats::default();
 
         let mut mutation_idx = 0usize;
         let mut event_idx = 0usize;
@@ -288,6 +304,7 @@ impl<E: PlacementEngine> Simulation<E> {
                 } else {
                     let e = self.cluster_events[event_idx];
                     self.topology.apply_cluster_event(e.event)?;
+                    let recovery_before = recovery_messages;
                     let mut sink = AccountingSink {
                         topology: &self.topology,
                         traffic: &mut traffic,
@@ -298,6 +315,16 @@ impl<E: PlacementEngine> Simulation<E> {
                         request_latency: Latency::ZERO,
                     };
                     self.engine.on_cluster_change(e.event, e.time, &mut sink);
+                    // The engine fetched lost views from the persistent
+                    // tier: with a durable tier attached, that recovery
+                    // re-reads real bytes.
+                    if recovery_messages > recovery_before {
+                        if let Some(tier) = self.durable.as_mut() {
+                            tier.sync()?;
+                            durable_io.bytes_replayed += tier.replay()?;
+                            durable_io.replays += 1;
+                        }
+                    }
                     event_idx += 1;
                 }
             }
@@ -344,6 +371,13 @@ impl<E: PlacementEngine> Simulation<E> {
                 read_latency.record(sink.request_latency);
             } else {
                 writes += 1;
+                // Persist-then-notify, as the paper's write path does:
+                // updates land in the durable tier before the caches see
+                // them.
+                if let Some(tier) = self.durable.as_mut() {
+                    tier.append(request.user, request.time)?;
+                    durable_io.appends += 1;
+                }
                 self.engine
                     .handle_write(request.user, request.time, &mut sink);
                 write_latency.record(sink.request_latency);
@@ -389,6 +423,7 @@ impl<E: PlacementEngine> Simulation<E> {
                 read_targets,
             },
             latency,
+            self.durable.as_ref().map(|_| durable_io),
         ))
     }
 }

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -17,7 +18,7 @@ use dynasore_types::{
     SubtreeId, UserId, View,
 };
 
-use crate::persistent::MockPersistentStore;
+use crate::persistent::{MockPersistentStore, PersistentStore};
 use crate::server::ServerHandle;
 
 /// Configuration of a [`Cluster`].
@@ -72,7 +73,11 @@ pub struct ClusterChangeReport {
 }
 
 /// A running in-memory view store: one thread per cache server, routed by a
-/// DynaSoRe placement engine, backed by a mock persistent store.
+/// DynaSoRe placement engine, backed by a durable tier — the in-memory
+/// [`MockPersistentStore`] by default ([`Cluster::spawn`]), or any
+/// [`PersistentStore`] such as the file-backed
+/// [`LogStructuredStore`](crate::LogStructuredStore)
+/// ([`Cluster::spawn_with_store`]).
 ///
 /// See the [crate documentation](crate) for an end-to-end example.
 #[derive(Debug)]
@@ -82,12 +87,16 @@ pub struct Cluster {
     engine: Mutex<DynaSoReEngine>,
     servers: Vec<ServerHandle>,
     server_index: HashMap<MachineId, usize>,
-    persistent: MockPersistentStore,
+    persistent: Arc<dyn PersistentStore>,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     recovery_messages: AtomicU64,
     shut_down: AtomicBool,
+    /// Whether the persistent tier was successfully flushed and synced
+    /// during shutdown — tracked separately from `shut_down` so a retry
+    /// after a failed sync actually syncs instead of returning early.
+    synced: AtomicBool,
 }
 
 impl Cluster {
@@ -99,6 +108,31 @@ impl Cluster {
     /// Returns an error if the engine cannot be built (empty graph,
     /// insufficient capacity, invalid placement).
     pub fn spawn(graph: &SocialGraph, topology: Topology, config: StoreConfig) -> Result<Self> {
+        Cluster::spawn_with_store(
+            graph,
+            topology,
+            config,
+            Arc::new(MockPersistentStore::new()),
+        )
+    }
+
+    /// Spawns the cluster against an explicit durable tier. Passing a shared
+    /// [`LogStructuredStore`](crate::LogStructuredStore) runs the cluster
+    /// over an on-disk log: killed-and-restarted server threads then recover
+    /// views by demand-filling from state that was (or can be) re-read from
+    /// real bytes, and a reopen of the same directory after
+    /// [`Cluster::shutdown`] sees every acknowledged write.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the engine cannot be built (empty graph,
+    /// insufficient capacity, invalid placement).
+    pub fn spawn_with_store(
+        graph: &SocialGraph,
+        topology: Topology,
+        config: StoreConfig,
+        persistent: Arc<dyn PersistentStore>,
+    ) -> Result<Self> {
         let engine = DynaSoReEngine::builder()
             .topology(topology.clone())
             .budget(MemoryBudget::with_extra_percent(
@@ -125,12 +159,13 @@ impl Cluster {
             engine: Mutex::new(engine),
             servers,
             server_index,
-            persistent: MockPersistentStore::new(),
+            persistent,
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             recovery_messages: AtomicU64::new(0),
             shut_down: AtomicBool::new(false),
+            synced: AtomicBool::new(false),
         })
     }
 
@@ -159,7 +194,7 @@ impl Cluster {
     pub fn write(&self, user: UserId, payload: Vec<u8>) -> Result<()> {
         self.check_user(user)?;
         // 1. The persistent store generates the new version of the view.
-        let view = self.persistent.append(user, payload);
+        let view = self.persistent.append(user, payload)?;
         // 2. The write proxy updates the placement statistics and pushes the
         //    new version to every replica (§3.3).
         let replicas = {
@@ -229,7 +264,7 @@ impl Cluster {
                 None => {
                     // Cache miss: demand-fill from the persistent store.
                     self.misses.fetch_add(1, Ordering::Relaxed);
-                    let view = self.persistent.fetch(target);
+                    let view = self.persistent.fetch(target)?;
                     self.servers[idx].put(target, view.clone());
                     views.push(view);
                 }
@@ -386,16 +421,39 @@ impl Cluster {
     }
 
     /// Stops every server thread and rejects all further requests with
-    /// [`Error::ClusterShutdown`]. Idempotent: calling it again is a no-op.
-    /// Dropping the cluster without calling this joins the threads just the
-    /// same; `shutdown` only makes the teardown explicit.
-    pub fn shutdown(&mut self) {
-        if self.shut_down.swap(true, Ordering::AcqRel) {
-            return;
+    /// [`Error::ClusterShutdown`]. The persistent tier is flushed and synced
+    /// *before* the server threads are joined, so every write acknowledged
+    /// before this call is crash-durable once it returns `Ok` — a reopen of
+    /// a file-backed tier's directory sees all of them. Idempotent once it
+    /// has succeeded: further calls are no-ops. After an `Err`, calling it
+    /// again retries the flush and sync (the server threads are only joined
+    /// once). Dropping the cluster without calling this joins the threads
+    /// just the same; only a `shutdown` that returned `Ok` guarantees the
+    /// durable sync.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from flushing or syncing the persistent tier
+    /// (the server threads are still joined in that case).
+    pub fn shutdown(&mut self) -> Result<()> {
+        let first = !self.shut_down.swap(true, Ordering::AcqRel);
+        // Durability first: acknowledged writes must hit disk even if a
+        // server thread refuses to join promptly. Retried on every call
+        // until it succeeds, so an `Ok` from any call is the guarantee.
+        let synced = if self.synced.load(Ordering::Acquire) {
+            Ok(())
+        } else {
+            self.persistent
+                .flush()
+                .and_then(|()| self.persistent.sync())
+                .map(|()| self.synced.store(true, Ordering::Release))
+        };
+        if first {
+            for server in &mut self.servers {
+                server.shutdown();
+            }
         }
-        for server in &mut self.servers {
-            server.shutdown();
-        }
+        synced
     }
 }
 
@@ -409,6 +467,71 @@ mod tests {
         let topology = Topology::tree(2, 2, 4, 1).unwrap();
         let cluster = Cluster::spawn(&graph, topology, StoreConfig::default()).unwrap();
         (cluster, graph)
+    }
+
+    /// A durable tier whose `sync` fails once — to pin the shutdown retry
+    /// contract.
+    #[derive(Debug)]
+    struct FlakySyncStore {
+        inner: MockPersistentStore,
+        fail_next_sync: AtomicBool,
+        syncs: AtomicU64,
+    }
+
+    impl PersistentStore for FlakySyncStore {
+        fn append(&self, user: UserId, payload: Vec<u8>) -> Result<View> {
+            Ok(self.inner.append(user, payload))
+        }
+        fn fetch(&self, user: UserId) -> Result<View> {
+            Ok(self.inner.fetch(user))
+        }
+        fn sync(&self) -> Result<()> {
+            self.syncs.fetch_add(1, Ordering::Relaxed);
+            if self.fail_next_sync.swap(false, Ordering::AcqRel) {
+                Err(Error::io("injected sync failure"))
+            } else {
+                Ok(())
+            }
+        }
+        fn write_count(&self) -> u64 {
+            self.inner.write_count()
+        }
+        fn read_count(&self) -> u64 {
+            self.inner.read_count()
+        }
+    }
+
+    #[test]
+    fn shutdown_retries_the_sync_after_a_failure_and_is_then_idempotent() {
+        let graph = SocialGraph::generate(GraphPreset::TwitterLike, 60, 1).unwrap();
+        let topology = Topology::tree(2, 2, 3, 1).unwrap();
+        let store = Arc::new(FlakySyncStore {
+            inner: MockPersistentStore::new(),
+            fail_next_sync: AtomicBool::new(true),
+            syncs: AtomicU64::new(0),
+        });
+        let mut cluster =
+            Cluster::spawn_with_store(&graph, topology, StoreConfig::default(), store.clone())
+                .unwrap();
+        let user = graph.users().next().unwrap();
+        cluster.write(user, b"must survive".to_vec()).unwrap();
+
+        // First shutdown: sync fails, the error is surfaced, requests are
+        // rejected from now on.
+        assert!(cluster.shutdown().is_err());
+        assert!(matches!(
+            cluster.write(user, vec![]),
+            Err(Error::ClusterShutdown)
+        ));
+
+        // Retry actually re-runs the sync (it must not be swallowed by the
+        // shut_down flag) and succeeds; after that, further calls are
+        // no-ops.
+        cluster.shutdown().unwrap();
+        let syncs_after_success = store.syncs.load(Ordering::Relaxed);
+        assert_eq!(syncs_after_success, 2, "retry must re-run the sync");
+        cluster.shutdown().unwrap();
+        assert_eq!(store.syncs.load(Ordering::Relaxed), syncs_after_success);
     }
 
     #[test]
@@ -427,7 +550,7 @@ mod tests {
         // Newest first.
         let author_events: Vec<&Event> = feed.iter().filter(|e| e.author() == author).collect();
         assert_eq!(author_events[0].payload(), b"second post");
-        cluster.shutdown();
+        cluster.shutdown().unwrap();
     }
 
     #[test]
@@ -448,7 +571,7 @@ mod tests {
         assert!(after_second.cache_hits >= 1);
         assert_eq!(after_second.cache_misses, after_first.cache_misses);
         assert!(after_second.cached_views >= 1);
-        cluster.shutdown();
+        cluster.shutdown().unwrap();
     }
 
     #[test]
@@ -471,7 +594,7 @@ mod tests {
         let known = UserId::new(0);
         let views = cluster.read(known, &[ghost]).unwrap();
         assert!(views.is_empty());
-        cluster.shutdown();
+        cluster.shutdown().unwrap();
     }
 
     #[test]
@@ -486,7 +609,7 @@ mod tests {
         let stats = cluster.stats();
         assert_eq!(stats.persistent_writes, 1);
         assert!(stats.cached_views >= 1);
-        cluster.shutdown();
+        cluster.shutdown().unwrap();
     }
 
     #[test]
@@ -494,8 +617,8 @@ mod tests {
         let (mut cluster, graph) = cluster();
         let user = graph.users().next().unwrap();
         cluster.write(user, b"pre-shutdown".to_vec()).unwrap();
-        cluster.shutdown();
-        cluster.shutdown(); // Second call is a no-op.
+        cluster.shutdown().unwrap();
+        cluster.shutdown().unwrap(); // Second call is a no-op.
         assert!(matches!(
             cluster.write(user, b"post".to_vec()),
             Err(Error::ClusterShutdown)
@@ -575,7 +698,7 @@ mod tests {
                 machine: MachineId::new(9_999)
             })
             .is_err());
-        cluster.shutdown();
+        cluster.shutdown().unwrap();
     }
 
     #[test]
@@ -607,7 +730,7 @@ mod tests {
         cluster.write(author, b"after resize".to_vec()).unwrap();
         let feed = cluster.read_feed(reader).unwrap();
         assert!(feed.iter().any(|e| e.payload() == b"after resize"));
-        cluster.shutdown();
+        cluster.shutdown().unwrap();
     }
 
     #[test]
@@ -630,6 +753,6 @@ mod tests {
         let stats = cluster.stats();
         assert_eq!(stats.persistent_writes, 200);
         assert!(stats.cache_hits + stats.cache_misses > 0);
-        cluster.shutdown();
+        cluster.shutdown().unwrap();
     }
 }

@@ -4,9 +4,17 @@
 //! The simulator in `dynasore-sim` reproduces the paper's *measurements*;
 //! this crate demonstrates the paper's *API* (§3.1) as an actual system you
 //! can embed: a [`Cluster`] spawns one thread per view server, connected by
-//! channels, backed by a [`MockPersistentStore`] (the durable store of
-//! §3.3), and routed by a [`DynaSoReEngine`](dynasore_core::DynaSoReEngine)
-//! that replicates hot views close to their readers.
+//! channels, backed by a durable tier (the store of §3.3) behind the
+//! [`PersistentStore`] trait, and routed by a
+//! [`DynaSoReEngine`](dynasore_core::DynaSoReEngine) that replicates hot
+//! views close to their readers. Two durable tiers ship with the crate:
+//!
+//! * [`MockPersistentStore`] — an in-memory map, the default
+//!   ([`Cluster::spawn`]), right for pure simulations;
+//! * [`LogStructuredStore`] — a file-backed, append-only segment log with
+//!   checksummed records, replay-on-open recovery, rotation and compaction
+//!   ([`Cluster::spawn_with_store`]), so killed-and-restarted servers
+//!   recover views from real bytes.
 //!
 //! The API mirrors the paper's memcache-compatible interface:
 //!
@@ -38,7 +46,7 @@
 //!     let feed = cluster.read_feed(reader)?;
 //!     assert!(feed.iter().any(|e| e.payload() == b"hello world"));
 //! }
-//! cluster.shutdown();
+//! cluster.shutdown()?;
 //! # Ok(())
 //! # }
 //! ```
@@ -47,8 +55,13 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod durable_tier;
+mod log;
 mod persistent;
+mod segment;
 mod server;
 
 pub use cluster::{Cluster, ClusterChangeReport, StoreConfig, StoreStats};
-pub use persistent::MockPersistentStore;
+pub use durable_tier::{SimDurableTier, SIM_EVENT_BYTES};
+pub use log::{CompactionStats, LogConfig, LogStructuredStore, RecoveryStats};
+pub use persistent::{MockPersistentStore, PersistentStore};

@@ -1,0 +1,832 @@
+//! The log-structured, file-backed persistent store.
+//!
+//! [`LogStructuredStore`] is the durable tier made real: every write appends
+//! a framed, checksummed [`DurableRecord`] to the active segment file, an
+//! in-memory index of full views is rebuilt by *replaying the segments from
+//! disk* on open, the active segment rotates at a size threshold, and a
+//! compaction pass rewrites the live state as snapshot records, dropping
+//! superseded history. `flush` pushes buffered bytes to the operating
+//! system; `sync` additionally fsyncs, making everything appended so far
+//! crash-durable.
+//!
+//! Crash semantics: a crash may truncate the log at any byte offset. On
+//! open, replay accepts every whole record and stops at the first torn
+//! frame (short frame, impossible length, or checksum mismatch); the torn
+//! tail is physically truncated away so appends continue after the last
+//! whole record. Only the *last* segment may be torn — an earlier torn
+//! segment means the files were tampered with and opening fails loudly.
+//!
+//! Compaction is crash-safe without renames: snapshot segments are written
+//! (and fsynced) under *higher* sequence numbers before the superseded
+//! segments are deleted, and replay applies segments in sequence order, so
+//! a crash at any point between those steps replays to the same state.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use dynasore_types::{DurableRecord, Error, Event, Result, SimTime, UserId, View};
+
+use crate::persistent::PersistentStore;
+use crate::segment::{list_segments, replay_segment, Segment};
+
+/// Configuration of a [`LogStructuredStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct LogConfig {
+    /// Size threshold (bytes) at which the active segment is sealed and a
+    /// fresh one started. Small values exercise rotation; the default is
+    /// 4 MiB.
+    pub segment_max_bytes: u64,
+    /// Whether every append is individually fsynced. Durable but slow; the
+    /// default (`false`) buffers appends until an explicit [`flush`]/[`sync`]
+    /// (or segment rotation, which always syncs the sealed file).
+    ///
+    /// [`flush`]: LogStructuredStore::flush
+    /// [`sync`]: LogStructuredStore::sync
+    pub sync_on_append: bool,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            segment_max_bytes: 4 << 20,
+            sync_on_append: false,
+        }
+    }
+}
+
+/// What rebuilding the index from disk (on open or [`reread`]) measured —
+/// the numerator of real recovery bandwidth.
+///
+/// [`reread`]: LogStructuredStore::reread
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Bytes read and validated (segment headers plus whole records).
+    pub bytes_replayed: u64,
+    /// Records applied to the index.
+    pub records_replayed: u64,
+    /// Trailing bytes discarded as a torn tail (nonzero only after a crash
+    /// mid-append).
+    pub torn_bytes: u64,
+    /// Segment files replayed.
+    pub segments: usize,
+}
+
+/// What one compaction pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Total segment bytes before the pass.
+    pub bytes_before: u64,
+    /// Total segment bytes after the pass.
+    pub bytes_after: u64,
+    /// Segment files before the pass (including the active one).
+    pub segments_before: usize,
+    /// Segment files after the pass (including the fresh active one).
+    pub segments_after: usize,
+}
+
+#[derive(Debug)]
+struct SealedSegment {
+    path: PathBuf,
+    bytes: u64,
+}
+
+#[derive(Debug)]
+struct LogInner {
+    dir: PathBuf,
+    config: LogConfig,
+    /// The materialized state of the log: every live view, rebuilt by
+    /// replaying segments on open. `BTreeMap` so compaction and equality
+    /// checks iterate in a deterministic order.
+    index: BTreeMap<UserId, View>,
+    /// Logical clock for event timestamps; recovered as one past the newest
+    /// replayed timestamp so post-recovery appends keep timestamps monotonic.
+    clock: u64,
+    active: Segment,
+    sealed: Vec<SealedSegment>,
+    next_seq: u64,
+    recovery: RecoveryStats,
+    scratch: Vec<u8>,
+    lock_path: PathBuf,
+}
+
+/// A log-structured, file-backed implementation of the durable tier.
+///
+/// Drop-in replacement for [`MockPersistentStore`] behind the
+/// [`PersistentStore`] trait: same append/fetch semantics, but every write
+/// lands in an on-disk segment log and recovery reads real bytes. See the
+/// [module documentation](self) for the format and crash semantics.
+///
+/// [`MockPersistentStore`]: crate::MockPersistentStore
+#[derive(Debug)]
+pub struct LogStructuredStore {
+    inner: Mutex<LogInner>,
+    writes: AtomicU64,
+    reads: AtomicU64,
+}
+
+/// Name of the advisory lock file guarding single ownership of a store
+/// directory.
+const LOCK_FILE: &str = "LOCK";
+
+/// Claims exclusive ownership of `dir` by creating its `LOCK` file with this
+/// process's pid inside. A lock left by a process that is *provably* no
+/// longer alive (a real crash — exactly the scenario recovery exists for)
+/// is broken and re-claimed; a lock held by a live process, or one whose
+/// liveness cannot be checked, is an error, because two writers would
+/// corrupt each other's repairs and appends.
+fn acquire_dir_lock(dir: &Path) -> Result<PathBuf> {
+    let path = dir.join(LOCK_FILE);
+    for attempt in 0..2 {
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut file) => {
+                use std::io::Write;
+                let _ = write!(file, "{}", std::process::id());
+                return Ok(path);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists && attempt == 0 => {
+                let holder: Option<u32> = std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse().ok());
+                // Only a pid we can *prove* dead is stale. The proof needs a
+                // /proc filesystem; where there is none, refuse rather than
+                // break a possibly-live lock.
+                let stale = match holder {
+                    Some(pid) => {
+                        pid != std::process::id()
+                            && Path::new("/proc/self").exists()
+                            && !Path::new(&format!("/proc/{pid}")).exists()
+                    }
+                    None => false,
+                };
+                if !stale {
+                    return Err(Error::invalid_config(format!(
+                        "store directory {} is locked by pid {}; two owners would corrupt \
+                         the log — use LogStructuredStore::read_back for inspection, or \
+                         delete the LOCK file if the owner is known to be gone",
+                        dir.display(),
+                        holder.map_or_else(|| "unknown".into(), |p| p.to_string()),
+                    )));
+                }
+                // Break the dead owner's lock via rename: of several racing
+                // openers, only one rename succeeds, so nobody can delete a
+                // lock that a faster racer has already replaced.
+                let takeover = dir.join(format!("LOCK.stale.{}", std::process::id()));
+                if std::fs::rename(&path, &takeover).is_ok() {
+                    let _ = std::fs::remove_file(&takeover);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    // Second create_new also lost: another opener claimed the broken lock
+    // first.
+    Err(Error::invalid_config(format!(
+        "store directory {} is locked by another instance that claimed it concurrently",
+        dir.display()
+    )))
+}
+
+fn apply_record(index: &mut BTreeMap<UserId, View>, clock: &mut u64, record: DurableRecord) {
+    match record {
+        DurableRecord::Event {
+            user,
+            timestamp,
+            payload,
+        } => {
+            *clock = (*clock).max(timestamp.as_secs() + 1);
+            index
+                .entry(user)
+                .or_insert_with(|| View::new(user))
+                .push(Event::new(user, timestamp, payload));
+        }
+        DurableRecord::Snapshot { view } => {
+            for event in view.iter() {
+                *clock = (*clock).max(event.timestamp().as_secs() + 1);
+            }
+            index.insert(view.owner(), view);
+        }
+        DurableRecord::Tombstone { user } => {
+            index.remove(&user);
+        }
+    }
+}
+
+/// Replays every segment of `dir` in sequence order into a fresh index.
+/// Returns the index, the recovered clock, per-segment valid lengths and the
+/// aggregate stats. Only the last segment may carry a torn tail.
+#[allow(clippy::type_complexity)]
+fn replay_dir(
+    dir: &Path,
+) -> Result<(
+    BTreeMap<UserId, View>,
+    u64,
+    Vec<(u64, PathBuf, u64)>,
+    RecoveryStats,
+)> {
+    let segments = list_segments(dir)?;
+    let mut index = BTreeMap::new();
+    let mut clock = 0u64;
+    let mut stats = RecoveryStats::default();
+    let mut valid = Vec::with_capacity(segments.len());
+    let last = segments.len().saturating_sub(1);
+    for (i, (seq, path)) in segments.into_iter().enumerate() {
+        let replay = replay_segment(&path, |record| apply_record(&mut index, &mut clock, record))?;
+        if replay.torn_bytes > 0 && i != last {
+            return Err(Error::CorruptRecord(format!(
+                "{} is torn but is not the last segment; a crash only tears the tail of the log",
+                path.display()
+            )));
+        }
+        stats.bytes_replayed += replay.valid_bytes;
+        stats.records_replayed += replay.records;
+        stats.torn_bytes += replay.torn_bytes;
+        stats.segments += 1;
+        valid.push((seq, path, replay.valid_bytes));
+    }
+    Ok((index, clock, valid, stats))
+}
+
+impl LogStructuredStore {
+    /// Opens the store in `dir` (created if missing), rebuilding the
+    /// in-memory index by replaying every segment from disk. A torn tail in
+    /// the last segment — the signature of a crash mid-append — is truncated
+    /// away; [`recovery_stats`] reports how many bytes were replayed and how
+    /// many were discarded.
+    ///
+    /// [`recovery_stats`]: LogStructuredStore::recovery_stats
+    ///
+    /// Opening claims exclusive ownership of the directory through its
+    /// `LOCK` file: torn-tail repair physically truncates segment files, so
+    /// two live owners would corrupt each other. A lock left by a dead
+    /// process (a crash) is broken automatically; use
+    /// [`read_back`](LogStructuredStore::read_back) to inspect a directory
+    /// another instance owns.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, [`Error::InvalidConfig`] when the directory is locked by
+    /// a live instance, and [`Error::CorruptRecord`] for damage a crash
+    /// cannot produce (checksummed-but-malformed records, torn non-final
+    /// segments, files that are not segments).
+    pub fn open(dir: impl Into<PathBuf>, config: LogConfig) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let lock_path = acquire_dir_lock(&dir)?;
+        let opened = (|| {
+            let (index, clock, segments, recovery) = replay_dir(&dir)?;
+            let mut sealed = Vec::new();
+            let mut next_seq = 1;
+            let mut active = None;
+            for (i, (seq, path, valid_bytes)) in segments.iter().enumerate() {
+                next_seq = seq + 1;
+                if i + 1 == segments.len() {
+                    active = Some(Segment::reopen(&dir, *seq, *valid_bytes)?);
+                } else {
+                    sealed.push(SealedSegment {
+                        path: path.clone(),
+                        bytes: *valid_bytes,
+                    });
+                }
+            }
+            let active = match active {
+                Some(segment) => segment,
+                None => {
+                    let segment = Segment::create(&dir, next_seq)?;
+                    next_seq += 1;
+                    segment
+                }
+            };
+            Ok(LogStructuredStore {
+                inner: Mutex::new(LogInner {
+                    dir: dir.clone(),
+                    config,
+                    index,
+                    clock,
+                    active,
+                    sealed,
+                    next_seq,
+                    recovery,
+                    scratch: Vec::new(),
+                    lock_path: lock_path.clone(),
+                }),
+                writes: AtomicU64::new(0),
+                reads: AtomicU64::new(0),
+            })
+        })();
+        if opened.is_err() {
+            let _ = std::fs::remove_file(&lock_path);
+        }
+        opened
+    }
+
+    /// Non-destructively replays the segments of `dir` — no lock is taken,
+    /// no torn tail is repaired, nothing is created — and returns the
+    /// recovered state together with what the replay measured. This is the
+    /// safe way to inspect a directory another instance may own (e.g. to
+    /// verify after [`crate::Cluster::shutdown`] that every acknowledged
+    /// write reached disk).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LogStructuredStore::open`], minus the lock.
+    pub fn read_back(dir: impl AsRef<Path>) -> Result<(BTreeMap<UserId, View>, RecoveryStats)> {
+        let (index, _, _, stats) = replay_dir(dir.as_ref())?;
+        Ok((index, stats))
+    }
+
+    /// Appends an event with `payload` to `user`'s view and returns the new
+    /// version of the view. The record is written to the active segment
+    /// before the index is updated; with
+    /// [`sync_on_append`](LogConfig::sync_on_append) it is also fsynced.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the segment write.
+    pub fn append(&self, user: UserId, payload: Vec<u8>) -> Result<View> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let timestamp = SimTime::from_secs(inner.clock);
+        inner.clock += 1;
+        let record = DurableRecord::Event {
+            user,
+            timestamp,
+            payload,
+        };
+        inner.scratch.clear();
+        record.encode_into(&mut inner.scratch)?;
+        inner.active.append(&inner.scratch)?;
+        if inner.config.sync_on_append {
+            inner.active.sync()?;
+        }
+        let DurableRecord::Event {
+            user,
+            timestamp,
+            payload,
+        } = record
+        else {
+            unreachable!()
+        };
+        let view = inner.index.entry(user).or_insert_with(|| View::new(user));
+        view.push(Event::new(user, timestamp, payload));
+        let result = view.clone();
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Self::maybe_rotate(inner)?;
+        Ok(result)
+    }
+
+    /// Fetches the current view of `user`, or an empty view if the user has
+    /// never written (or was deleted).
+    pub fn fetch(&self, user: UserId) -> View {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let inner = self.inner.lock();
+        inner
+            .index
+            .get(&user)
+            .cloned()
+            .unwrap_or_else(|| View::new(user))
+    }
+
+    /// Deletes `user`'s view, appending a tombstone record so the deletion
+    /// survives recovery. Deleting an absent view is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the segment write.
+    pub fn delete(&self, user: UserId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        if inner.index.remove(&user).is_none() {
+            return Ok(());
+        }
+        inner.scratch.clear();
+        DurableRecord::Tombstone { user }.encode_into(&mut inner.scratch)?;
+        inner.active.append(&inner.scratch)?;
+        if inner.config.sync_on_append {
+            inner.active.sync()?;
+        }
+        Self::maybe_rotate(inner)
+    }
+
+    fn maybe_rotate(inner: &mut LogInner) -> Result<()> {
+        if inner.active.len() < inner.config.segment_max_bytes {
+            return Ok(());
+        }
+        // Seal the full segment — synced, so sealed segments are always
+        // crash-clean — and start a fresh one.
+        inner.active.sync()?;
+        let fresh = Segment::create(&inner.dir, inner.next_seq)?;
+        inner.next_seq += 1;
+        let sealed = std::mem::replace(&mut inner.active, fresh);
+        inner.sealed.push(SealedSegment {
+            path: sealed.path().to_path_buf(),
+            bytes: sealed.len(),
+        });
+        Ok(())
+    }
+
+    /// Pushes buffered appends to the operating system (they now survive a
+    /// process crash, but not a machine crash).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the flush.
+    pub fn flush(&self) -> Result<()> {
+        self.inner.lock().active.flush()
+    }
+
+    /// Flushes and fsyncs the active segment: everything appended so far
+    /// survives a machine crash.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the flush or fsync.
+    pub fn sync(&self) -> Result<()> {
+        self.inner.lock().active.sync()
+    }
+
+    /// Rewrites the live state as snapshot records and drops the superseded
+    /// history: every live view becomes one [`DurableRecord::Snapshot`] in
+    /// fresh segments (written and fsynced under higher sequence numbers
+    /// *before* the old segments are deleted, so a crash at any point
+    /// replays to the same state), then a new empty active segment is
+    /// started.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from writing the snapshot segments or deleting old ones.
+    pub fn compact(&self) -> Result<CompactionStats> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        inner.active.sync()?;
+        let bytes_before = inner.sealed.iter().map(|s| s.bytes).sum::<u64>() + inner.active.len();
+        let segments_before = inner.sealed.len() + 1;
+        let old_paths: Vec<PathBuf> = inner
+            .sealed
+            .iter()
+            .map(|s| s.path.clone())
+            .chain(std::iter::once(inner.active.path().to_path_buf()))
+            .collect();
+
+        // Write the live views, in deterministic user order, into fresh
+        // snapshot segments, then a fresh active segment after them. If any
+        // of it fails, every file created so far must be deleted before
+        // returning: the store keeps appending to the *old* active segment,
+        // whose sequence number is lower, so a durable orphan snapshot would
+        // replay last on the next open and silently revert those appends.
+        let mut compacted: Vec<SealedSegment> = Vec::new();
+        let first_new_seq = inner.next_seq;
+        let written = (|| -> Result<Segment> {
+            let mut current = Segment::create(&inner.dir, inner.next_seq)?;
+            inner.next_seq += 1;
+            for view in inner.index.values() {
+                inner.scratch.clear();
+                DurableRecord::Snapshot { view: view.clone() }.encode_into(&mut inner.scratch)?;
+                if current.len() + inner.scratch.len() as u64 > inner.config.segment_max_bytes
+                    && current.len() > crate::segment::SEGMENT_MAGIC.len() as u64
+                {
+                    current.sync()?;
+                    let fresh = Segment::create(&inner.dir, inner.next_seq)?;
+                    inner.next_seq += 1;
+                    let full = std::mem::replace(&mut current, fresh);
+                    compacted.push(SealedSegment {
+                        path: full.path().to_path_buf(),
+                        bytes: full.len(),
+                    });
+                }
+                current.append(&inner.scratch)?;
+            }
+            current.sync()?;
+            compacted.push(SealedSegment {
+                path: current.path().to_path_buf(),
+                bytes: current.len(),
+            });
+            Segment::create(&inner.dir, inner.next_seq)
+        })();
+        let fresh_active = match written {
+            Ok(segment) => segment,
+            Err(e) => {
+                // Undo: every segment this pass created has seq >=
+                // first_new_seq; delete them all (best-effort) so nothing
+                // with a higher sequence number than the still-active old
+                // segment survives.
+                for (seq, path) in list_segments(&inner.dir).unwrap_or_default() {
+                    if seq >= first_new_seq {
+                        let _ = std::fs::remove_file(&path);
+                    }
+                }
+                return Err(e);
+            }
+        };
+        inner.next_seq += 1;
+
+        // Snapshots are durable; the history is now superseded. Swap the
+        // in-memory state first, then delete the old files (replay stays
+        // correct even if a deletion fails: old segments have lower seqs).
+        inner.active = fresh_active;
+        inner.sealed = compacted;
+        for path in old_paths {
+            std::fs::remove_file(&path)?;
+        }
+        Ok(CompactionStats {
+            bytes_before,
+            bytes_after: inner.sealed.iter().map(|s| s.bytes).sum::<u64>() + inner.active.len(),
+            segments_before,
+            segments_after: inner.sealed.len() + 1,
+        })
+    }
+
+    /// Re-reads the entire log from disk — exactly what crash recovery does
+    /// — replacing the in-memory index with the replayed one, and returns
+    /// what the replay measured. Dividing [`RecoveryStats::bytes_replayed`]
+    /// by the wall-clock this call takes gives real recovery bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LogStructuredStore::open`].
+    pub fn reread(&self) -> Result<RecoveryStats> {
+        let mut inner = self.inner.lock();
+        inner.active.sync()?;
+        let (index, clock, _, stats) = replay_dir(&inner.dir)?;
+        inner.index = index;
+        inner.clock = inner.clock.max(clock);
+        inner.recovery = stats;
+        Ok(stats)
+    }
+
+    /// What the last [`open`](LogStructuredStore::open) or
+    /// [`reread`](LogStructuredStore::reread) replayed.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.inner.lock().recovery
+    }
+
+    /// Logical size of the log on disk: sealed segment bytes plus the active
+    /// segment (including appends still buffered in memory, which have a
+    /// reserved place in the file).
+    pub fn bytes_on_disk(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.sealed.iter().map(|s| s.bytes).sum::<u64>() + inner.active.len()
+    }
+
+    /// Number of segment files (sealed plus active).
+    pub fn segment_count(&self) -> usize {
+        self.inner.lock().sealed.len() + 1
+    }
+
+    /// Number of live views.
+    pub fn user_count(&self) -> usize {
+        self.inner.lock().index.len()
+    }
+
+    /// Directory holding the segment files.
+    pub fn dir(&self) -> PathBuf {
+        self.inner.lock().dir.clone()
+    }
+
+    /// Number of events appended so far (this process; replayed history is
+    /// not counted).
+    pub fn write_count(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Number of fetches served.
+    pub fn read_count(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for LogStructuredStore {
+    fn drop(&mut self) {
+        // Best-effort teardown: push buffered appends to the OS (the
+        // durability guarantee still belongs to sync()) and release the
+        // directory lock so the next open is not mistaken for a takeover.
+        let inner = self.inner.get_mut();
+        let _ = inner.active.flush();
+        let _ = std::fs::remove_file(&inner.lock_path);
+    }
+}
+
+impl PersistentStore for LogStructuredStore {
+    fn append(&self, user: UserId, payload: Vec<u8>) -> Result<View> {
+        LogStructuredStore::append(self, user, payload)
+    }
+
+    fn fetch(&self, user: UserId) -> Result<View> {
+        Ok(LogStructuredStore::fetch(self, user))
+    }
+
+    fn flush(&self) -> Result<()> {
+        LogStructuredStore::flush(self)
+    }
+
+    fn sync(&self) -> Result<()> {
+        LogStructuredStore::sync(self)
+    }
+
+    fn write_count(&self) -> u64 {
+        LogStructuredStore::write_count(self)
+    }
+
+    fn read_count(&self) -> u64 {
+        LogStructuredStore::read_count(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dynasore-log-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_segments() -> LogConfig {
+        LogConfig {
+            segment_max_bytes: 256,
+            sync_on_append: false,
+        }
+    }
+
+    #[test]
+    fn append_fetch_round_trips_and_survives_reopen() {
+        let dir = temp_dir("reopen");
+        let store = LogStructuredStore::open(&dir, LogConfig::default()).unwrap();
+        let u = UserId::new(3);
+        assert!(store.fetch(u).is_empty());
+        let v1 = store.append(u, b"a".to_vec()).unwrap();
+        let v2 = store.append(u, b"b".to_vec()).unwrap();
+        assert_eq!(v1.len(), 1);
+        assert_eq!(v2.len(), 2);
+        assert!(v2.version() > v1.version());
+        assert_eq!(store.write_count(), 2);
+        store.sync().unwrap();
+        drop(store);
+
+        let reopened = LogStructuredStore::open(&dir, LogConfig::default()).unwrap();
+        let fetched = reopened.fetch(u);
+        assert_eq!(
+            fetched, v2,
+            "recovered view must be identical, version included"
+        );
+        let stats = reopened.recovery_stats();
+        assert_eq!(stats.records_replayed, 2);
+        assert_eq!(stats.torn_bytes, 0);
+        assert!(stats.bytes_replayed > 0);
+        // The recovered clock keeps timestamps monotonic.
+        let v3 = reopened.append(u, b"c".to_vec()).unwrap();
+        let times: Vec<u64> = v3.iter().map(|e| e.timestamp().as_secs()).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "times: {times:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_rotate_at_the_size_threshold() {
+        let dir = temp_dir("rotate");
+        let store = LogStructuredStore::open(&dir, tiny_segments()).unwrap();
+        for i in 0..40u32 {
+            store.append(UserId::new(i % 5), vec![i as u8; 20]).unwrap();
+        }
+        assert!(
+            store.segment_count() > 1,
+            "{} segments",
+            store.segment_count()
+        );
+        store.sync().unwrap();
+        drop(store);
+        let reopened = LogStructuredStore::open(&dir, tiny_segments()).unwrap();
+        assert_eq!(reopened.user_count(), 5);
+        for i in 0..5u32 {
+            assert_eq!(reopened.fetch(UserId::new(i)).len(), 8);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delete_is_durable_and_absent_delete_is_a_noop() {
+        let dir = temp_dir("delete");
+        let store = LogStructuredStore::open(&dir, LogConfig::default()).unwrap();
+        let u = UserId::new(1);
+        store.append(u, b"x".to_vec()).unwrap();
+        store.delete(u).unwrap();
+        store.delete(UserId::new(99)).unwrap();
+        assert!(store.fetch(u).is_empty());
+        store.sync().unwrap();
+        drop(store);
+        let reopened = LogStructuredStore::open(&dir, LogConfig::default()).unwrap();
+        assert!(reopened.fetch(u).is_empty());
+        assert_eq!(reopened.user_count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_shrinks_superseded_history() {
+        let dir = temp_dir("compact");
+        let store = LogStructuredStore::open(&dir, tiny_segments()).unwrap();
+        for round in 0..30u32 {
+            for user in 0..4u32 {
+                store
+                    .append(UserId::new(user), vec![round as u8; 16])
+                    .unwrap();
+            }
+        }
+        store.delete(UserId::new(3)).unwrap();
+        let before: Vec<View> = (0..4).map(|u| store.fetch(UserId::new(u))).collect();
+        let bytes_before = store.bytes_on_disk();
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.bytes_before, bytes_before);
+        assert!(
+            stats.bytes_after < stats.bytes_before,
+            "superseded records must shrink the log: {stats:?}"
+        );
+        let after: Vec<View> = (0..4).map(|u| store.fetch(UserId::new(u))).collect();
+        assert_eq!(before, after);
+        // The compacted state is what recovery sees.
+        drop(store);
+        let reopened = LogStructuredStore::open(&dir, tiny_segments()).unwrap();
+        let replayed: Vec<View> = (0..4).map(|u| reopened.fetch(UserId::new(u))).collect();
+        assert_eq!(before, replayed);
+        assert_eq!(reopened.user_count(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reread_reads_real_bytes() {
+        let dir = temp_dir("reread");
+        let store = LogStructuredStore::open(&dir, LogConfig::default()).unwrap();
+        for i in 0..50u32 {
+            store.append(UserId::new(i % 7), vec![i as u8; 64]).unwrap();
+        }
+        let stats = store.reread().unwrap();
+        assert_eq!(stats.records_replayed, 50);
+        assert_eq!(stats.bytes_replayed, store.bytes_on_disk());
+        assert_eq!(store.user_count(), 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unsynced_buffered_appends_can_be_lost_but_synced_ones_cannot() {
+        // This pins the durability contract the Cluster::shutdown fix relies
+        // on: a (non-destructive) reader of the same directory sees only
+        // what was flushed.
+        let dir = temp_dir("durability");
+        let store = LogStructuredStore::open(&dir, LogConfig::default()).unwrap();
+        let u = UserId::new(0);
+        store.append(u, b"buffered".to_vec()).unwrap();
+        let (index, _) = LogStructuredStore::read_back(&dir).unwrap();
+        assert!(
+            !index.contains_key(&u),
+            "buffered appends must not be visible on disk yet"
+        );
+        store.sync().unwrap();
+        let (index, stats) = LogStructuredStore::read_back(&dir).unwrap();
+        assert_eq!(index.get(&u).unwrap().len(), 1);
+        assert_eq!(stats.records_replayed, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn directory_ownership_is_exclusive_and_crash_locks_are_broken() {
+        let dir = temp_dir("lock");
+        let store = LogStructuredStore::open(&dir, LogConfig::default()).unwrap();
+        // A second live owner is refused: its repairs would corrupt ours.
+        let second = LogStructuredStore::open(&dir, LogConfig::default());
+        assert!(matches!(second, Err(Error::InvalidConfig(_))), "{second:?}");
+        // read_back stays available for inspection.
+        assert!(LogStructuredStore::read_back(&dir).is_ok());
+        drop(store);
+        // Dropping released the lock.
+        let reopened = LogStructuredStore::open(&dir, LogConfig::default()).unwrap();
+        drop(reopened);
+        // A stale lock from a crashed (dead-pid) owner is broken on open.
+        std::fs::write(dir.join("LOCK"), "999999999").unwrap();
+        let recovered = LogStructuredStore::open(&dir, LogConfig::default());
+        assert!(recovered.is_ok(), "{recovered:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_payloads_are_rejected_without_touching_the_log() {
+        let dir = temp_dir("oversized");
+        let store = LogStructuredStore::open(&dir, LogConfig::default()).unwrap();
+        let u = UserId::new(1);
+        store.append(u, b"small".to_vec()).unwrap();
+        let err = store.append(u, vec![0u8; dynasore_types::MAX_RECORD_BYTES + 1]);
+        assert!(matches!(err, Err(Error::InvalidConfig(_))), "{err:?}");
+        // The rejected record left no bytes behind and the store still works.
+        store.sync().unwrap();
+        let (index, stats) = LogStructuredStore::read_back(&dir).unwrap();
+        assert_eq!(stats.torn_bytes, 0);
+        assert_eq!(index.get(&u).unwrap().len(), 1);
+        store.append(u, b"after".to_vec()).unwrap();
+        assert_eq!(store.fetch(u).len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -3,16 +3,72 @@
 //! DynaSoRe "relies upon a persistent store that works independently … .
 //! Updates to the data are persisted before they are written to DynaSoRe to
 //! guarantee that they can be recovered in the presence of faulty DynaSoRe
-//! servers" (§2.2). This mock keeps every view in memory behind a lock and
-//! stands in for that store: writes land here first, and cache misses are
-//! served from here.
+//! servers" (§2.2). The [`PersistentStore`] trait is that store's interface
+//! as the cluster consumes it: writes land here first, cache misses and
+//! recovery reads are served from here. Two implementations exist —
+//! [`MockPersistentStore`] (an in-memory map, the default for pure
+//! simulations) and [`crate::LogStructuredStore`] (the file-backed tier
+//! whose recovery reads real bytes).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
-use dynasore_types::{Event, SimTime, UserId, View};
+use dynasore_types::{Event, Result, SimTime, UserId, View};
+
+/// The durable tier as a [`crate::Cluster`] consumes it (the paper's §2.2
+/// system of record): every write is persisted here before the caches are
+/// told, misses and recovery demand-fill from here, and
+/// [`flush`](PersistentStore::flush)/[`sync`](PersistentStore::sync) are the
+/// explicit durability points the cluster drives at shutdown.
+///
+/// Implementations must be shareable across the cluster's server threads
+/// (`Send + Sync`).
+pub trait PersistentStore: Send + Sync + std::fmt::Debug {
+    /// Appends an event with `payload` to `user`'s view and returns the new
+    /// version of the view (the paper's write path: the persistent store
+    /// generates the new version, then notifies the cache).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from durable implementations; infallible for the mock.
+    fn append(&self, user: UserId, payload: Vec<u8>) -> Result<View>;
+
+    /// Fetches the current view of `user`, or an empty view if the user has
+    /// never written.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from durable implementations; infallible for the mock.
+    fn fetch(&self, user: UserId) -> Result<View>;
+
+    /// Pushes buffered writes towards the operating system. A no-op for
+    /// in-memory implementations.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from durable implementations.
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Makes every acknowledged write crash-durable (fsync). A no-op for
+    /// in-memory implementations.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from durable implementations.
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Number of events appended so far.
+    fn write_count(&self) -> u64;
+
+    /// Number of fetches served (cache fills and recovery reads).
+    fn read_count(&self) -> u64;
+}
 
 /// An in-memory stand-in for the persistent store (the system of record).
 #[derive(Debug, Default)]
@@ -61,6 +117,24 @@ impl MockPersistentStore {
     /// Number of fetches served (cache fills and recovery reads).
     pub fn read_count(&self) -> u64 {
         self.reads.load(Ordering::Relaxed)
+    }
+}
+
+impl PersistentStore for MockPersistentStore {
+    fn append(&self, user: UserId, payload: Vec<u8>) -> Result<View> {
+        Ok(MockPersistentStore::append(self, user, payload))
+    }
+
+    fn fetch(&self, user: UserId) -> Result<View> {
+        Ok(MockPersistentStore::fetch(self, user))
+    }
+
+    fn write_count(&self) -> u64 {
+        MockPersistentStore::write_count(self)
+    }
+
+    fn read_count(&self) -> u64 {
+        MockPersistentStore::read_count(self)
     }
 }
 

@@ -1,0 +1,308 @@
+//! Segment files of the log-structured persistent store.
+//!
+//! A segment is one append-only file: an 8-byte magic header followed by
+//! framed [`DurableRecord`]s (see `dynasore_types::durable` for the frame
+//! layout). Segments are named `seg-<seq>.log` with a zero-padded,
+//! monotonically increasing sequence number; replay order is sequence order,
+//! so a record in a later segment supersedes earlier ones where the record
+//! semantics say so (snapshots, tombstones).
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use dynasore_types::{DurableRecord, Error, Result};
+
+/// Magic bytes opening every segment file.
+pub(crate) const SEGMENT_MAGIC: &[u8; 8] = b"DYNASEG1";
+
+/// Builds the file name of segment `seq`.
+pub(crate) fn segment_file_name(seq: u64) -> String {
+    format!("seg-{seq:010}.log")
+}
+
+/// Parses a segment sequence number out of a file name, if it is one.
+pub(crate) fn parse_segment_seq(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    if rest.len() != 10 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// Lists the segment files of `dir`, sorted by sequence number.
+pub(crate) fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_segment_seq) {
+            segments.push((seq, entry.path()));
+        }
+    }
+    segments.sort_by_key(|&(seq, _)| seq);
+    Ok(segments)
+}
+
+/// What replaying one segment found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SegmentReplay {
+    /// Bytes read and validated (magic header plus whole records).
+    pub valid_bytes: u64,
+    /// Records decoded.
+    pub records: u64,
+    /// Trailing bytes discarded as a torn tail (0 for a clean segment).
+    pub torn_bytes: u64,
+}
+
+/// Reads every valid record of the segment at `path` in order, invoking
+/// `apply` for each, and reports how far the valid prefix reached. A torn
+/// tail (crash truncation) ends the replay silently; a structurally corrupt
+/// record (valid checksum, malformed body) is an error.
+pub(crate) fn replay_segment(
+    path: &Path,
+    mut apply: impl FnMut(DurableRecord),
+) -> Result<SegmentReplay> {
+    let bytes = std::fs::read(path)?;
+    let mut replay = SegmentReplay::default();
+    // A header shorter than the magic is itself a torn tail (a crash can
+    // truncate a freshly created segment); wrong bytes are corruption.
+    if bytes.len() < SEGMENT_MAGIC.len() {
+        if !SEGMENT_MAGIC.starts_with(&bytes) {
+            return Err(Error::CorruptRecord(format!(
+                "{} does not start with the segment magic",
+                path.display()
+            )));
+        }
+        replay.torn_bytes = bytes.len() as u64;
+        return Ok(replay);
+    }
+    if &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return Err(Error::CorruptRecord(format!(
+            "{} does not start with the segment magic",
+            path.display()
+        )));
+    }
+    let mut offset = SEGMENT_MAGIC.len();
+    while offset < bytes.len() {
+        match DurableRecord::decode(&bytes[offset..]).map_err(|e| match e {
+            Error::CorruptRecord(detail) => {
+                Error::CorruptRecord(format!("{} at offset {offset}: {detail}", path.display()))
+            }
+            other => other,
+        })? {
+            Some((record, consumed)) => {
+                apply(record);
+                replay.records += 1;
+                offset += consumed;
+            }
+            None => break, // Torn tail: the log ends here.
+        }
+    }
+    replay.valid_bytes = offset as u64;
+    replay.torn_bytes = (bytes.len() - offset) as u64;
+    Ok(replay)
+}
+
+/// The writable side of one segment file.
+#[derive(Debug)]
+pub(crate) struct Segment {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    /// Logical length: every byte handed to the writer, flushed or not.
+    len: u64,
+}
+
+impl Segment {
+    /// Creates a fresh segment `seq` in `dir` and writes its magic header.
+    pub fn create(dir: &Path, seq: u64) -> Result<Segment> {
+        let path = dir.join(segment_file_name(seq));
+        let file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)?;
+        let mut writer = BufWriter::new(file);
+        writer.write_all(SEGMENT_MAGIC)?;
+        Ok(Segment {
+            path,
+            writer,
+            len: SEGMENT_MAGIC.len() as u64,
+        })
+    }
+
+    /// Reopens an existing segment for appending, truncating it to
+    /// `valid_len` first (crash repair: the torn tail is physically removed
+    /// so new records append after the last whole one). A crash can even
+    /// tear the magic header of a freshly created segment; in that case the
+    /// header is rewritten so the file stays a valid, empty segment.
+    pub fn reopen(dir: &Path, seq: u64, valid_len: u64) -> Result<Segment> {
+        let path = dir.join(segment_file_name(seq));
+        let magic_len = SEGMENT_MAGIC.len() as u64;
+        let mut file = OpenOptions::new().write(true).open(&path)?;
+        let len = if valid_len < magic_len {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(SEGMENT_MAGIC)?;
+            magic_len
+        } else {
+            file.set_len(valid_len)?;
+            file.seek(SeekFrom::End(0))?;
+            valid_len
+        };
+        Ok(Segment {
+            path,
+            writer: BufWriter::new(file),
+            len,
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Logical length in bytes (including buffered, not-yet-flushed data).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Appends pre-encoded record bytes.
+    pub fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.writer.write_all(bytes)?;
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Pushes buffered bytes to the operating system.
+    pub fn flush(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Flushes and then fsyncs the file: after this returns, every appended
+    /// record survives a machine crash.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasore_types::{SimTime, UserId};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dynasore-segment-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn event(user: u32, t: u64) -> DurableRecord {
+        DurableRecord::Event {
+            user: UserId::new(user),
+            timestamp: SimTime::from_secs(t),
+            payload: vec![user as u8; 5],
+        }
+    }
+
+    #[test]
+    fn names_round_trip_and_sort() {
+        assert_eq!(segment_file_name(7), "seg-0000000007.log");
+        assert_eq!(parse_segment_seq("seg-0000000007.log"), Some(7));
+        assert_eq!(parse_segment_seq("seg-7.log"), None);
+        assert_eq!(parse_segment_seq("other.log"), None);
+        assert_eq!(parse_segment_seq("seg-00000000xx.log"), None);
+    }
+
+    #[test]
+    fn append_flush_replay_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let mut seg = Segment::create(&dir, 1).unwrap();
+        let mut buf = Vec::new();
+        for t in 0..10u64 {
+            buf.clear();
+            event(t as u32, t).encode_into(&mut buf).unwrap();
+            seg.append(&buf).unwrap();
+        }
+        seg.sync().unwrap();
+        let mut replayed = Vec::new();
+        let stats = replay_segment(seg.path(), |r| replayed.push(r)).unwrap();
+        assert_eq!(stats.records, 10);
+        assert_eq!(stats.torn_bytes, 0);
+        assert_eq!(stats.valid_bytes, seg.len());
+        assert_eq!(replayed[3], event(3, 3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_repaired_on_reopen() {
+        let dir = temp_dir("torn");
+        let mut seg = Segment::create(&dir, 1).unwrap();
+        let mut buf = Vec::new();
+        event(1, 1).encode_into(&mut buf).unwrap();
+        let first_end = SEGMENT_MAGIC.len() as u64 + buf.len() as u64;
+        seg.append(&buf).unwrap();
+        buf.clear();
+        event(2, 2).encode_into(&mut buf).unwrap();
+        seg.append(&buf).unwrap();
+        seg.sync().unwrap();
+        let path = seg.path().to_path_buf();
+        drop(seg);
+        // Crash: the second record loses its last byte.
+        let full = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(full - 1)
+            .unwrap();
+        let mut records = 0;
+        let stats = replay_segment(&path, |_| records += 1).unwrap();
+        assert_eq!(records, 1);
+        assert_eq!(stats.valid_bytes, first_end);
+        assert!(stats.torn_bytes > 0);
+        // Reopen truncates the tail and appends cleanly after it.
+        let mut seg = Segment::reopen(&dir, 1, stats.valid_bytes).unwrap();
+        buf.clear();
+        event(3, 3).encode_into(&mut buf).unwrap();
+        seg.append(&buf).unwrap();
+        seg.sync().unwrap();
+        let mut replayed = Vec::new();
+        let stats = replay_segment(seg.path(), |r| replayed.push(r)).unwrap();
+        assert_eq!(stats.torn_bytes, 0);
+        assert_eq!(replayed, vec![event(1, 1), event(3, 3)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_files_are_rejected_and_short_magic_is_torn() {
+        let dir = temp_dir("magic");
+        let alien = dir.join(segment_file_name(1));
+        std::fs::write(&alien, b"NOTASEGMENT").unwrap();
+        assert!(matches!(
+            replay_segment(&alien, |_| {}),
+            Err(Error::CorruptRecord(_))
+        ));
+        // A magic prefix cut short by a crash is an empty segment.
+        std::fs::write(&alien, &SEGMENT_MAGIC[..3]).unwrap();
+        let stats = replay_segment(&alien, |_| panic!("no records")).unwrap();
+        assert_eq!(stats.records, 0);
+        assert_eq!(stats.torn_bytes, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn listing_ignores_unrelated_files() {
+        let dir = temp_dir("list");
+        drop(Segment::create(&dir, 3).unwrap());
+        drop(Segment::create(&dir, 1).unwrap());
+        std::fs::write(dir.join("notes.txt"), b"x").unwrap();
+        let segments = list_segments(&dir).unwrap();
+        let seqs: Vec<u64> = segments.iter().map(|&(s, _)| s).collect();
+        assert_eq!(seqs, vec![1, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

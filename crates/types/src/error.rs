@@ -40,6 +40,11 @@ pub enum Error {
     /// The cluster has been shut down; no further reads or writes are
     /// accepted.
     ClusterShutdown,
+    /// A durable-log record failed structural validation *despite a valid
+    /// checksum* (unknown kind, inconsistent inner lengths). A crash can
+    /// only tear the tail of the log — which replay tolerates — so this
+    /// indicates writer corruption and is surfaced loudly.
+    CorruptRecord(String),
     /// An I/O error occurred while reading or writing a dataset file.
     Io(String),
 }
@@ -73,6 +78,7 @@ impl fmt::Display for Error {
             Error::ClusterShutdown => {
                 write!(f, "cluster is shut down and accepts no further requests")
             }
+            Error::CorruptRecord(detail) => write!(f, "corrupt durable record: {detail}"),
             Error::ViewLost(u) => write!(f, "view of user {u} has no replica"),
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
         }
@@ -117,6 +123,10 @@ mod tests {
                 "view of user u9 has no replica",
             ),
             (Error::Io("boom".into()), "i/o error: boom"),
+            (
+                Error::CorruptRecord("bad kind".into()),
+                "corrupt durable record: bad kind",
+            ),
         ];
         for (err, expected) in cases {
             assert_eq!(err.to_string(), expected);

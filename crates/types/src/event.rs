@@ -107,6 +107,30 @@ impl View {
         }
     }
 
+    /// Reconstructs a view from its saved parts — the durable-log replay
+    /// path: a [`crate::DurableRecord::Snapshot`] carries the events *and*
+    /// the version counter, which must survive a round trip through disk so
+    /// that replica freshness comparisons ([`View::replace_from`]) behave
+    /// identically after recovery. Events beyond `capacity` are truncated
+    /// from the oldest end, mirroring [`View::push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn from_saved(owner: UserId, capacity: usize, version: u64, events: Vec<Event>) -> Self {
+        assert!(capacity > 0, "view capacity must be positive");
+        let mut events = events;
+        if events.len() > capacity {
+            events.drain(..events.len() - capacity);
+        }
+        View {
+            owner,
+            capacity,
+            events,
+            version,
+        }
+    }
+
     /// The user this view belongs to.
     pub fn owner(&self) -> UserId {
         self.owner

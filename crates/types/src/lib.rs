@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod budget;
+mod durable;
 mod engine;
 mod error;
 mod event;
@@ -46,6 +47,7 @@ mod time;
 mod traffic;
 
 pub use budget::MemoryBudget;
+pub use durable::{crc32, DurableRecord, MAX_RECORD_BYTES, RECORD_HEADER_BYTES};
 pub use engine::{
     ClusterEvent, GraphMutation, MemoryUsage, Message, PlacementEngine, TimedClusterEvent,
     TrafficSink,

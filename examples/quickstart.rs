@@ -42,7 +42,7 @@ fn main() -> Result<(), Error> {
         "store stats: {} cache hits, {} misses, {} cached views",
         stats.cache_hits, stats.cache_misses, stats.cached_views
     );
-    cluster.shutdown();
+    cluster.shutdown().unwrap();
 
     // ── 3. The simulator: one day of traffic, DynaSoRe vs Random ──────────
     let budget = MemoryBudget::with_extra_percent(users, 30);

@@ -65,6 +65,6 @@ fn main() -> Result<(), Error> {
         stats.persistent_writes, stats.persistent_reads
     );
 
-    cluster.shutdown();
+    cluster.shutdown().unwrap();
     Ok(())
 }

@@ -69,10 +69,14 @@ pub mod prelude {
     pub use dynasore_graph::{GraphPreset, SocialGraph};
     pub use dynasore_partition::{Partitioner, Partitioning, TreeShape};
     pub use dynasore_sim::{
-        generate_failure_schedule, FaultInjectionConfig, LatencyStats, MemoryUsage, Message,
-        PlacementEngine, ReliabilityStats, SimReport, Simulation, SimulationConfig,
+        generate_failure_schedule, DurableIoStats, DurableTier, FaultInjectionConfig, LatencyStats,
+        MemoryUsage, Message, PlacementEngine, ReliabilityStats, SimReport, Simulation,
+        SimulationConfig,
     };
-    pub use dynasore_store::{Cluster, ClusterChangeReport, StoreConfig};
+    pub use dynasore_store::{
+        Cluster, ClusterChangeReport, LogConfig, LogStructuredStore, PersistentStore,
+        SimDurableTier, StoreConfig,
+    };
     pub use dynasore_topology::{Switch, Tier, Topology, TrafficAccount};
     pub use dynasore_types::{
         Bandwidth, ClusterEvent, Error, Event, Latency, LatencyHistogram, MemoryBudget,
