@@ -27,15 +27,33 @@
 //! [`NetworkModel`] — the simulator's full per-message latency bookkeeping —
 //! so the guard also proves the time-aware accounting does not regress the
 //! hot path.
+//!
+//! The `durable` phase writes small fixed-size payloads through a
+//! [`ShardedLogStore`] (group commit plus the pipelined background flusher,
+//! default shard count) in a scratch directory (`--data-dir`, default under
+//! the system temp dir) and times them *including the final sync*, so the
+//! number is a true durable rate.
+//! A short `durable_single_sync` phase then measures the single-shard,
+//! fsync-per-append configuration — the pre-sharding durability baseline —
+//! and the JSON records the speedup between the two.
 
 use std::time::Instant;
 
 use dynasore_core::{DynaSoReEngine, InitialPlacement};
 use dynasore_graph::{GraphPreset, SocialGraph};
+use dynasore_store::{LogConfig, LogStructuredStore, ShardedConfig, ShardedLogStore};
 use dynasore_topology::{Topology, TrafficAccount};
 use dynasore_types::{
     MemoryBudget, Message, NetworkModel, PlacementEngine, SimTime, TrafficSink, UserId, HOUR_SECS,
 };
+
+/// Payload size of the durable phase. 64 bytes (80 per framed record) keeps
+/// the phase inside a modest disk's sequential bandwidth at
+/// million-writes-per-second rates, so the number measures the tier —
+/// lock + batch + pipelined fsync — rather than raw platter speed; the
+/// tweet-sized 140-byte payloads of the simulator (`SIM_EVENT_BYTES`) are
+/// bandwidth-bound at that rate on ~100 MB/s disks.
+const DURABLE_EVENT_BYTES: usize = 64;
 
 /// Pre-refactor numbers (commit eec0658, `--users 100000 --seed 42` on the
 /// development reference machine), kept so the JSON always records the
@@ -51,6 +69,7 @@ struct Options {
     quick: bool,
     check_against: Option<String>,
     tolerance: f64,
+    data_dir: Option<String>,
 }
 
 impl Options {
@@ -63,6 +82,7 @@ impl Options {
             quick: false,
             check_against: None,
             tolerance: 0.30,
+            data_dir: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -90,6 +110,10 @@ impl Options {
                 }
                 "--tolerance" if i + 1 < args.len() => {
                     o.tolerance = args[i + 1].parse().unwrap_or(o.tolerance);
+                    i += 1;
+                }
+                "--data-dir" if i + 1 < args.len() => {
+                    o.data_dir = Some(args[i + 1].clone());
                     i += 1;
                 }
                 "--quick" => o.quick = true,
@@ -223,6 +247,85 @@ fn main() {
     let writes_per_sec = write_iters as f64 / write_secs;
     let accounted_reads_per_sec = opts.iters as f64 / accounted_secs;
 
+    // Free the engines and the graph before the durable phase: hundreds of
+    // megabytes of live heap shrink the kernel's dirty-page headroom, which
+    // throttles the store's appends on writeback and turns the phase into a
+    // measurement of this process's RSS rather than of the log. Only the
+    // numbers above survive.
+    drop(accounted);
+    drop(accounted_engine);
+    drop(engine);
+    drop(graph);
+
+    // Measured durable phase: tweet-sized appends through the sharded,
+    // group-committed store, timed *including the final sync* — every write
+    // counted is actually fsynced by the time the clock stops.
+    let data_dir = opts
+        .data_dir
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!(
+                "dynasore-bench-hotpath-durable-{}",
+                std::process::id()
+            ))
+        });
+    if data_dir.exists()
+        && data_dir
+            .read_dir()
+            .map(|mut d| d.next().is_some())
+            .unwrap_or(true)
+    {
+        eprintln!(
+            "# hotpath_throughput: refusing to benchmark into non-empty {}",
+            data_dir.display()
+        );
+        std::process::exit(2);
+    }
+    let durable_iters = opts.iters.max(if opts.quick { 200_000 } else { 1_000_000 });
+    let sharded_config = ShardedConfig::default();
+    let durable_shards = sharded_config.shards;
+    let payload_at = |k: u64| vec![(k as u8) ^ 0x5A; DURABLE_EVENT_BYTES];
+    let sharded_dir = data_dir.join("sharded");
+    let store = ShardedLogStore::open(&sharded_dir, sharded_config).expect("open sharded store");
+    let durable_start = Instant::now();
+    for k in 0..durable_iters {
+        store
+            .append_version(user_at(k), payload_at(k))
+            .expect("durable append");
+    }
+    store.sync().expect("final sync");
+    let durable_secs = durable_start.elapsed().as_secs_f64();
+    let durable_bytes = store.bytes_on_disk();
+    drop(store);
+
+    // The pre-sharding durability baseline: one shard, one fsync per
+    // append. At ~4k appends/s this phase is time-boxed by a small
+    // iteration count rather than matched to the phase above.
+    let single_iters = if opts.quick { 300 } else { 2_000 };
+    let single_dir = data_dir.join("single-sync");
+    let single = LogStructuredStore::open(
+        &single_dir,
+        LogConfig {
+            sync_on_append: true,
+            ..LogConfig::default()
+        },
+    )
+    .expect("open single-sync store");
+    let single_start = Instant::now();
+    for k in 0..single_iters {
+        single
+            .append_version(user_at(k), payload_at(k))
+            .expect("single-sync append");
+    }
+    let single_secs = single_start.elapsed().as_secs_f64();
+    drop(single);
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    let durable_per_sec = durable_iters as f64 / durable_secs;
+    let single_sync_per_sec = single_iters as f64 / single_secs;
+    let durable_speedup = durable_per_sec / single_sync_per_sec;
+
     let json = format!(
         concat!(
             "{{\n",
@@ -249,6 +352,19 @@ fn main() {
             "    \"elapsed_secs\": {asecs:.3},\n",
             "    \"messages\": {amsgs}\n",
             "  }},\n",
+            "  \"durable\": {{\n",
+            "    \"reqs_per_sec\": {dps:.0},\n",
+            "    \"iters\": {diters},\n",
+            "    \"elapsed_secs\": {dsecs:.3},\n",
+            "    \"shards\": {dshards},\n",
+            "    \"bytes_on_disk\": {dbytes}\n",
+            "  }},\n",
+            "  \"durable_single_sync\": {{\n",
+            "    \"reqs_per_sec\": {sps:.0},\n",
+            "    \"iters\": {siters},\n",
+            "    \"elapsed_secs\": {ssecs:.3}\n",
+            "  }},\n",
+            "  \"durable_speedup_vs_single_sync\": {dspeed:.1},\n",
             "  \"baseline_pre_refactor\": {{\n",
             "    \"commit\": \"eec0658\",\n",
             "    \"read_reqs_per_sec\": {brps:.0},\n",
@@ -274,6 +390,15 @@ fn main() {
         aps = accounted_reads_per_sec,
         asecs = accounted_secs,
         amsgs = accounted_messages,
+        dps = durable_per_sec,
+        diters = durable_iters,
+        dsecs = durable_secs,
+        dshards = durable_shards,
+        dbytes = durable_bytes,
+        sps = single_sync_per_sec,
+        siters = single_iters,
+        ssecs = single_secs,
+        dspeed = durable_speedup,
         brps = BASELINE_READS_PER_SEC,
         bwps = BASELINE_WRITES_PER_SEC,
         rspeed = reads_per_sec / BASELINE_READS_PER_SEC,
@@ -282,8 +407,15 @@ fn main() {
     std::fs::write(&opts.out, &json).expect("write BENCH_hotpath.json");
     eprintln!(
         "# hotpath_throughput: {} users, {} iters — reads {:.0}/s, writes {:.0}/s, \
-         accounted reads {:.0}/s → {}",
-        opts.users, opts.iters, reads_per_sec, writes_per_sec, accounted_reads_per_sec, opts.out
+         accounted reads {:.0}/s, durable writes {:.0}/s ({:.0}x single-sync) → {}",
+        opts.users,
+        opts.iters,
+        reads_per_sec,
+        writes_per_sec,
+        accounted_reads_per_sec,
+        durable_per_sec,
+        durable_speedup,
+        opts.out
     );
     print!("{json}");
 
@@ -293,6 +425,7 @@ fn main() {
             reads_per_sec,
             writes_per_sec,
             accounted_reads_per_sec,
+            durable_per_sec,
             opts.tolerance,
         );
     }
@@ -323,6 +456,7 @@ fn check_against_snapshot(
     reads_per_sec: f64,
     writes_per_sec: f64,
     accounted_reads_per_sec: f64,
+    durable_per_sec: f64,
     tolerance: f64,
 ) {
     let snapshot = match std::fs::read_to_string(path) {
@@ -347,6 +481,14 @@ fn check_against_snapshot(
         checks.push(("read_accounted", accounted_reads_per_sec, snap_accounted));
     } else {
         eprintln!("# regression guard: snapshot {path} predates read_accounted; skipping it");
+    }
+    // `find` matches the quoted key, so "durable" cannot hit the
+    // "durable_single_sync" section. The single-sync phase itself is not
+    // guarded: a few thousand fsyncs is too noisy a sample.
+    if let Some(snap_durable) = snapshot_reqs_per_sec(&snapshot, "durable") {
+        checks.push(("durable", durable_per_sec, snap_durable));
+    } else {
+        eprintln!("# regression guard: snapshot {path} predates durable; skipping it");
     }
     let floor = 1.0 - tolerance;
     let mut failed = false;

@@ -38,6 +38,14 @@
 //! `--data-dir PATH` chooses where the throwaway segment files live
 //! (default: a per-process directory under the system temp dir); the
 //! directory is removed before the bench exits.
+//!
+//! `--shards N` (N ≥ 2) additionally measures the sharded tier: the same
+//! data volume split over N [`ShardedLogStore`] shards, replayed serially
+//! (shard after shard — the single-threaded bound) and in parallel (the
+//! tier's concurrent reopen, whose wall-clock is the largest shard's replay,
+//! reported as `max_shard_bytes`), with per-shard byte counts alongside.
+//!
+//! [`ShardedLogStore`]: dynasore_store::ShardedLogStore
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -55,6 +63,7 @@ struct Options {
     seed: u64,
     quick: bool,
     data_dir: Option<PathBuf>,
+    shards: usize,
 }
 
 impl Options {
@@ -64,6 +73,7 @@ impl Options {
             seed: 42,
             quick: false,
             data_dir: None,
+            shards: 1,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -79,6 +89,10 @@ impl Options {
                 }
                 "--data-dir" if i + 1 < args.len() => {
                     o.data_dir = Some(PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
+                "--shards" if i + 1 < args.len() => {
+                    o.shards = args[i + 1].parse().unwrap_or(o.shards).max(1);
                     i += 1;
                 }
                 "--quick" => o.quick = true,
@@ -159,6 +173,86 @@ fn measure_file_backed_recovery(dir: &PathBuf, users: usize) -> MeasuredRecovery
     let cleanup = std::fs::remove_dir_all(dir);
     let measured = result.expect("file-backed recovery measurement");
     cleanup.expect("remove file-backed store directory");
+    measured
+}
+
+/// Measured recovery of the *sharded* durable tier: the same data volume as
+/// the single-log measurement, split over N shards, replayed both serially
+/// (one shard after another) and in parallel (the tier's concurrent reopen,
+/// whose critical path is the largest shard).
+struct MeasuredShardedRecovery {
+    shards: usize,
+    log_bytes: u64,
+    replayed_bytes: u64,
+    max_shard_bytes: u64,
+    per_shard_bytes: Vec<u64>,
+    serial_replay_secs: f64,
+    parallel_replay_secs: f64,
+}
+
+/// Writes the same per-user events as [`measure_file_backed_recovery`] into
+/// a sharded store under `dir`, syncs, then times recovery twice: a serial
+/// shard-by-shard `read_back`, and the tier's own parallel reopen. The
+/// directory is removed before returning.
+fn measure_sharded_recovery(dir: &PathBuf, users: usize, shards: usize) -> MeasuredShardedRecovery {
+    use dynasore_store::{LogStructuredStore, ShardedConfig, ShardedLogStore, SIM_EVENT_BYTES};
+
+    const EVENTS_PER_USER: u64 = 2;
+
+    if let Ok(mut entries) = std::fs::read_dir(dir) {
+        if entries.next().is_some() {
+            eprintln!(
+                "error: sharded data dir {} already exists and is not empty",
+                dir.display()
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let result = (|| -> dynasore_types::Result<MeasuredShardedRecovery> {
+        let config = ShardedConfig {
+            shards,
+            flush_interval: None,
+            ..ShardedConfig::default()
+        };
+        let store = ShardedLogStore::open(dir, config)?;
+        for u in 0..users as u32 {
+            for k in 0..EVENTS_PER_USER {
+                store
+                    .append_version(UserId::new(u), vec![(u as u8) ^ (k as u8); SIM_EVENT_BYTES])?;
+            }
+        }
+        store.sync()?;
+        let log_bytes = store.bytes_on_disk();
+        drop(store);
+
+        // Serial: replay one shard after another — the lower bound a
+        // single-threaded recovery pays regardless of layout.
+        let serial_start = Instant::now();
+        for i in 0..shards {
+            LogStructuredStore::read_back(dir.join(format!("shard-{i:04}")))?;
+        }
+        let serial_replay_secs = serial_start.elapsed().as_secs_f64();
+
+        // Parallel: the tier's own reopen, one replay thread per shard; the
+        // wall-clock tracks the largest shard, not the sum.
+        let parallel_start = Instant::now();
+        let recovered = ShardedLogStore::open(dir, config)?;
+        let parallel_replay_secs = parallel_start.elapsed().as_secs_f64();
+        let stats = recovered.recovery_stats();
+        Ok(MeasuredShardedRecovery {
+            shards,
+            log_bytes,
+            replayed_bytes: stats.total.bytes_replayed,
+            max_shard_bytes: stats.max_shard_bytes_replayed(),
+            per_shard_bytes: stats.per_shard.iter().map(|s| s.bytes_replayed).collect(),
+            serial_replay_secs,
+            parallel_replay_secs,
+        })
+    })();
+    let cleanup = std::fs::remove_dir_all(dir);
+    let measured = result.expect("sharded recovery measurement");
+    cleanup.expect("remove sharded store directory");
     measured
 }
 
@@ -296,6 +390,14 @@ fn main() {
     });
     let measured = measure_file_backed_recovery(&data_dir, opts.users);
 
+    // With `--shards N`, repeat the measurement over the sharded tier and
+    // report parallel (max-shard) replay next to the serial bound.
+    let measured_sharded = (opts.shards > 1).then(|| {
+        let mut sharded_dir = data_dir.clone().into_os_string();
+        sharded_dir.push("-sharded");
+        measure_sharded_recovery(&PathBuf::from(sharded_dir), opts.users, opts.shards)
+    });
+
     // Wall-clock estimates: the paper workload reads at 4 reads per user per
     // day, so a window of N reads spans N / (users × 4 / 86400) seconds of
     // real time; the recovery burst itself occupies the datacenter model's
@@ -344,6 +446,7 @@ fn main() {
             "    \"replay_secs\": {pt_secs:.6},\n",
             "    \"measured_recovery_bandwidth_bytes_per_sec\": {pt_bw:.0}\n",
             "  }},\n",
+            "{sharded_section}",
             "  \"unreachable_reads\": {unreachable}\n",
             "}}\n"
         ),
@@ -374,6 +477,41 @@ fn main() {
         pt_replayed = measured.replayed_bytes,
         pt_secs = measured.replay_secs,
         pt_bw = measured.bandwidth_bytes_per_sec,
+        sharded_section = measured_sharded
+            .as_ref()
+            .map(|m| {
+                let per_shard = m
+                    .per_shard_bytes
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    concat!(
+                        "  \"persistent_tier_sharded\": {{\n",
+                        "    \"shards\": {shards},\n",
+                        "    \"log_bytes\": {log_bytes},\n",
+                        "    \"replayed_bytes\": {replayed},\n",
+                        "    \"max_shard_bytes\": {max_shard},\n",
+                        "    \"per_shard_replayed_bytes\": [{per_shard}],\n",
+                        "    \"serial_replay_secs\": {serial:.6},\n",
+                        "    \"parallel_replay_secs\": {parallel:.6},\n",
+                        "    \"serial_bandwidth_bytes_per_sec\": {serial_bw:.0},\n",
+                        "    \"parallel_bandwidth_bytes_per_sec\": {parallel_bw:.0}\n",
+                        "  }},\n",
+                    ),
+                    shards = m.shards,
+                    log_bytes = m.log_bytes,
+                    replayed = m.replayed_bytes,
+                    max_shard = m.max_shard_bytes,
+                    per_shard = per_shard,
+                    serial = m.serial_replay_secs,
+                    parallel = m.parallel_replay_secs,
+                    serial_bw = m.replayed_bytes as f64 / m.serial_replay_secs.max(1e-9),
+                    parallel_bw = m.replayed_bytes as f64 / m.parallel_replay_secs.max(1e-9),
+                )
+            })
+            .unwrap_or_default(),
         unreachable = unreachable,
     );
     eprintln!(
@@ -391,5 +529,16 @@ fn main() {
         measured.replay_secs,
         measured.bandwidth_bytes_per_sec / 1e6,
     );
+    if let Some(m) = &measured_sharded {
+        eprintln!(
+            "# recovery_convergence: {} shards replayed {} bytes — serial {:.3}s, \
+             parallel {:.3}s (critical path {} bytes = largest shard)",
+            m.shards,
+            m.replayed_bytes,
+            m.serial_replay_secs,
+            m.parallel_replay_secs,
+            m.max_shard_bytes,
+        );
+    }
     print!("{json}");
 }

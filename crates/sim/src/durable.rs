@@ -32,12 +32,26 @@ pub trait DurableTier: std::fmt::Debug {
     fn sync(&mut self) -> Result<()>;
 
     /// Re-reads the whole tier, exactly as crash recovery would, and returns
-    /// the number of bytes replayed.
+    /// what the replay measured.
     ///
     /// # Errors
     ///
     /// I/O errors from the underlying store.
-    fn replay(&mut self) -> Result<u64>;
+    fn replay(&mut self) -> Result<TierReplay>;
+}
+
+/// What one [`DurableTier::replay`] measured. For a sharded tier the shards
+/// replay independently, so the recovery critical path is the largest shard
+/// (`max_shard_bytes`), not the total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierReplay {
+    /// Bytes re-read across the whole tier.
+    pub bytes_replayed: u64,
+    /// Shards the tier replayed (1 for an unsharded tier).
+    pub shards: usize,
+    /// Bytes re-read by the largest shard — the parallel-replay critical
+    /// path. Equals `bytes_replayed` for an unsharded tier.
+    pub max_shard_bytes: u64,
 }
 
 /// Durable-tier I/O of one simulation run. Present in a
@@ -52,4 +66,12 @@ pub struct DurableIoStats {
     pub replays: u64,
     /// Total bytes re-read from the tier across all replays.
     pub bytes_replayed: u64,
+    /// Critical-path bytes across all replays: the sum over replays of the
+    /// largest shard's bytes. Shards replay concurrently on reopen, so this
+    /// — not `bytes_replayed` — bounds recovery wall-clock for a sharded
+    /// tier. Equal to `bytes_replayed` when the tier has one shard.
+    pub critical_path_bytes: u64,
+    /// Shards of the attached tier (0 when no replay happened, 1 for an
+    /// unsharded tier).
+    pub tier_shards: usize,
 }

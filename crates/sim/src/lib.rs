@@ -81,7 +81,7 @@ pub mod faults;
 mod report;
 mod simulation;
 
-pub use durable::{DurableIoStats, DurableTier};
+pub use durable::{DurableIoStats, DurableTier, TierReplay};
 pub use engine::{
     ClusterEvent, MemoryUsage, Message, PlacementEngine, TimedClusterEvent, TrafficSink,
 };

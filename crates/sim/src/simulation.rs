@@ -321,7 +321,10 @@ impl<E: PlacementEngine> Simulation<E> {
                     if recovery_messages > recovery_before {
                         if let Some(tier) = self.durable.as_mut() {
                             tier.sync()?;
-                            durable_io.bytes_replayed += tier.replay()?;
+                            let replay = tier.replay()?;
+                            durable_io.bytes_replayed += replay.bytes_replayed;
+                            durable_io.critical_path_bytes += replay.max_shard_bytes;
+                            durable_io.tier_shards = replay.shards;
                             durable_io.replays += 1;
                         }
                     }

@@ -1,65 +1,146 @@
 //! File-backed [`DurableTier`] for simulations.
 //!
 //! Bridges the simulator's optional durable-tier hook
-//! ([`dynasore_sim::Simulation::with_durable_tier`]) to the
-//! [`LogStructuredStore`]: every simulated write request appends a
-//! fixed-size, deterministically filled payload to the on-disk log, and
-//! each recovery replays the log from real bytes.
+//! ([`dynasore_sim::Simulation::with_durable_tier`]) to the file-backed
+//! stores: every simulated write request appends a fixed-size,
+//! deterministically filled payload to the on-disk log, and each recovery
+//! replays the log from real bytes. The backend is either a single
+//! [`LogStructuredStore`] ([`open`](SimDurableTier::open)) or a
+//! [`ShardedLogStore`] ([`open_sharded`](SimDurableTier::open_sharded)),
+//! whose per-shard replay stats feed the report's parallel-recovery
+//! critical path.
 
-use dynasore_sim::DurableTier;
+use dynasore_sim::{DurableTier, TierReplay};
 use dynasore_types::{Result, SimTime, UserId};
 
 use crate::log::{LogConfig, LogStructuredStore, RecoveryStats};
+use crate::sharded::{ShardedConfig, ShardedLogStore};
 
 /// The payload size mirrored per simulated write: the paper's events are
 /// tweet-sized (§3.2), so 140 bytes.
 pub const SIM_EVENT_BYTES: usize = 140;
 
-/// A [`LogStructuredStore`] driven by a simulation through the
-/// [`DurableTier`] hook. Payloads are synthesized deterministically from the
-/// writing user and simulated time, keeping byte counts — and therefore
+/// The store a [`SimDurableTier`] writes through.
+#[derive(Debug)]
+enum TierBackend {
+    Single(LogStructuredStore),
+    Sharded(ShardedLogStore),
+}
+
+/// A file-backed store driven by a simulation through the [`DurableTier`]
+/// hook. Payloads are synthesized deterministically from the writing user
+/// and simulated time, keeping byte counts — and therefore
 /// [`dynasore_sim::SimReport`]s — reproducible across runs.
 #[derive(Debug)]
 pub struct SimDurableTier {
-    store: LogStructuredStore,
+    backend: TierBackend,
 }
 
 impl SimDurableTier {
-    /// Opens (or creates) the backing log store in `dir`.
+    /// Opens (or creates) a single-log backing store in `dir`.
     ///
     /// # Errors
     ///
     /// Same conditions as [`LogStructuredStore::open`].
     pub fn open(dir: impl Into<std::path::PathBuf>, config: LogConfig) -> Result<Self> {
         Ok(SimDurableTier {
-            store: LogStructuredStore::open(dir, config)?,
+            backend: TierBackend::Single(LogStructuredStore::open(dir, config)?),
         })
     }
 
-    /// The backing store (for inspection: bytes on disk, segment count…).
-    pub fn store(&self) -> &LogStructuredStore {
-        &self.store
+    /// Opens (or creates) a sharded backing store in `dir`. The
+    /// [`flush_interval`](ShardedConfig::flush_interval) is forced to
+    /// `None`: a wall-clock flusher would commit batches at
+    /// timing-dependent points, splitting the same appends into different
+    /// frame counts across runs and breaking the byte-determinism the
+    /// simulator's reports rely on. Batches commit only when they fill or
+    /// when the simulation syncs — both deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardedLogStore::open`].
+    pub fn open_sharded(dir: impl Into<std::path::PathBuf>, config: ShardedConfig) -> Result<Self> {
+        let config = ShardedConfig {
+            flush_interval: None,
+            ..config
+        };
+        Ok(SimDurableTier {
+            backend: TierBackend::Sharded(ShardedLogStore::open(dir, config)?),
+        })
     }
 
-    /// What the last replay measured.
+    /// The backing single-log store (for inspection: bytes on disk, segment
+    /// count…); `None` when the tier is sharded.
+    pub fn store(&self) -> Option<&LogStructuredStore> {
+        match &self.backend {
+            TierBackend::Single(store) => Some(store),
+            TierBackend::Sharded(_) => None,
+        }
+    }
+
+    /// The backing sharded store; `None` when the tier is a single log.
+    pub fn sharded_store(&self) -> Option<&ShardedLogStore> {
+        match &self.backend {
+            TierBackend::Single(_) => None,
+            TierBackend::Sharded(store) => Some(store),
+        }
+    }
+
+    /// Total bytes on disk across the backend.
+    pub fn bytes_on_disk(&self) -> u64 {
+        match &self.backend {
+            TierBackend::Single(store) => store.bytes_on_disk(),
+            TierBackend::Sharded(store) => store.bytes_on_disk(),
+        }
+    }
+
+    /// What the last replay measured, aggregated across shards for a
+    /// sharded backend.
     pub fn recovery_stats(&self) -> RecoveryStats {
-        self.store.recovery_stats()
+        match &self.backend {
+            TierBackend::Single(store) => store.recovery_stats(),
+            TierBackend::Sharded(store) => store.recovery_stats().total,
+        }
     }
 }
 
 impl DurableTier for SimDurableTier {
     fn append(&mut self, user: UserId, time: SimTime) -> Result<()> {
         let fill = (user.index() as u8).wrapping_add(time.as_secs() as u8);
-        self.store.append(user, vec![fill; SIM_EVENT_BYTES])?;
+        let payload = vec![fill; SIM_EVENT_BYTES];
+        match &self.backend {
+            TierBackend::Single(store) => store.append_version(user, payload)?,
+            TierBackend::Sharded(store) => store.append_version(user, payload)?,
+        };
         Ok(())
     }
 
     fn sync(&mut self) -> Result<()> {
-        self.store.sync()
+        match &self.backend {
+            TierBackend::Single(store) => store.sync(),
+            TierBackend::Sharded(store) => store.sync(),
+        }
     }
 
-    fn replay(&mut self) -> Result<u64> {
-        Ok(self.store.reread()?.bytes_replayed)
+    fn replay(&mut self) -> Result<TierReplay> {
+        match &self.backend {
+            TierBackend::Single(store) => {
+                let stats = store.reread()?;
+                Ok(TierReplay {
+                    bytes_replayed: stats.bytes_replayed,
+                    shards: 1,
+                    max_shard_bytes: stats.bytes_replayed,
+                })
+            }
+            TierBackend::Sharded(store) => {
+                let stats = store.reread()?;
+                Ok(TierReplay {
+                    bytes_replayed: stats.total.bytes_replayed,
+                    shards: stats.per_shard.len(),
+                    max_shard_bytes: stats.max_shard_bytes_replayed(),
+                })
+            }
+        }
     }
 }
 
@@ -77,10 +158,12 @@ mod tests {
                 .unwrap();
         }
         tier.sync().unwrap();
-        let bytes = tier.replay().unwrap();
-        assert_eq!(bytes, tier.store().bytes_on_disk());
+        let replay = tier.replay().unwrap();
+        assert_eq!(replay.bytes_replayed, tier.bytes_on_disk());
+        assert_eq!(replay.shards, 1);
+        assert_eq!(replay.max_shard_bytes, replay.bytes_replayed);
         assert_eq!(tier.recovery_stats().records_replayed, 20);
-        assert_eq!(tier.store().user_count(), 4);
+        assert_eq!(tier.store().unwrap().user_count(), 4);
         // Same call sequence in a fresh directory → identical bytes.
         let dir2 = dir.with_extension("b");
         let _ = std::fs::remove_dir_all(&dir2);
@@ -91,8 +174,39 @@ mod tests {
                 .unwrap();
         }
         tier2.sync().unwrap();
-        assert_eq!(tier2.replay().unwrap(), bytes);
+        assert_eq!(tier2.replay().unwrap(), replay);
         std::fs::remove_dir_all(&dir).unwrap();
         std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn sharded_tier_is_deterministic_and_reports_the_critical_path() {
+        let base =
+            std::env::temp_dir().join(format!("dynasore-simtier-sharded-{}", std::process::id()));
+        let run = |dir: &std::path::Path| {
+            let _ = std::fs::remove_dir_all(dir);
+            let mut tier = SimDurableTier::open_sharded(
+                dir,
+                ShardedConfig {
+                    shards: 4,
+                    ..ShardedConfig::default()
+                },
+            )
+            .unwrap();
+            for i in 0..40u32 {
+                tier.append(UserId::new(i % 10), SimTime::from_secs(i as u64))
+                    .unwrap();
+            }
+            tier.sync().unwrap();
+            tier.replay().unwrap()
+        };
+        let a = run(&base);
+        let b = run(&base.with_extension("b"));
+        assert_eq!(a, b, "sharded tier must be byte-deterministic");
+        assert_eq!(a.shards, 4);
+        assert!(a.max_shard_bytes <= a.bytes_replayed);
+        assert!(a.max_shard_bytes > 0);
+        std::fs::remove_dir_all(&base).unwrap();
+        std::fs::remove_dir_all(base.with_extension("b")).unwrap();
     }
 }

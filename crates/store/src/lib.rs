@@ -7,14 +7,18 @@
 //! channels, backed by a durable tier (the store of §3.3) behind the
 //! [`PersistentStore`] trait, and routed by a
 //! [`DynaSoReEngine`](dynasore_core::DynaSoReEngine) that replicates hot
-//! views close to their readers. Two durable tiers ship with the crate:
+//! views close to their readers. Three durable tiers ship with the crate:
 //!
 //! * [`MockPersistentStore`] — an in-memory map, the default
 //!   ([`Cluster::spawn`]), right for pure simulations;
 //! * [`LogStructuredStore`] — a file-backed, append-only segment log with
 //!   checksummed records, replay-on-open recovery, rotation and compaction
 //!   ([`Cluster::spawn_with_store`]), so killed-and-restarted servers
-//!   recover views from real bytes.
+//!   recover views from real bytes;
+//! * [`ShardedLogStore`] — N independent log shards routed by a stable
+//!   hash of the user id, each running group commit, so the durable tier
+//!   keeps pace with the hot path (one fsync covers a whole batch) and
+//!   shards recover concurrently on reopen.
 //!
 //! The API mirrors the paper's memcache-compatible interface:
 //!
@@ -60,8 +64,10 @@ mod log;
 mod persistent;
 mod segment;
 mod server;
+mod sharded;
 
 pub use cluster::{Cluster, ClusterChangeReport, StoreConfig, StoreStats};
 pub use durable_tier::{SimDurableTier, SIM_EVENT_BYTES};
-pub use log::{CompactionStats, LogConfig, LogStructuredStore, RecoveryStats};
+pub use log::{CompactionStats, GroupCommitConfig, LogConfig, LogStructuredStore, RecoveryStats};
 pub use persistent::{MockPersistentStore, PersistentStore};
+pub use sharded::{ShardedConfig, ShardedLogStore, ShardedRecoveryStats};

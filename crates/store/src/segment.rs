@@ -185,6 +185,16 @@ impl Segment {
         self.writer.get_ref().sync_all()?;
         Ok(())
     }
+
+    /// Flushes buffered bytes to the OS and returns a duplicated handle to
+    /// the backing file. Fsyncing the duplicate covers every byte flushed
+    /// here (the kernel syncs the *file*, not the descriptor), so a caller
+    /// can make the segment durable without holding whatever lock guards
+    /// it — the handle stays valid even if the segment is sealed meanwhile.
+    pub fn detached_handle(&mut self) -> Result<File> {
+        self.writer.flush()?;
+        Ok(self.writer.get_ref().try_clone()?)
+    }
 }
 
 #[cfg(test)]

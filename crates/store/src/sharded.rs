@@ -1,0 +1,906 @@
+//! A sharded, group-committed durable tier: N independent
+//! [`LogStructuredStore`] shards under one root directory.
+//!
+//! One [`Mutex`]-guarded log serialises every append behind a single active
+//! segment file; that lock (and its fsync) is the scaling ceiling of the
+//! durable tier. [`ShardedLogStore`] splits the key space across `N`
+//! [`LogStructuredStore`] shards — each with its own subdirectory, `LOCK`
+//! file, segment chain and group-commit batch — selected by a stable hash of
+//! the [`UserId`], so unrelated users never contend on the same lock, batch
+//! or fsync, and recovery can replay shards concurrently (reopen wall-clock
+//! is the *max* shard replay time, not the sum).
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <root>/
+//!   MANIFEST          "DYNASHARD1\nshards N\n" — written once, atomically
+//!   shard-0000/       a complete LogStructuredStore directory
+//!     LOCK
+//!     seg-00000000000000000001.log
+//!     …
+//!   shard-0001/
+//!   …
+//! ```
+//!
+//! The shard count is fixed at creation and persisted in `MANIFEST`;
+//! reopening with a different count is refused, because the routing hash
+//! would send users to shards that do not hold their records. The routing
+//! function itself ([`ShardedLogStore::shard_index_of`]) is part of the
+//! on-disk format and must never change.
+//!
+//! # Group commit and the background flusher
+//!
+//! Every shard runs group commit (see [`crate::log`]): appends are
+//! acknowledged into the shard's in-memory batch and written as one frame
+//! when the batch fills. In the default configuration the fill-triggered
+//! commit only *writes* the frame (`sync_on_commit: false`); the fsync that
+//! makes it machine-durable is pipelined onto the background flusher
+//! thread, which syncs each shard through a duplicated file handle
+//! ([`LogStructuredStore::sync_detached`]) *without* holding the shard
+//! lock — so the write path never waits on the disk, and on a single core
+//! appends overlap the flush that makes them durable.
+//!
+//! The bounded [`flush_interval`] caps the ack-to-durable window. Each wake
+//! the flusher (a) commits the open batch of any shard that has gone a full
+//! interval without committing on its own — busy shards, whose fill trigger
+//! commits faster than that, never get their batch split — and (b) fsyncs a
+//! shard once it has accumulated [`sync_bytes_threshold`] unsynced bytes or
+//! has carried *any* unsynced bytes for [`sync_wake_bound`] wakes. An
+//! acknowledged append is therefore machine-durable within a small constant
+//! number of intervals (at most `2 + sync_wake_bound`, ~90 ms at the
+//! defaults) — or sooner, whenever an explicit
+//! [`sync`](ShardedLogStore::sync) intervenes. Under a fast write load the
+//! byte threshold fires first, so the fsync count stays proportional to
+//! data volume — every fsync forces a journal commit, and a wake bound
+//! tight enough to dominate under load would turn the pipelined flusher
+//! into hundreds of tiny journal commits per second.
+//!
+//! [`sync_bytes_threshold`]: ShardedConfig::sync_bytes_threshold
+//! [`sync_wake_bound`]: ShardedConfig::sync_wake_bound
+//!
+//! [`Mutex`]: parking_lot::Mutex
+//! [`flush_interval`]: ShardedConfig::flush_interval
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dynasore_types::{Error, Result, UserId, View};
+
+use crate::log::{
+    CompactionStats, GroupCommitConfig, LogConfig, LogStructuredStore, RecoveryStats,
+};
+use crate::persistent::PersistentStore;
+
+/// The manifest file that pins the shard count of a directory.
+const MANIFEST_FILE: &str = "MANIFEST";
+/// First line of the manifest; bumped only on incompatible layout changes.
+const MANIFEST_MAGIC: &str = "DYNASHARD1";
+
+/// Configuration of a [`ShardedLogStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Number of independent shards. Fixed at creation (persisted in the
+    /// manifest); reopening with a different count is refused. Default 8.
+    pub shards: usize,
+    /// Per-shard log configuration. The default enables group commit with
+    /// `sync_on_commit: false`: fill-triggered commits write the frame to
+    /// the OS and leave the fsync to the flusher thread's pipelined
+    /// [`sync_detached`] cadence, so the write path never blocks on the
+    /// disk. Set `sync_on_commit: true` to fsync inline at every fill
+    /// instead (stronger per-commit durability, at the write path's
+    /// expense); plain per-append writes work too but forfeit the batching
+    /// win.
+    ///
+    /// [`sync_detached`]: LogStructuredStore::sync_detached
+    pub log: LogConfig,
+    /// Wake period of the background flusher, which bounds the
+    /// ack-to-durable window: each wake commits the open batch of any shard
+    /// that has gone a full interval without committing on its own (busy
+    /// shards, whose fill trigger commits faster, never get their batch
+    /// split) and fsyncs shards on the pipelined cadence described in the
+    /// [module documentation](self) — at most `2 + sync_wake_bound`
+    /// intervals from acknowledgement to machine durability. `None`
+    /// disables the flusher: batches then commit only when they fill or on
+    /// an explicit [`flush`]/[`sync`]/[`commit_pending`], and nothing
+    /// fsyncs behind the caller's back — the right mode for deterministic
+    /// tests and simulations. Default 5 ms.
+    ///
+    /// [`flush`]: ShardedLogStore::flush
+    /// [`sync`]: ShardedLogStore::sync
+    /// [`commit_pending`]: ShardedLogStore::commit_pending
+    pub flush_interval: Option<Duration>,
+    /// Unsynced bytes at which the flusher fsyncs a shard without waiting
+    /// out [`sync_wake_bound`](Self::sync_wake_bound): batching the disk
+    /// flush into ~megabyte chunks keeps the fsync count proportional to
+    /// data volume, not wake frequency. Default 1 MiB.
+    pub sync_bytes_threshold: u64,
+    /// Maximum consecutive flusher wakes a shard may carry unsynced bytes
+    /// before it is fsynced regardless of volume — the time half of the
+    /// ack-to-durable bound, `(2 + sync_wake_bound) × flush_interval`.
+    /// Loose enough by default (16 wakes ≈ 90 ms at the 5 ms interval) that
+    /// a busy shard reaches the byte threshold first; tighten it for a
+    /// smaller durability window at the cost of more, smaller fsyncs.
+    /// Default 16.
+    pub sync_wake_bound: u32,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 8,
+            log: LogConfig {
+                group_commit: Some(GroupCommitConfig {
+                    sync_on_commit: false,
+                    ..GroupCommitConfig::default()
+                }),
+                ..LogConfig::default()
+            },
+            flush_interval: Some(Duration::from_millis(5)),
+            sync_bytes_threshold: 1 << 20,
+            sync_wake_bound: 16,
+        }
+    }
+}
+
+/// Per-shard and aggregate recovery measurements of a sharded open (or
+/// [`reread`](ShardedLogStore::reread)).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardedRecoveryStats {
+    /// Sums across every shard.
+    pub total: RecoveryStats,
+    /// One entry per shard, in shard order.
+    pub per_shard: Vec<RecoveryStats>,
+}
+
+impl ShardedRecoveryStats {
+    fn from_shards(per_shard: Vec<RecoveryStats>) -> Self {
+        let mut total = RecoveryStats::default();
+        for s in &per_shard {
+            total.bytes_replayed += s.bytes_replayed;
+            total.records_replayed += s.records_replayed;
+            total.torn_bytes += s.torn_bytes;
+            total.segments += s.segments;
+        }
+        ShardedRecoveryStats { total, per_shard }
+    }
+
+    /// Bytes replayed by the slowest shard — the critical path of a
+    /// parallel reopen, since shards replay independently.
+    pub fn max_shard_bytes_replayed(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.bytes_replayed)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The background flusher: commits idle shards' pending batches and fsyncs
+/// accumulated writes on a bounded interval. Stopped (and joined) on drop,
+/// before the shards it borrows through the [`Arc`] can be dropped.
+#[derive(Debug)]
+struct Flusher {
+    stop: mpsc::Sender<()>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// What the flusher remembers about one shard between wakes.
+struct ShardCadence {
+    /// Disk bytes at the previous wake; detects shards whose fill trigger
+    /// is committing on its own.
+    bytes_at_last_wake: u64,
+    /// Disk bytes covered by the last fsync this thread issued.
+    synced_bytes: u64,
+    /// Consecutive wakes this shard has carried unsynced bytes.
+    unsynced_wakes: u32,
+}
+
+impl Flusher {
+    fn start(
+        shards: Arc<Vec<LogStructuredStore>>,
+        interval: Duration,
+        sync_bytes_threshold: u64,
+        sync_wake_bound: u32,
+    ) -> Result<Flusher> {
+        let (stop, wakeup) = mpsc::channel::<()>();
+        let handle = std::thread::Builder::new()
+            .name("dynasore-flusher".into())
+            .spawn(move || {
+                let mut cadence: Vec<ShardCadence> = shards
+                    .iter()
+                    .map(|s| {
+                        let bytes = s.bytes_on_disk();
+                        ShardCadence {
+                            bytes_at_last_wake: bytes,
+                            // Whatever was on disk before this instance is
+                            // not ours to fsync.
+                            synced_bytes: bytes,
+                            unsynced_wakes: 0,
+                        }
+                    })
+                    .collect();
+                loop {
+                    match wakeup.recv_timeout(interval) {
+                        Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            for (shard, c) in shards.iter().zip(cadence.iter_mut()) {
+                                Self::tend(shard, c, sync_bytes_threshold, sync_wake_bound);
+                            }
+                        }
+                    }
+                }
+            })?;
+        Ok(Flusher {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// One wake's work on one shard. Background errors have no caller to
+    /// report to and are swallowed; nothing is lost — unsynced bytes stay
+    /// counted and pending records stay pending, so the next wake retries
+    /// and the next explicit flush/sync surfaces the failure.
+    fn tend(
+        shard: &LogStructuredStore,
+        c: &mut ShardCadence,
+        sync_bytes_threshold: u64,
+        sync_wake_bound: u32,
+    ) {
+        // A shard whose byte count moved since the last wake committed on
+        // its own within the interval (the fill trigger is doing its job):
+        // its open batch is younger than one interval and is left to fill —
+        // forcing it out would split a busy shard's batches for no
+        // durability gain. A shard that is pending *and* byte-stable for a
+        // whole interval is idle and gets its batch written here.
+        let bytes = shard.bytes_on_disk();
+        if bytes == c.bytes_at_last_wake && shard.pending_records() > 0 {
+            let _ = shard.commit_pending();
+        }
+        c.bytes_at_last_wake = shard.bytes_on_disk();
+
+        // Pipelined durability: fsync through a detached handle — the shard
+        // lock is not held while the disk flushes, so appends keep flowing.
+        // Sync once the byte threshold accumulates (batching the flush) or
+        // once any unsynced bytes have waited out the wake bound (bounding
+        // the ack-to-durable window in time).
+        let unsynced = c.bytes_at_last_wake.saturating_sub(c.synced_bytes);
+        if unsynced == 0 {
+            c.unsynced_wakes = 0;
+            return;
+        }
+        c.unsynced_wakes += 1;
+        if unsynced >= sync_bytes_threshold || c.unsynced_wakes > sync_wake_bound {
+            // The handle is duplicated after the byte count was read, so
+            // the fsync covers at least `bytes_at_last_wake` bytes.
+            if shard.sync_detached().is_ok() {
+                c.synced_bytes = c.bytes_at_last_wake;
+                c.unsynced_wakes = 0;
+            }
+        }
+    }
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        let _ = self.stop.send(());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A sharded, group-committed file-backed durable tier: `N` independent
+/// [`LogStructuredStore`] shards routed by a stable hash of the [`UserId`].
+/// See the [module documentation](self) for the layout and semantics.
+///
+/// Implements [`PersistentStore`], so [`crate::Cluster::spawn_with_store`]
+/// accepts it unchanged.
+#[derive(Debug)]
+pub struct ShardedLogStore {
+    dir: PathBuf,
+    config: ShardedConfig,
+    // Held only for its Drop. Declared before `shards`: the flusher thread
+    // borrows the shards through the Arc and must be joined before the last
+    // strong reference can drop (field drop order is declaration order).
+    _flusher: Option<Flusher>,
+    shards: Arc<Vec<LogStructuredStore>>,
+}
+
+/// Subdirectory name of shard `i`.
+fn shard_dir_name(i: usize) -> String {
+    format!("shard-{i:04}")
+}
+
+/// Reads the manifest, returning the pinned shard count, or `None` when the
+/// directory has no manifest yet (a fresh directory).
+fn read_manifest(dir: &Path) -> Result<Option<usize>> {
+    let path = dir.join(MANIFEST_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut lines = text.lines();
+    let magic = lines.next().unwrap_or_default();
+    if magic != MANIFEST_MAGIC {
+        return Err(Error::CorruptRecord(format!(
+            "{} is not a sharded-store manifest (bad magic {magic:?})",
+            path.display()
+        )));
+    }
+    let shards = lines
+        .next()
+        .and_then(|l| l.strip_prefix("shards "))
+        .and_then(|n| n.parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    match shards {
+        Some(n) => Ok(Some(n)),
+        None => Err(Error::CorruptRecord(format!(
+            "{}: malformed shard count line",
+            path.display()
+        ))),
+    }
+}
+
+/// Atomically writes the manifest: temp file, fsync, rename, directory
+/// fsync — a crash leaves either no manifest or a complete one.
+fn write_manifest(dir: &Path, shards: usize) -> Result<()> {
+    let tmp = dir.join("MANIFEST.tmp");
+    let mut file = File::create(&tmp)?;
+    write!(file, "{MANIFEST_MAGIC}\nshards {shards}\n")?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// The splitmix64 finalizer: a strong 64-bit mix routing users to shards.
+/// Part of the on-disk format — changing it strands every existing record
+/// on the wrong shard — so it must never change.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ShardedLogStore {
+    /// Opens (or creates) a sharded store rooted at `dir`.
+    ///
+    /// A fresh directory gets a manifest pinning `config.shards`; an
+    /// existing one is validated against it. The shards are opened
+    /// concurrently — one replay thread each — so reopen wall-clock tracks
+    /// the largest shard, not the sum. Each shard takes its own `LOCK`
+    /// (see [`LogStructuredStore::open`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for a zero shard count, a zero flush
+    /// interval, a shard-count/manifest mismatch, or a shard locked by a
+    /// live instance; [`Error::CorruptRecord`] for a malformed manifest or
+    /// damage in a shard a crash cannot produce; I/O errors.
+    pub fn open(dir: impl Into<PathBuf>, config: ShardedConfig) -> Result<Self> {
+        let dir = dir.into();
+        if config.shards == 0 {
+            return Err(Error::invalid_config("shard count must be at least 1"));
+        }
+        if config.flush_interval.is_some_and(|i| i.is_zero()) {
+            return Err(Error::invalid_config(
+                "flush_interval must be nonzero (use None to disable the flusher)",
+            ));
+        }
+        std::fs::create_dir_all(&dir)?;
+        match read_manifest(&dir)? {
+            Some(existing) if existing != config.shards => {
+                return Err(Error::invalid_config(format!(
+                    "{} was created with {existing} shards, cannot reopen with {}: \
+                     the routing hash would look for records on the wrong shard",
+                    dir.display(),
+                    config.shards
+                )));
+            }
+            Some(_) => {}
+            None => write_manifest(&dir, config.shards)?,
+        }
+
+        let mut slots: Vec<Option<Result<LogStructuredStore>>> =
+            (0..config.shards).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let shard_dir = dir.join(shard_dir_name(i));
+                let log = config.log;
+                scope.spawn(move || *slot = Some(LogStructuredStore::open(shard_dir, log)));
+            }
+        });
+        let mut shards = Vec::with_capacity(config.shards);
+        for slot in slots {
+            shards.push(slot.expect("scoped replay thread fills its slot")?);
+        }
+        let shards = Arc::new(shards);
+        let flusher = match config.flush_interval {
+            Some(interval) => Some(Flusher::start(
+                Arc::clone(&shards),
+                interval,
+                config.sync_bytes_threshold,
+                config.sync_wake_bound,
+            )?),
+            None => None,
+        };
+        Ok(ShardedLogStore {
+            dir,
+            config,
+            _flusher: flusher,
+            shards,
+        })
+    }
+
+    /// Non-destructively replays every shard of `dir` into one merged index
+    /// — no locks taken, no repairs made — the sharded analogue of
+    /// [`LogStructuredStore::read_back`]. The shard count comes from the
+    /// manifest, so no configuration is needed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CorruptRecord`] for a missing or malformed manifest, plus
+    /// the per-shard conditions of [`LogStructuredStore::read_back`].
+    pub fn read_back(
+        dir: impl AsRef<Path>,
+    ) -> Result<(BTreeMap<UserId, View>, ShardedRecoveryStats)> {
+        let dir = dir.as_ref();
+        let shards = read_manifest(dir)?.ok_or_else(|| {
+            Error::CorruptRecord(format!("{}: no sharded-store manifest", dir.display()))
+        })?;
+        let mut index = BTreeMap::new();
+        let mut per_shard = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (shard_index, stats) = LogStructuredStore::read_back(dir.join(shard_dir_name(i)))?;
+            // Shards partition the user space: the merge is disjoint.
+            index.extend(shard_index);
+            per_shard.push(stats);
+        }
+        Ok((index, ShardedRecoveryStats::from_shards(per_shard)))
+    }
+
+    /// The shard that owns `user`. Stable across restarts and part of the
+    /// on-disk format (see [`mix64`]).
+    pub fn shard_index_of(&self, user: UserId) -> usize {
+        (mix64(u64::from(user.index())) % self.shards.len() as u64) as usize
+    }
+
+    fn shard_of(&self, user: UserId) -> &LogStructuredStore {
+        &self.shards[self.shard_index_of(user)]
+    }
+
+    /// Appends one event to `user`'s shard and returns the updated view.
+    /// The append is *acknowledged* (visible to [`fetch`]) immediately;
+    /// durability follows the shard's group-commit contract (see
+    /// [`crate::log`]).
+    ///
+    /// [`fetch`]: ShardedLogStore::fetch
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from a forced batch commit, and
+    /// [`Error::InvalidConfig`] for an oversized payload.
+    pub fn append(&self, user: UserId, payload: Vec<u8>) -> Result<View> {
+        self.shard_of(user).append(user, payload)
+    }
+
+    /// [`append`](ShardedLogStore::append) without cloning the view —
+    /// returns only the new version. The hot write path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`append`](ShardedLogStore::append).
+    pub fn append_version(&self, user: UserId, payload: Vec<u8>) -> Result<u64> {
+        self.shard_of(user).append_version(user, payload)
+    }
+
+    /// Fetches the current view of `user` from its shard (empty if never
+    /// written).
+    pub fn fetch(&self, user: UserId) -> View {
+        self.shard_of(user).fetch(user)
+    }
+
+    /// Deletes `user`'s view from its shard (durably: a tombstone record).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the tombstone write.
+    pub fn delete(&self, user: UserId) -> Result<()> {
+        self.shard_of(user).delete(user)
+    }
+
+    /// Commits every shard's pending batch and flushes every shard to the
+    /// OS. Fails fast on the first shard error, matching
+    /// [`LogStructuredStore::flush`].
+    ///
+    /// # Errors
+    ///
+    /// The first I/O error.
+    pub fn flush(&self) -> Result<()> {
+        for shard in self.shards.iter() {
+            shard.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Commits every shard's pending batch, flushes and fsyncs: after this
+    /// returns, every acknowledged write on every shard is crash-durable.
+    ///
+    /// # Errors
+    ///
+    /// The first I/O error.
+    pub fn sync(&self) -> Result<()> {
+        for shard in self.shards.iter() {
+            shard.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Commits every shard's pending batch (what the background flusher
+    /// runs). Returns whether any shard had one.
+    ///
+    /// # Errors
+    ///
+    /// The first I/O error.
+    pub fn commit_pending(&self) -> Result<bool> {
+        let mut any = false;
+        for shard in self.shards.iter() {
+            any |= shard.commit_pending()?;
+        }
+        Ok(any)
+    }
+
+    /// Compacts every shard (see [`LogStructuredStore::compact`]) and sums
+    /// the per-shard measurements.
+    ///
+    /// # Errors
+    ///
+    /// The first shard failure; earlier shards stay compacted (each shard's
+    /// pass is independently crash-safe).
+    pub fn compact(&self) -> Result<CompactionStats> {
+        let mut total = CompactionStats::default();
+        for shard in self.shards.iter() {
+            let s = shard.compact()?;
+            total.bytes_before += s.bytes_before;
+            total.bytes_after += s.bytes_after;
+            total.segments_before += s.segments_before;
+            total.segments_after += s.segments_after;
+        }
+        Ok(total)
+    }
+
+    /// Re-replays every shard from disk concurrently (committing pending
+    /// batches first) and returns the per-shard measurements — real
+    /// recovery bandwidth without a restart.
+    ///
+    /// # Errors
+    ///
+    /// The first shard failure.
+    pub fn reread(&self) -> Result<ShardedRecoveryStats> {
+        let mut slots: Vec<Option<Result<RecoveryStats>>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (shard, slot) in self.shards.iter().zip(slots.iter_mut()) {
+                scope.spawn(move || *slot = Some(shard.reread()));
+            }
+        });
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for slot in slots {
+            per_shard.push(slot.expect("scoped reread thread fills its slot")?);
+        }
+        Ok(ShardedRecoveryStats::from_shards(per_shard))
+    }
+
+    /// What the open (or last [`reread`](ShardedLogStore::reread)) replay
+    /// measured, per shard and in aggregate.
+    pub fn recovery_stats(&self) -> ShardedRecoveryStats {
+        ShardedRecoveryStats::from_shards(self.shards.iter().map(|s| s.recovery_stats()).collect())
+    }
+
+    /// Number of shards (as pinned in the manifest).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct access to shard `i`, for tests and benchmarks that need
+    /// per-shard visibility (e.g. per-shard `bytes_on_disk` boundaries).
+    ///
+    /// # Panics
+    ///
+    /// If `i >= shard_count()`.
+    pub fn shard(&self, i: usize) -> &LogStructuredStore {
+        &self.shards[i]
+    }
+
+    /// Total segment bytes on disk across shards (committed frames only;
+    /// pending batches are not on disk yet).
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.shards.iter().map(|s| s.bytes_on_disk()).sum()
+    }
+
+    /// Total segment files across shards.
+    pub fn segment_count(&self) -> usize {
+        self.shards.iter().map(|s| s.segment_count()).sum()
+    }
+
+    /// Live views across shards (shards partition users, so the sum is
+    /// exact).
+    pub fn user_count(&self) -> usize {
+        self.shards.iter().map(|s| s.user_count()).sum()
+    }
+
+    /// Acknowledged-but-uncommitted appends across shards.
+    pub fn pending_records(&self) -> u64 {
+        self.shards.iter().map(|s| s.pending_records()).sum()
+    }
+
+    /// The root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configuration the store was opened with.
+    pub fn config(&self) -> ShardedConfig {
+        self.config
+    }
+
+    /// Events appended across shards.
+    pub fn write_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.write_count()).sum()
+    }
+
+    /// Fetches served across shards.
+    pub fn read_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.read_count()).sum()
+    }
+}
+
+impl PersistentStore for ShardedLogStore {
+    fn append(&self, user: UserId, payload: Vec<u8>) -> Result<View> {
+        ShardedLogStore::append(self, user, payload)
+    }
+
+    fn fetch(&self, user: UserId) -> Result<View> {
+        Ok(ShardedLogStore::fetch(self, user))
+    }
+
+    fn flush(&self) -> Result<()> {
+        ShardedLogStore::flush(self)
+    }
+
+    fn sync(&self) -> Result<()> {
+        ShardedLogStore::sync(self)
+    }
+
+    fn write_count(&self) -> u64 {
+        ShardedLogStore::write_count(self)
+    }
+
+    fn read_count(&self) -> u64 {
+        ShardedLogStore::read_count(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dynasore-sharded-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Deterministic config for tests: no background flusher.
+    fn no_flusher(shards: usize) -> ShardedConfig {
+        ShardedConfig {
+            shards,
+            flush_interval: None,
+            ..ShardedConfig::default()
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_reasonably_uniform() {
+        let dir = temp_dir("routing");
+        let store = ShardedLogStore::open(&dir, no_flusher(8)).unwrap();
+        // Stability: the documented splitmix64 finalizer, byte for byte.
+        for u in [0u32, 1, 7, 1_000, u32::MAX] {
+            assert_eq!(
+                store.shard_index_of(UserId::new(u)),
+                (mix64(u64::from(u)) % 8) as usize
+            );
+        }
+        // Uniformity: sequential user ids must not pile onto few shards.
+        let mut counts = [0usize; 8];
+        for u in 0..8_000u32 {
+            counts[store.shard_index_of(UserId::new(u))] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1_300).contains(&c),
+                "shard {i} got {c} of 8000 sequential users"
+            );
+        }
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_fetch_round_trips_across_shards_and_restart() {
+        let dir = temp_dir("roundtrip");
+        let store = ShardedLogStore::open(&dir, no_flusher(4)).unwrap();
+        for u in 0..64u32 {
+            for rev in 0..3u32 {
+                store
+                    .append_version(UserId::new(u), format!("u{u}-r{rev}").into_bytes())
+                    .unwrap();
+            }
+        }
+        assert_eq!(store.write_count(), 192);
+        assert_eq!(store.user_count(), 64);
+        // Acknowledged writes are visible before any commit.
+        let v = store.fetch(UserId::new(9));
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.latest().unwrap().payload(), b"u9-r2");
+        store.sync().unwrap();
+        drop(store);
+
+        let reopened = ShardedLogStore::open(&dir, no_flusher(4)).unwrap();
+        let stats = reopened.recovery_stats();
+        assert_eq!(stats.per_shard.len(), 4);
+        assert_eq!(stats.total.torn_bytes, 0);
+        assert!(stats.total.bytes_replayed > 0);
+        assert!(stats.max_shard_bytes_replayed() <= stats.total.bytes_replayed);
+        for u in 0..64u32 {
+            let view = reopened.fetch(UserId::new(u));
+            assert_eq!(view.len(), 3, "user {u}");
+            assert_eq!(view.version(), 3);
+        }
+        // Every shard holds only the users the router sends to it.
+        for i in 0..4 {
+            let (index, _) = LogStructuredStore::read_back(dir.join(shard_dir_name(i))).unwrap();
+            for user in index.keys() {
+                assert_eq!(
+                    reopened.shard_index_of(*user),
+                    i,
+                    "user {user} on shard {i}"
+                );
+            }
+        }
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_pins_the_shard_count() {
+        let dir = temp_dir("manifest");
+        let store = ShardedLogStore::open(&dir, no_flusher(4)).unwrap();
+        store.append_version(UserId::new(1), b"x".to_vec()).unwrap();
+        store.sync().unwrap();
+        drop(store);
+        let err = ShardedLogStore::open(&dir, no_flusher(8));
+        assert!(
+            matches!(err, Err(Error::InvalidConfig(_))),
+            "shard-count mismatch must be refused, got {err:?}"
+        );
+        // The original count still opens.
+        let again = ShardedLogStore::open(&dir, no_flusher(4)).unwrap();
+        assert_eq!(again.shard_count(), 4);
+        assert_eq!(again.fetch(UserId::new(1)).len(), 1);
+        drop(again);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_refused() {
+        let dir = temp_dir("invalid");
+        assert!(matches!(
+            ShardedLogStore::open(&dir, no_flusher(0)),
+            Err(Error::InvalidConfig(_))
+        ));
+        let zero_interval = ShardedConfig {
+            flush_interval: Some(Duration::ZERO),
+            ..ShardedConfig::default()
+        };
+        assert!(matches!(
+            ShardedLogStore::open(&dir, zero_interval),
+            Err(Error::InvalidConfig(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn double_open_conflicts_on_shard_locks() {
+        let dir = temp_dir("double-open");
+        let store = ShardedLogStore::open(&dir, no_flusher(2)).unwrap();
+        let second = ShardedLogStore::open(&dir, no_flusher(2));
+        assert!(
+            matches!(second, Err(Error::InvalidConfig(_))),
+            "live shard locks must refuse a second owner, got {second:?}"
+        );
+        drop(store);
+        // Dropping the first owner releases every shard lock.
+        let third = ShardedLogStore::open(&dir, no_flusher(2)).unwrap();
+        drop(third);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_flusher_commits_within_the_interval() {
+        let dir = temp_dir("flusher");
+        let config = ShardedConfig {
+            shards: 2,
+            flush_interval: Some(Duration::from_millis(2)),
+            ..ShardedConfig::default()
+        };
+        let store = ShardedLogStore::open(&dir, config).unwrap();
+        for u in 0..8u32 {
+            store
+                .append_version(UserId::new(u), vec![u as u8; 16])
+                .unwrap();
+        }
+        // Far below the 4096-record fill trigger, so only the flusher can
+        // commit these. Poll (bounded) until the pending count drains.
+        let mut drained = false;
+        for _ in 0..500 {
+            if store.pending_records() == 0 {
+                drained = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(drained, "flusher never committed the pending batches");
+        assert!(store.bytes_on_disk() > 0);
+        drop(store);
+        // Everything the flusher committed replays on reopen.
+        let (index, stats) = ShardedLogStore::read_back(&dir).unwrap();
+        assert_eq!(index.len(), 8);
+        assert_eq!(stats.total.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delete_and_compaction_fan_out() {
+        let dir = temp_dir("compact");
+        let store = ShardedLogStore::open(&dir, no_flusher(4)).unwrap();
+        for u in 0..32u32 {
+            for _ in 0..4 {
+                store
+                    .append_version(UserId::new(u), vec![u as u8; 64])
+                    .unwrap();
+            }
+        }
+        for u in 0..8u32 {
+            store.delete(UserId::new(u)).unwrap();
+        }
+        assert_eq!(store.user_count(), 24);
+        assert!(store.fetch(UserId::new(3)).is_empty());
+        let stats = store.compact().unwrap();
+        assert!(
+            stats.bytes_after < stats.bytes_before,
+            "superseded records must shrink the shards, got {stats:?}"
+        );
+        assert_eq!(store.user_count(), 24);
+        let reread = store.reread().unwrap();
+        assert_eq!(reread.per_shard.len(), 4);
+        assert_eq!(reread.total.torn_bytes, 0);
+        assert_eq!(store.user_count(), 24);
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

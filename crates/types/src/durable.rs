@@ -14,10 +14,20 @@
 //! body = [kind: u8][kind-specific fields, little-endian]
 //! ```
 //!
-//! Three record kinds exist: [`DurableRecord::Event`] (one appended event,
-//! the normal write path), [`DurableRecord::Snapshot`] (a full view, written
-//! by compaction to supersede every earlier record of that user) and
+//! Four record kinds exist: [`DurableRecord::Event`] (one appended event,
+//! the normal write path), [`DurableRecord::Batch`] (many events committed
+//! as one frame — the group-commit unit: its single checksum covers every
+//! entry, so a crash mid-write tears the *whole* batch, never a prefix of
+//! it), [`DurableRecord::Snapshot`] (a full view, written by compaction to
+//! supersede every earlier record of that user) and
 //! [`DurableRecord::Tombstone`] (the user's view was deleted).
+//!
+//! Batch frames are built *incrementally* with [`DurableRecord::batch_begin`]
+//! / [`batch_push`](DurableRecord::batch_push) /
+//! [`batch_finish`](DurableRecord::batch_finish) so a writer can accumulate
+//! acknowledged events straight into one reusable buffer and patch the
+//! length, checksum and count in place at commit time — no per-commit
+//! re-encoding, no intermediate allocations.
 
 use crate::{Error, Event, Result, SimTime, UserId, View};
 
@@ -31,14 +41,24 @@ pub const RECORD_HEADER_BYTES: usize = 8;
 const KIND_EVENT: u8 = 1;
 const KIND_SNAPSHOT: u8 = 2;
 const KIND_TOMBSTONE: u8 = 3;
+const KIND_BATCH: u8 = 4;
+
+/// Bytes a batch body spends before the first entry: the kind byte plus the
+/// entry count.
+const BATCH_PREFIX_BYTES: usize = 5;
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.
 ///
 /// This is the checksum guarding every durable-log record; it is exposed so
-/// tests and tooling can validate frames independently.
+/// tests and tooling can validate frames independently. Group commit runs
+/// this over megabyte-scale batch frames on every commit (and replay runs
+/// it again over every frame read back), so the implementation is
+/// slicing-by-8 — eight table lookups per 8 input bytes instead of one per
+/// byte — which is severalfold faster than the classic byte-at-a-time loop
+/// while computing the identical checksum.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    const fn table() -> [u32; 256] {
-        let mut t = [0u32; 256];
+    const fn tables() -> [[u32; 256]; 8] {
+        let mut t = [[0u32; 256]; 8];
         let mut i = 0;
         while i < 256 {
             let mut c = i as u32;
@@ -51,15 +71,37 @@ pub fn crc32(bytes: &[u8]) -> u32 {
                 };
                 k += 1;
             }
-            t[i] = c;
+            t[0][i] = c;
             i += 1;
+        }
+        let mut n = 1;
+        while n < 8 {
+            let mut i = 0;
+            while i < 256 {
+                t[n][i] = (t[n - 1][i] >> 8) ^ t[0][(t[n - 1][i] & 0xFF) as usize];
+                i += 1;
+            }
+            n += 1;
         }
         t
     }
-    static TABLE: [u32; 256] = table();
+    static TABLES: [[u32; 256]; 8] = tables();
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = crc ^ u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = TABLES[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
 }
@@ -75,6 +117,15 @@ pub enum DurableRecord {
         timestamp: SimTime,
         /// The opaque application payload.
         payload: Vec<u8>,
+    },
+    /// Many events committed as one frame — the group-commit unit. The
+    /// frame's single checksum covers every entry, so a crash mid-write
+    /// tears the whole batch at once: replay either applies all of its
+    /// events or none of them, never a prefix.
+    Batch {
+        /// The batched events, in acknowledgement order (entries may belong
+        /// to different users).
+        events: Vec<Event>,
     },
     /// A full view, superseding every earlier record of the same user.
     /// Written by compaction so replay can drop the superseded history.
@@ -173,6 +224,22 @@ impl DurableRecord {
                 put_u32(buf, payload.len() as u32);
                 buf.extend_from_slice(payload);
             }
+            DurableRecord::Batch { events } => {
+                if events.is_empty() {
+                    buf.truncate(frame_start);
+                    return Err(Error::invalid_config(
+                        "a batch record must hold at least one event",
+                    ));
+                }
+                buf.push(KIND_BATCH);
+                put_u32(buf, events.len() as u32);
+                for event in events {
+                    put_u32(buf, event.author().index());
+                    put_u64(buf, event.timestamp().as_secs());
+                    put_u32(buf, event.payload().len() as u32);
+                    buf.extend_from_slice(event.payload());
+                }
+            }
             DurableRecord::Snapshot { view } => {
                 buf.push(KIND_SNAPSHOT);
                 put_u32(buf, view.owner().index());
@@ -248,6 +315,23 @@ impl DurableRecord {
                     payload,
                 }
             }
+            KIND_BATCH => {
+                let count = cursor.u32()?;
+                if count == 0 {
+                    return Err(Error::CorruptRecord(
+                        "batch record with zero entries".into(),
+                    ));
+                }
+                let mut events = Vec::with_capacity((count as usize).min(1024));
+                for _ in 0..count {
+                    let author = UserId::new(cursor.u32()?);
+                    let timestamp = SimTime::from_secs(cursor.u64()?);
+                    let payload_len = cursor.u32()? as usize;
+                    let payload = cursor.take(payload_len)?.to_vec();
+                    events.push(Event::new(author, timestamp, payload));
+                }
+                DurableRecord::Batch { events }
+            }
             KIND_SNAPSHOT => {
                 let owner = UserId::new(cursor.u32()?);
                 let version = cursor.u64()?;
@@ -278,6 +362,117 @@ impl DurableRecord {
         cursor.finish()?;
         Ok(Some((record, RECORD_HEADER_BYTES + len)))
     }
+
+    /// Appends the framed encoding of one [`DurableRecord::Event`] directly
+    /// from a borrowed payload — the write hot path. Skips constructing the
+    /// record value entirely, so the caller keeps ownership of the payload
+    /// (typically to move it into the in-memory index afterwards) and the
+    /// bytes are copied exactly once, into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DurableRecord::encode_into`]: [`Error::InvalidConfig`] when
+    /// the body would exceed [`MAX_RECORD_BYTES`]; `buf` is restored.
+    pub fn encode_event_into(
+        buf: &mut Vec<u8>,
+        user: UserId,
+        timestamp: SimTime,
+        payload: &[u8],
+    ) -> Result<usize> {
+        let frame_start = buf.len();
+        let body_len = 17 + payload.len(); // kind + user + timestamp + len + payload
+        if body_len > MAX_RECORD_BYTES {
+            return Err(Error::invalid_config(format!(
+                "durable record body of {body_len} bytes exceeds the {MAX_RECORD_BYTES}-byte \
+                 frame cap"
+            )));
+        }
+        buf.reserve(RECORD_HEADER_BYTES + body_len);
+        put_u32(buf, body_len as u32);
+        put_u32(buf, 0); // crc placeholder
+        buf.push(KIND_EVENT);
+        put_u32(buf, user.index());
+        put_u64(buf, timestamp.as_secs());
+        put_u32(buf, payload.len() as u32);
+        buf.extend_from_slice(payload);
+        let crc = crc32(&buf[frame_start + RECORD_HEADER_BYTES..]);
+        buf[frame_start + 4..frame_start + 8].copy_from_slice(&crc.to_le_bytes());
+        Ok(buf.len() - frame_start)
+    }
+
+    /// Starts an incremental [`DurableRecord::Batch`] frame in `buf`
+    /// (clearing it first): the frame header, the kind byte and the entry
+    /// count are laid down as placeholders that
+    /// [`batch_finish`](DurableRecord::batch_finish) patches in place.
+    pub fn batch_begin(buf: &mut Vec<u8>) {
+        buf.clear();
+        put_u32(buf, 0); // length placeholder
+        put_u32(buf, 0); // crc placeholder
+        buf.push(KIND_BATCH);
+        put_u32(buf, 0); // count placeholder
+    }
+
+    /// Appends one event entry to an open batch frame, copying the payload
+    /// exactly once. On error `buf` is untouched, so the caller can commit
+    /// the batch built so far and retry in a fresh one.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when the entry would push the batch body past
+    /// [`MAX_RECORD_BYTES`] — an unreplayable frame must never be started.
+    pub fn batch_push(
+        buf: &mut Vec<u8>,
+        user: UserId,
+        timestamp: SimTime,
+        payload: &[u8],
+    ) -> Result<()> {
+        debug_assert!(
+            buf.len() >= RECORD_HEADER_BYTES + BATCH_PREFIX_BYTES,
+            "batch_push before batch_begin"
+        );
+        let entry_len = 16 + payload.len(); // user + timestamp + len + payload
+        let body_len = buf.len() - RECORD_HEADER_BYTES + entry_len;
+        if body_len > MAX_RECORD_BYTES {
+            return Err(Error::invalid_config(format!(
+                "batch body of {body_len} bytes would exceed the {MAX_RECORD_BYTES}-byte \
+                 frame cap"
+            )));
+        }
+        put_u32(buf, user.index());
+        put_u64(buf, timestamp.as_secs());
+        put_u32(buf, payload.len() as u32);
+        buf.extend_from_slice(payload);
+        Ok(())
+    }
+
+    /// Seals an open batch frame: patches the entry count, the body length
+    /// and the checksum in place, and returns the total frame size. After
+    /// this, `buf` holds one complete [`DurableRecord::Batch`] frame ready
+    /// to be appended to the log.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for an empty batch (`count` 0): an empty
+    /// batch frame is indistinguishable from writer corruption on replay,
+    /// so it must never be written.
+    pub fn batch_finish(buf: &mut [u8], count: u32) -> Result<usize> {
+        if count == 0 {
+            return Err(Error::invalid_config(
+                "a batch record must hold at least one event",
+            ));
+        }
+        debug_assert!(
+            buf.len() >= RECORD_HEADER_BYTES + BATCH_PREFIX_BYTES,
+            "batch_finish before batch_begin"
+        );
+        let count_at = RECORD_HEADER_BYTES + 1;
+        buf[count_at..count_at + 4].copy_from_slice(&count.to_le_bytes());
+        let body_len = buf.len() - RECORD_HEADER_BYTES;
+        buf[0..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+        let crc = crc32(&buf[RECORD_HEADER_BYTES..]);
+        buf[4..8].copy_from_slice(&crc.to_le_bytes());
+        Ok(buf.len())
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +492,13 @@ mod tests {
             },
             DurableRecord::Snapshot { view },
             DurableRecord::Tombstone { user: u },
+            DurableRecord::Batch {
+                events: vec![
+                    Event::new(UserId::new(1), SimTime::from_secs(4), b"x".to_vec()),
+                    Event::new(UserId::new(2), SimTime::from_secs(5), Vec::new()),
+                    Event::new(UserId::new(1), SimTime::from_secs(6), b"yz".to_vec()),
+                ],
+            },
             DurableRecord::Event {
                 user: UserId::new(0),
                 timestamp: SimTime::ZERO,
@@ -310,6 +512,33 @@ mod tests {
         // Standard IEEE test vector.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_slicing_matches_bitwise_reference_at_every_alignment() {
+        // Canonical bit-at-a-time CRC-32: the slowest, most obviously
+        // correct formulation, checked against the slicing-by-8 fast path.
+        fn bitwise(bytes: &[u8]) -> u32 {
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in bytes {
+                crc ^= b as u32;
+                for _ in 0..8 {
+                    crc = if crc & 1 != 0 {
+                        0xEDB8_8320 ^ (crc >> 1)
+                    } else {
+                        crc >> 1
+                    };
+                }
+            }
+            !crc
+        }
+        // Lengths 0..=24 cover every chunks_exact remainder; the pattern
+        // exercises all byte values.
+        let data: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+        for len in 0..=24 {
+            assert_eq!(crc32(&data[..len]), bitwise(&data[..len]), "len {len}");
+        }
+        assert_eq!(crc32(&data), bitwise(&data));
     }
 
     #[test]
@@ -422,6 +651,130 @@ mod tests {
         let len = u32::from_le_bytes(event[0..4].try_into().unwrap()) as usize;
         let mut body = event[RECORD_HEADER_BYTES..RECORD_HEADER_BYTES + len].to_vec();
         body.push(0xAA);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        assert!(matches!(
+            DurableRecord::decode(&frame),
+            Err(Error::CorruptRecord(_))
+        ));
+    }
+
+    #[test]
+    fn incremental_batch_matches_the_record_encoding() {
+        // The begin/push/finish path must produce byte-identical frames to
+        // encoding a `DurableRecord::Batch` value, so replay cannot tell the
+        // two writers apart.
+        let events = vec![
+            Event::new(UserId::new(3), SimTime::from_secs(10), b"aaa".to_vec()),
+            Event::new(UserId::new(9), SimTime::from_secs(11), b"b".to_vec()),
+        ];
+        let mut incremental = vec![0xEE; 7]; // batch_begin must clear stale content
+        DurableRecord::batch_begin(&mut incremental);
+        for event in &events {
+            DurableRecord::batch_push(
+                &mut incremental,
+                event.author(),
+                event.timestamp(),
+                event.payload(),
+            )
+            .unwrap();
+        }
+        let frame_len = DurableRecord::batch_finish(&mut incremental, events.len() as u32).unwrap();
+        assert_eq!(frame_len, incremental.len());
+        let mut whole = Vec::new();
+        DurableRecord::Batch { events }
+            .encode_into(&mut whole)
+            .unwrap();
+        assert_eq!(incremental, whole);
+    }
+
+    #[test]
+    fn direct_event_encoding_matches_the_record_encoding() {
+        let (user, ts) = (UserId::new(5), SimTime::from_secs(77));
+        let payload = b"tweet-sized".to_vec();
+        let mut direct = Vec::new();
+        let n = DurableRecord::encode_event_into(&mut direct, user, ts, &payload).unwrap();
+        assert_eq!(n, direct.len());
+        let mut whole = Vec::new();
+        DurableRecord::Event {
+            user,
+            timestamp: ts,
+            payload,
+        }
+        .encode_into(&mut whole)
+        .unwrap();
+        assert_eq!(direct, whole);
+    }
+
+    #[test]
+    fn torn_batch_is_lost_as_a_unit() {
+        // Any truncation inside the batch frame loses *every* entry, even
+        // when the bytes of the first entries survived intact: the single
+        // checksum covers them all.
+        let mut buf = Vec::new();
+        DurableRecord::batch_begin(&mut buf);
+        for i in 0..4u32 {
+            DurableRecord::batch_push(
+                &mut buf,
+                UserId::new(i),
+                SimTime::from_secs(i as u64),
+                &[i as u8; 20],
+            )
+            .unwrap();
+        }
+        DurableRecord::batch_finish(&mut buf, 4).unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                DurableRecord::decode(&buf[..cut]).unwrap().is_none(),
+                "a batch truncated to {cut} bytes must decode as torn, not partially"
+            );
+        }
+        let (record, consumed) = DurableRecord::decode(&buf).unwrap().unwrap();
+        assert_eq!(consumed, buf.len());
+        let DurableRecord::Batch { events } = record else {
+            panic!("expected batch");
+        };
+        assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn batch_push_overflow_leaves_the_frame_intact() {
+        let mut buf = Vec::new();
+        DurableRecord::batch_begin(&mut buf);
+        DurableRecord::batch_push(&mut buf, UserId::new(1), SimTime::ZERO, b"ok").unwrap();
+        let before = buf.clone();
+        let err = DurableRecord::batch_push(
+            &mut buf,
+            UserId::new(2),
+            SimTime::ZERO,
+            &vec![0u8; MAX_RECORD_BYTES],
+        );
+        assert!(matches!(err, Err(Error::InvalidConfig(_))), "{err:?}");
+        assert_eq!(buf, before, "a rejected entry must not dirty the frame");
+        // The survivors still seal and decode.
+        DurableRecord::batch_finish(&mut buf, 1).unwrap();
+        assert!(DurableRecord::decode(&buf).unwrap().is_some());
+    }
+
+    #[test]
+    fn empty_batches_are_rejected_everywhere() {
+        let mut buf = Vec::new();
+        DurableRecord::batch_begin(&mut buf);
+        assert!(matches!(
+            DurableRecord::batch_finish(&mut buf, 0),
+            Err(Error::InvalidConfig(_))
+        ));
+        let mut whole = Vec::new();
+        assert!(matches!(
+            DurableRecord::Batch { events: Vec::new() }.encode_into(&mut whole),
+            Err(Error::InvalidConfig(_))
+        ));
+        assert!(whole.is_empty(), "rejected record must restore the buffer");
+        // A hand-built zero-count batch with a valid checksum is writer
+        // corruption, not a torn tail.
+        let body = [4u8, 0, 0, 0, 0];
         let mut frame = Vec::new();
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&body).to_le_bytes());

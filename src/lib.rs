@@ -71,11 +71,11 @@ pub mod prelude {
     pub use dynasore_sim::{
         generate_failure_schedule, DurableIoStats, DurableTier, FaultInjectionConfig, LatencyStats,
         MemoryUsage, Message, PlacementEngine, ReliabilityStats, SimReport, Simulation,
-        SimulationConfig,
+        SimulationConfig, TierReplay,
     };
     pub use dynasore_store::{
-        Cluster, ClusterChangeReport, LogConfig, LogStructuredStore, PersistentStore,
-        SimDurableTier, StoreConfig,
+        Cluster, ClusterChangeReport, GroupCommitConfig, LogConfig, LogStructuredStore,
+        PersistentStore, ShardedConfig, ShardedLogStore, SimDurableTier, StoreConfig,
     };
     pub use dynasore_topology::{Switch, Tier, Topology, TrafficAccount};
     pub use dynasore_types::{

@@ -229,6 +229,67 @@ fn simulated_outage_replays_real_bytes_with_a_file_backed_tier() {
     );
 }
 
+/// The same outage simulation over the *sharded* durable tier: recovery
+/// replays all shards, the report carries the parallel-recovery critical
+/// path (the slowest shard's bytes), and the whole thing stays
+/// byte-deterministic — the wall-clock flusher is forced off inside
+/// `SimDurableTier::open_sharded`, so batch boundaries depend only on the
+/// trace.
+#[test]
+fn simulated_outage_over_a_sharded_tier_reports_the_critical_path() {
+    let graph = graph();
+    let topology = topology();
+
+    let run = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!(
+            "dynasore-faults-sharded-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tier = SimDurableTier::open_sharded(
+            &dir,
+            ShardedConfig {
+                shards: 4,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        let engine = dynasore(&graph, &topology);
+        let trace = SyntheticTraceGenerator::paper_defaults(&graph, 1, SEED).unwrap();
+        let mut sim = Simulation::new(topology.clone(), engine, &graph)
+            .with_cluster_events(outage_schedule())
+            .with_durable_tier(Box::new(tier));
+        let report = sim.run(trace).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        report
+    };
+
+    let report = run("a");
+    let io = report.durable_io().expect("durable tier was attached");
+    assert_eq!(io.appends, report.write_count());
+    assert_eq!(io.tier_shards, 4);
+    assert!(io.replays >= 1, "the rack outage must trigger a replay");
+    assert!(io.bytes_replayed > 0, "recovery must read real bytes");
+    assert!(
+        io.critical_path_bytes > 0 && io.critical_path_bytes <= io.bytes_replayed,
+        "the critical path is the max shard, bounded by the total \
+         (critical {} vs total {})",
+        io.critical_path_bytes,
+        io.bytes_replayed
+    );
+    // With 600 users spread over 4 shards, no shard holds everything: the
+    // parallel replay bound is strictly better than the serial one.
+    assert!(
+        io.critical_path_bytes < io.bytes_replayed,
+        "4 shards must split the replay work"
+    );
+    assert_eq!(report.availability(), 1.0);
+
+    // Byte-deterministic, shards included.
+    let report_b = run("b");
+    assert_eq!(report, report_b);
+}
+
 /// Capacity doubling mid-run: schedule AddRack events inside a simulation
 /// and verify the run completes with the grown cluster accounted for.
 #[test]

@@ -11,7 +11,9 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use dynasore::store::{LogConfig, LogStructuredStore};
+use dynasore::store::{
+    GroupCommitConfig, LogConfig, LogStructuredStore, ShardedConfig, ShardedLogStore,
+};
 use dynasore::types::{Error, UserId};
 use proptest::prelude::*;
 
@@ -33,6 +35,7 @@ fn single_segment() -> LogConfig {
     LogConfig {
         segment_max_bytes: u64::MAX,
         sync_on_append: false,
+        group_commit: None,
     }
 }
 
@@ -156,6 +159,247 @@ proptest! {
     }
 }
 
+/// One huge segment per shard, group commit on, no wall-clock flusher —
+/// every on-disk boundary is driven (and recorded) by the test itself.
+fn sharded_single_segment(shards: usize) -> ShardedConfig {
+    ShardedConfig {
+        shards,
+        flush_interval: None,
+        log: LogConfig {
+            segment_max_bytes: u64::MAX,
+            sync_on_append: false,
+            group_commit: Some(GroupCommitConfig {
+                sync_on_commit: false,
+                ..GroupCommitConfig::default()
+            }),
+        },
+        ..ShardedConfig::default()
+    }
+}
+
+/// The single `.log` segment file of shard `i` under a sharded root.
+fn shard_segment(dir: &std::path::Path, i: usize) -> PathBuf {
+    std::fs::read_dir(dir.join(format!("shard-{i:04}")))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "log"))
+        .expect("shard segment file")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The sharded analogue of the crash proptest above, with group commit
+    /// in play: random writes/deletes fan out over 4 shards, each shard's
+    /// log is independently truncated at an arbitrary byte offset (four
+    /// independent crashes of one machine), and the reopened store must
+    /// equal the union of each shard's *acknowledged-and-committed* prefix.
+    /// Ops are grouped into batch frames (one frame per flush), so the
+    /// model is unit-at-a-time: a cut inside a frame loses that whole
+    /// frame's ops — group commit's all-or-nothing promise — and never any
+    /// earlier frame.
+    #[test]
+    fn sharded_crash_recovers_each_shards_committed_prefix(
+        raw_ops in proptest::collection::vec((0u32..100, 0u32..16), 1..100),
+        cut_permille in proptest::collection::vec(0u64..1_001, 4..5),
+    ) {
+        const SHARDS: usize = 4;
+        let dir = unique_dir("sharded-crash");
+        let store = ShardedLogStore::open(&dir, sharded_single_segment(SHARDS)).unwrap();
+
+        // Per shard: completed units (ops + the frame boundary that made
+        // them durable-on-truncation-safe) and the group still open.
+        let mut units: Vec<Vec<(Vec<Op>, u64)>> = vec![Vec::new(); SHARDS];
+        let mut open: Vec<Vec<Op>> = vec![Vec::new(); SHARDS];
+        let close = |store: &ShardedLogStore, s: usize, open: &mut Vec<Vec<Op>>,
+                         units: &mut Vec<Vec<(Vec<Op>, u64)>>| {
+            store.shard(s).flush().unwrap();
+            let group = std::mem::take(&mut open[s]);
+            if !group.is_empty() {
+                units[s].push((group, store.shard(s).bytes_on_disk()));
+            }
+        };
+        for (i, &(selector, user)) in raw_ops.iter().enumerate() {
+            let u = UserId::new(user);
+            let s = store.shard_index_of(u);
+            if selector < 75 {
+                let payload = vec![(i as u8) ^ (user as u8); (selector as usize % 24) + 1];
+                store.append_version(u, payload.clone()).unwrap();
+                open[s].push(Op::Append(user, payload));
+                // Close the frame now and then so frames carry 1..n ops.
+                if selector % 5 == 0 {
+                    close(&store, s, &mut open, &mut units);
+                }
+            } else {
+                // A delete commits the open batch before its tombstone, so
+                // give the batch its own unit first: the tombstone must be
+                // able to tear off alone, leaving the appends applied.
+                close(&store, s, &mut open, &mut units);
+                store.delete(u).unwrap();
+                open[s].push(Op::Delete(user));
+                close(&store, s, &mut open, &mut units);
+            }
+        }
+        for s in 0..SHARDS {
+            close(&store, s, &mut open, &mut units);
+        }
+        let totals: Vec<u64> = (0..SHARDS).map(|s| store.shard(s).bytes_on_disk()).collect();
+        drop(store);
+
+        // Four independent crashes: truncate every shard's segment.
+        let mut cuts = Vec::with_capacity(SHARDS);
+        for s in 0..SHARDS {
+            let segment = shard_segment(&dir, s);
+            prop_assert_eq!(std::fs::metadata(&segment).unwrap().len(), totals[s]);
+            let cut = totals[s] * cut_permille[s] / 1_000;
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&segment)
+                .unwrap()
+                .set_len(cut)
+                .unwrap();
+            cuts.push(cut);
+        }
+
+        // Model: per shard, exactly the units whose frame ends at or below
+        // the cut — all of a surviving frame, none of a torn one.
+        let recovered = ShardedLogStore::open(&dir, sharded_single_segment(SHARDS)).unwrap();
+        let mut model: BTreeMap<u32, Vec<Vec<u8>>> = BTreeMap::new();
+        let mut last_boundary = [0u64; SHARDS];
+        for s in 0..SHARDS {
+            for (group, boundary) in &units[s] {
+                if *boundary <= cuts[s] {
+                    for op in group {
+                        apply_to_model(&mut model, op);
+                    }
+                    last_boundary[s] = *boundary;
+                }
+            }
+        }
+        for user in 0u32..16 {
+            let view = recovered.fetch(UserId::new(user));
+            match model.get(&user) {
+                None => prop_assert!(view.is_empty(), "user {user} must be empty"),
+                Some(payloads) => {
+                    let got: Vec<&[u8]> = view.iter().map(|e| e.payload()).collect();
+                    let want: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+                    prop_assert_eq!(got, want, "user {}", user);
+                    prop_assert_eq!(view.version(), payloads.len() as u64);
+                }
+            }
+        }
+        prop_assert_eq!(recovered.user_count(), model.len());
+
+        // Per-shard replay accounting: each shard replayed exactly up to
+        // its last whole frame below its own cut.
+        let stats = recovered.recovery_stats();
+        for s in 0..SHARDS {
+            let (expected_replayed, expected_torn) = if cuts[s] < 8 {
+                (0, cuts[s])
+            } else {
+                let replayed = last_boundary[s].max(8);
+                (replayed, cuts[s] - replayed)
+            };
+            prop_assert_eq!(
+                stats.per_shard[s].bytes_replayed, expected_replayed,
+                "shard {} replayed bytes (cut {}/{})", s, cuts[s], totals[s]
+            );
+            prop_assert_eq!(
+                stats.per_shard[s].torn_bytes, expected_torn,
+                "shard {} torn bytes", s
+            );
+        }
+
+        // The repaired shards accept and serve new appends.
+        let u = UserId::new(3);
+        let before = recovered.fetch(u).len();
+        recovered.append_version(u, b"post-crash".to_vec()).unwrap();
+        prop_assert_eq!(recovered.fetch(u).len(), before + 1);
+
+        drop(recovered);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Group commit's two-sided contract, observed from outside: an append is
+/// *acknowledged* (visible to fetch) before it is durable, and the batch it
+/// rides in hits the disk as one frame — a crash loses the whole batch or
+/// none of it, never a slice.
+#[test]
+fn unflushed_batch_is_invisible_on_disk_and_a_torn_batch_is_lost_whole() {
+    let dir = unique_dir("batch-unit");
+    let config = LogConfig {
+        segment_max_bytes: u64::MAX,
+        sync_on_append: false,
+        group_commit: Some(GroupCommitConfig {
+            sync_on_commit: false,
+            ..GroupCommitConfig::default()
+        }),
+    };
+    let store = LogStructuredStore::open(&dir, config).unwrap();
+    let a = UserId::new(1);
+    let b = UserId::new(2);
+
+    // Batch 1: five appends to user A, committed.
+    for i in 0..5u8 {
+        store.append_version(a, vec![i; 10]).unwrap();
+    }
+    store.flush().unwrap();
+    let after_first = store.bytes_on_disk();
+
+    // Batch 2: three appends to user B, acknowledged but NOT committed.
+    for i in 0..3u8 {
+        store.append_version(b, vec![0x40 | i; 10]).unwrap();
+    }
+    assert_eq!(store.pending_records(), 3);
+    assert_eq!(store.fetch(b).len(), 3, "acks are visible immediately");
+
+    // On disk, the pending batch does not exist at all — a crash here
+    // loses all three acknowledged appends together, and nothing else.
+    let (disk_index, _) = LogStructuredStore::read_back(&dir).unwrap();
+    assert_eq!(disk_index.get(&a).map(|v| v.len()), Some(5));
+    assert!(!disk_index.contains_key(&b), "pending batch leaked to disk");
+
+    // Commit batch 2, then crash inside its frame: header, middle, last
+    // byte — wherever the tear lands, the whole batch vanishes and batch 1
+    // is untouched.
+    store.flush().unwrap();
+    let after_second = store.bytes_on_disk();
+    assert!(after_second > after_first);
+    drop(store);
+    let segment = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "log"))
+        .expect("segment file");
+    let backup = std::fs::read(&segment).unwrap();
+    for cut in [
+        after_first + 1,
+        (after_first + after_second) / 2,
+        after_second - 1,
+    ] {
+        std::fs::write(&segment, &backup).unwrap();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&segment)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+        let (index, stats) = LogStructuredStore::read_back(&dir).unwrap();
+        assert_eq!(
+            index.get(&a).map(|v| v.len()),
+            Some(5),
+            "cut {cut}: the committed batch must survive"
+        );
+        assert!(
+            !index.contains_key(&b),
+            "cut {cut}: a torn batch must be lost as a unit, not served partially"
+        );
+        assert_eq!(stats.bytes_replayed, after_first);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Deterministic multi-seed compaction check: content (index + values,
 /// versions included) is identical before and after compaction — and after
 /// a reopen that replays only the compacted segments — while total segment
@@ -167,6 +411,7 @@ fn compaction_is_content_identical_and_strictly_shrinks() {
         let config = LogConfig {
             segment_max_bytes: 512, // Exercise rotation and multi-segment compaction.
             sync_on_append: false,
+            group_commit: None,
         };
         let store = LogStructuredStore::open(&dir, config).unwrap();
         let users = 6u32;

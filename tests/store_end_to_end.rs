@@ -214,6 +214,143 @@ fn file_backed_cluster_survives_kill_and_restart_mid_traffic() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The sharded tier drops into `Cluster::spawn_with_store` unchanged: the
+/// same kill/restart choreography as the single-log test above, but with
+/// writes fanning out over 4 shards (group commit on, background flusher
+/// running). Availability stays 100% and restarted servers demand-fill from
+/// the sharded tier.
+#[test]
+fn sharded_cluster_survives_kill_and_restart_mid_traffic() {
+    let dir = temp_dir("sharded-kill-restart");
+    let graph = SocialGraph::generate(GraphPreset::TwitterLike, 300, 5).unwrap();
+    let topology = Topology::tree(2, 2, 4, 1).unwrap();
+    let store = Arc::new(
+        ShardedLogStore::open(
+            &dir,
+            ShardedConfig {
+                shards: 4,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    assert_eq!(store.shard_count(), 4);
+    let mut cluster = Cluster::spawn_with_store(
+        &graph,
+        topology,
+        StoreConfig {
+            extra_memory_percent: 50,
+            placement: InitialPlacement::Metis { seed: 5 },
+            seed: 5,
+        },
+        store.clone(),
+    )
+    .unwrap();
+
+    let author = graph
+        .users()
+        .find(|&u| !graph.followers(u).is_empty())
+        .unwrap();
+    let reader = graph.followers(author)[0];
+    // Spread traffic across every shard, not just the author's.
+    for i in 0..40u32 {
+        cluster
+            .write(UserId::new(i % 300), format!("spread {i}").into_bytes())
+            .unwrap();
+    }
+    cluster.write(author, b"pre-crash".to_vec()).unwrap();
+
+    cluster.read(reader, &[author]).unwrap(); // warm the routing
+    let mut latest_payload = b"pre-crash".to_vec();
+    for round in 0..3u32 {
+        let machine = cluster.topology().servers()[round as usize * 3].machine();
+        cluster
+            .apply_event(ClusterEvent::MachineDown { machine })
+            .unwrap();
+        let views = cluster.read(reader, &[author]).unwrap();
+        assert_eq!(views.len(), 1, "read failed during outage round {round}");
+        assert_eq!(
+            views[0].latest().unwrap().payload(),
+            latest_payload,
+            "stale or lost data during outage round {round}"
+        );
+        latest_payload = format!("during-outage {round}").into_bytes();
+        cluster.write(author, latest_payload.clone()).unwrap();
+        cluster
+            .apply_event(ClusterEvent::MachineUp { machine })
+            .unwrap();
+        let views = cluster.read(reader, &[author]).unwrap();
+        assert_eq!(
+            views[0].latest().unwrap().payload(),
+            latest_payload,
+            "restarted server served stale data"
+        );
+    }
+    // Sweep every user's view: the kills emptied three machines' caches,
+    // so some of these reads miss and demand-fill from the sharded tier.
+    for u in 0..300u32 {
+        let user = UserId::new(u);
+        cluster.read(user, &[user]).unwrap();
+    }
+    let feed = cluster.read_feed(reader).unwrap();
+    assert!(feed.iter().any(|e| e.payload() == b"during-outage 2"));
+    assert!(store.read_count() > 0, "demand-fills must hit the tier");
+    cluster.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `Cluster::shutdown` over the sharded tier: every acknowledged write —
+/// including those sitting in per-shard group-commit batches — is on disk
+/// afterwards, visible to a non-destructive `ShardedLogStore::read_back`.
+#[test]
+fn shutdown_flushes_every_shards_pending_batch() {
+    let dir = temp_dir("sharded-shutdown");
+    let graph = SocialGraph::generate(GraphPreset::TwitterLike, 200, 17).unwrap();
+    let topology = Topology::tree(2, 2, 4, 1).unwrap();
+    // No flusher and a fill trigger far above the write count: only the
+    // explicit flush+sync in shutdown can move these batches to disk.
+    let store = Arc::new(
+        ShardedLogStore::open(
+            &dir,
+            ShardedConfig {
+                shards: 4,
+                flush_interval: None,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let mut cluster =
+        Cluster::spawn_with_store(&graph, topology, StoreConfig::default(), store.clone()).unwrap();
+    let authors: Vec<UserId> = graph.users().take(12).collect();
+    for (i, &author) in authors.iter().enumerate() {
+        cluster
+            .write(author, format!("durable {i}").into_bytes())
+            .unwrap();
+    }
+    assert!(
+        store.pending_records() > 0,
+        "writes should be batched, not yet committed"
+    );
+    cluster.shutdown().unwrap();
+    assert_eq!(store.pending_records(), 0);
+
+    let (index, stats) = ShardedLogStore::read_back(&dir).unwrap();
+    for (i, &author) in authors.iter().enumerate() {
+        let view = index.get(&author).expect("author view on disk");
+        assert_eq!(
+            view.latest().map(|e| e.payload().to_vec()),
+            Some(format!("durable {i}").into_bytes()),
+            "acknowledged write for {author} lost across shutdown"
+        );
+    }
+    assert_eq!(index.len(), authors.len());
+    assert_eq!(stats.total.torn_bytes, 0);
+    assert_eq!(stats.per_shard.len(), 4);
+    drop(cluster);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Regression test for the shutdown fix: `Cluster::shutdown` must flush and
 /// sync the persistent tier before joining the server threads, so a reopen
 /// of the same directory — while the original store object is still alive
@@ -231,6 +368,7 @@ fn shutdown_makes_every_acknowledged_write_visible_to_a_reopen() {
             LogConfig {
                 segment_max_bytes: 4 << 20,
                 sync_on_append: false,
+                group_commit: None,
             },
         )
         .unwrap(),
