@@ -16,7 +16,7 @@ use rand::SeedableRng;
 use dynasore_graph::SocialGraph;
 use dynasore_topology::Topology;
 use dynasore_types::{
-    ClusterEvent, Error, MachineId, MemoryBudget, Result, SimTime, SubtreeId, UserId,
+    ClusterEvent, Error, MachineId, MemoryBudget, RackId, Result, SimTime, SubtreeId, UserId,
     VIEW_TRANSFER_PROTOCOL_MESSAGES,
 };
 use dynasore_types::{MemoryUsage, Message, PlacementEngine, TrafficSink};
@@ -348,7 +348,10 @@ impl SparEngine {
     fn bring_up(&mut self, machines: &[MachineId], out: &mut dyn TrafficSink) {
         let mut any = false;
         for &machine in machines {
-            if self.topology.contains(machine) && !self.topology.is_live(machine) {
+            if self.topology.contains(machine)
+                && !self.topology.is_live(machine)
+                && !self.topology.is_retired(machine)
+            {
                 self.topology
                     .set_live(machine, true)
                     .expect("machine exists");
@@ -400,6 +403,61 @@ impl SparEngine {
             self.servers[sidx].views.clear();
         }
         self.rehome_dead_proxies();
+    }
+
+    /// Decommissions a whole rack (elastic shrink): every machine of the
+    /// rack is marked dead up front, then each user's copies on the rack are
+    /// dropped (when other copies survive) or migrated machine-to-machine
+    /// (sole copies) — the same ladder as a drain, batched so nothing moves
+    /// from one dying machine to another. The rack is then retired for good.
+    fn retire_rack(&mut self, rack: RackId, out: &mut dyn TrafficSink) {
+        if self.topology.is_rack_retired(rack) || self.topology.active_rack_count() <= 1 {
+            return;
+        }
+        let machines = self
+            .topology
+            .machines_in_subtree(SubtreeId::Rack(rack.index()));
+        let mut dying: Vec<usize> = Vec::new();
+        for &machine in &machines {
+            let _ = self.topology.set_live(machine, false);
+            if let Some(sidx) = self.topology.server_ordinal(machine) {
+                dying.push(sidx);
+            }
+        }
+        if machines.is_empty() {
+            return;
+        }
+        // Users in id order so the migration message stream is deterministic.
+        for user in 0..self.replicas.len() {
+            if !self.replicas[user].iter().any(|i| dying.contains(i)) {
+                continue;
+            }
+            if self.replicas[user].iter().any(|i| !dying.contains(i)) {
+                // Copies survive elsewhere: drop the rack's copies.
+                self.replicas[user].retain(|i| !dying.contains(i));
+                if !self.replicas[user].contains(&self.primary[user]) {
+                    self.promote_primary(user);
+                }
+            } else if let Some(target) = self.least_loaded_live_server(None) {
+                // Every copy lives on the dying rack: migrate one off it.
+                let source = self.servers[self.replicas[user][0]].machine;
+                let target_machine = self.servers[target].machine;
+                self.servers[target].views.insert(UserId::new(user as u32));
+                self.replicas[user] = vec![target];
+                self.primary[user] = target;
+                self.proxies[user] = self.proxy_near(target);
+                for _ in 0..VIEW_TRANSFER_PROTOCOL_MESSAGES {
+                    out.record(Message::protocol(source, target_machine));
+                }
+            } else {
+                self.replicas[user].clear(); // No live capacity: lost.
+            }
+        }
+        for &sidx in &dying {
+            self.servers[sidx].views.clear();
+        }
+        self.rehome_dead_proxies();
+        let _ = self.topology.remove_rack(rack);
     }
 
     /// Mirrors a freshly added rack with empty SPAR servers.
@@ -516,6 +574,7 @@ impl PlacementEngine for SparEngine {
             }
             ClusterEvent::DrainMachine { machine } => self.drain(machine, out),
             ClusterEvent::AddRack => self.absorb_new_rack(),
+            ClusterEvent::RemoveRack { rack } => self.retire_rack(rack, out),
         }
     }
 

@@ -234,7 +234,10 @@ impl StaticPlacement {
     fn bring_up(&mut self, machines: &[MachineId], out: &mut dyn TrafficSink) {
         let mut any = false;
         for &machine in machines {
-            if self.topology.contains(machine) && !self.topology.is_live(machine) {
+            if self.topology.contains(machine)
+                && !self.topology.is_live(machine)
+                && !self.topology.is_retired(machine)
+            {
                 self.topology
                     .set_live(machine, true)
                     .expect("machine exists");
@@ -322,6 +325,19 @@ impl PlacementEngine for StaticPlacement {
                         .map(|s| s.machine())
                         .collect();
                 }
+            }
+            ClusterEvent::RemoveRack { rack } => {
+                // Elastic shrink: evacuate the rack like a batch drain
+                // (machine-to-machine transfers, no persistent refill), then
+                // retire it so nothing can revive its machines.
+                if self.topology.is_rack_retired(rack) || self.topology.active_rack_count() <= 1 {
+                    return;
+                }
+                let machines = self
+                    .topology
+                    .machines_in_subtree(SubtreeId::Rack(rack.index()));
+                self.take_down(&machines, false, out);
+                let _ = self.topology.remove_rack(rack);
             }
         }
     }

@@ -1,0 +1,320 @@
+//! **Scenario matrix** — the adversarial degradation scorecard: every
+//! placement engine crossed with every scripted scenario from
+//! [`dynasore_sim::scenario`], scored against its own quiet baseline.
+//!
+//! ```text
+//! cargo run --release -p dynasore-bench --bin scenario_matrix \
+//!     [-- --users N --seed N --days N --quick --out PATH \
+//!         --check-against PATH --tolerance F]
+//! ```
+//!
+//! Each cell of the matrix runs one freshly built engine through one
+//! [`ScenarioKind`] — hot-key flood, flash crowd with a downed neighbor
+//! rack, read/write-ratio inversion, regional multi-rack failure, and a
+//! decommission under load — over the [`NetworkModel::datacenter`] fabric
+//! with a file-backed durable tier attached, so the scorecard's recovery
+//! column measures real replayed bytes. The whole matrix is a pure
+//! function of `(users, seed, days)`: rerunning it reproduces the JSON
+//! artifact byte for byte.
+//!
+//! `--check-against PATH` turns the run into a regression guard: the
+//! process exits non-zero when any cell's availability drops more than
+//! `--tolerance` (default 0.05, absolute) below the committed snapshot.
+//! CI runs `--quick --check-against BENCH_scenarios_quick.json`.
+
+use dynasore_baselines::{SparEngine, StaticPlacement};
+use dynasore_core::{DynaSoReEngine, InitialPlacement};
+use dynasore_graph::{GraphPreset, SocialGraph};
+use dynasore_sim::{
+    DegradationReport, PlacementEngine, ScenarioConfig, ScenarioKind, ScenarioRunner,
+    SimulationConfig,
+};
+use dynasore_store::{LogConfig, SimDurableTier};
+use dynasore_topology::Topology;
+use dynasore_types::{MemoryBudget, NetworkModel};
+
+struct Options {
+    users: usize,
+    seed: u64,
+    days: u64,
+    quick: bool,
+    out: String,
+    check_against: Option<String>,
+    tolerance: f64,
+}
+
+impl Options {
+    fn from_args() -> Options {
+        let mut o = Options {
+            users: 2_000,
+            seed: 42,
+            days: 2,
+            quick: false,
+            out: "BENCH_scenarios.json".to_string(),
+            check_against: None,
+            tolerance: 0.05,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--users" if i + 1 < args.len() => {
+                    o.users = args[i + 1].parse().unwrap_or(o.users);
+                    i += 1;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    o.seed = args[i + 1].parse().unwrap_or(o.seed);
+                    i += 1;
+                }
+                "--days" if i + 1 < args.len() => {
+                    o.days = args[i + 1].parse().unwrap_or(o.days);
+                    i += 1;
+                }
+                "--out" if i + 1 < args.len() => {
+                    o.out = args[i + 1].clone();
+                    i += 1;
+                }
+                "--check-against" if i + 1 < args.len() => {
+                    o.check_against = Some(args[i + 1].clone());
+                    i += 1;
+                }
+                "--tolerance" if i + 1 < args.len() => {
+                    o.tolerance = args[i + 1].parse().unwrap_or(o.tolerance);
+                    i += 1;
+                }
+                "--quick" => o.quick = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        if o.quick {
+            o.users = o.users.min(600);
+            o.days = o.days.min(1);
+            if o.out == "BENCH_scenarios.json" {
+                o.out = "BENCH_scenarios_quick.json".to_string();
+            }
+        }
+        o
+    }
+}
+
+const ENGINES: [&str; 3] = ["dynasore", "spar", "static-random"];
+
+/// Builds a fresh engine by matrix row name — every cell starts from the
+/// same initial placement, so degradation is attributable to the scenario.
+fn build_engine(
+    name: &str,
+    graph: &SocialGraph,
+    topology: &Topology,
+    users: usize,
+    seed: u64,
+) -> Box<dyn PlacementEngine> {
+    let budget = MemoryBudget::with_extra_percent(users, 30);
+    match name {
+        "dynasore" => Box::new(
+            DynaSoReEngine::builder()
+                .topology(topology.clone())
+                .budget(budget)
+                .initial_placement(InitialPlacement::Random { seed })
+                .build(graph)
+                .expect("dynasore engine"),
+        ),
+        "spar" => Box::new(SparEngine::new(graph, topology, budget, seed).expect("spar engine")),
+        "static-random" => {
+            Box::new(StaticPlacement::random(graph, topology, seed).expect("static engine"))
+        }
+        other => panic!("unknown engine {other}"),
+    }
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let graph = SocialGraph::generate(GraphPreset::FacebookLike, opts.users, opts.seed)
+        .expect("graph generation");
+    // The scaled-down paper cluster: 9 racks, 1 broker + 3 servers each.
+    let topology = Topology::tree(3, 3, 4, 1).expect("tree topology");
+    let runner = ScenarioRunner::new(
+        ScenarioConfig {
+            seed: opts.seed,
+            days: opts.days,
+            // Four of nine racks: the regional outage exceeds the engines'
+            // 30% memory slack, so some lost masters cannot be re-created
+            // until the repair — the availability columns get real teeth.
+            regional_racks: 4,
+            ..ScenarioConfig::default()
+        },
+        SimulationConfig {
+            network: NetworkModel::datacenter(),
+            ..SimulationConfig::default()
+        },
+    );
+
+    // Per-run durable tiers live in a throwaway directory, removed on exit;
+    // the tier turns the recovery column into real replayed bytes.
+    let data_root = std::env::temp_dir().join(format!("dynasore-scenarios-{}", std::process::id()));
+
+    let mut cells: Vec<DegradationReport> = Vec::new();
+    eprintln!(
+        "# scenario_matrix: {} users, {} day(s), seed {} — {} engines x {} scenarios",
+        opts.users,
+        opts.days,
+        opts.seed,
+        ENGINES.len(),
+        ScenarioKind::ALL.len()
+    );
+    for engine_name in ENGINES {
+        let quiet = runner
+            .quiet_baseline(
+                topology.clone(),
+                &graph,
+                build_engine(engine_name, &graph, &topology, opts.users, opts.seed),
+            )
+            .expect("quiet baseline");
+        for kind in ScenarioKind::ALL {
+            let tier_dir = data_root.join(format!("{engine_name}-{}", kind.name()));
+            let tier =
+                SimDurableTier::open(&tier_dir, LogConfig::default()).expect("open durable tier");
+            let cell = runner
+                .run(
+                    kind,
+                    topology.clone(),
+                    &graph,
+                    build_engine(engine_name, &graph, &topology, opts.users, opts.seed),
+                    &quiet,
+                    Some(Box::new(tier)),
+                )
+                .expect("scenario run");
+            eprintln!(
+                "# {:>13} x {:<26} avail {:.4}  worst-window {:.4}  p99x {:>6.2}  \
+                 recovery {} msgs / {} bytes  steady {}s",
+                cell.engine,
+                cell.scenario,
+                cell.availability,
+                cell.worst_window_availability,
+                cell.p99_ratio,
+                cell.recovery_messages,
+                cell.recovery_bytes,
+                cell.time_to_steady_secs,
+            );
+            cells.push(cell);
+        }
+    }
+    if data_root.exists() {
+        std::fs::remove_dir_all(&data_root).expect("remove scenario durable tiers");
+    }
+
+    let scorecard = cells
+        .iter()
+        .map(|c| {
+            format!(
+                concat!(
+                    "    \"{engine}/{scenario}\": {{\n",
+                    "      \"availability\": {availability:.6},\n",
+                    "      \"worst_window_availability\": {worst:.6},\n",
+                    "      \"p99_ratio\": {p99:.4},\n",
+                    "      \"recovery_messages\": {recovery_messages},\n",
+                    "      \"recovery_bytes\": {recovery_bytes},\n",
+                    "      \"time_to_steady_secs\": {steady}\n",
+                    "    }}"
+                ),
+                engine = c.engine,
+                scenario = c.scenario,
+                availability = c.availability,
+                worst = c.worst_window_availability,
+                p99 = c.p99_ratio,
+                recovery_messages = c.recovery_messages,
+                recovery_bytes = c.recovery_bytes,
+                steady = c.time_to_steady_secs,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"scenario_matrix\",\n",
+            "  \"users\": {users},\n",
+            "  \"seed\": {seed},\n",
+            "  \"days\": {days},\n",
+            "  \"quick\": {quick},\n",
+            "  \"scorecard\": {{\n",
+            "{scorecard}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        users = opts.users,
+        seed = opts.seed,
+        days = opts.days,
+        quick = opts.quick,
+        scorecard = scorecard,
+    );
+    std::fs::write(&opts.out, &json).expect("write scorecard JSON");
+    eprintln!("# scenario_matrix: scorecard written to {}", opts.out);
+    print!("{json}");
+
+    if let Some(path) = &opts.check_against {
+        check_against_snapshot(path, &cells, opts.tolerance);
+    }
+}
+
+/// Extracts `"availability"` from the named `engine/scenario` section of a
+/// snapshot written by this binary. Hand-rolled scan, dependency-free; the
+/// output above prints `availability` first in each section, so the first
+/// match after the section key is the right field.
+fn snapshot_availability(json: &str, section: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{section}\""))?;
+    let rest = &json[start..];
+    let key = rest.find("\"availability\"")?;
+    let after = &rest[key + "\"availability\"".len()..];
+    let colon = after.find(':')?;
+    let value = after[colon + 1..]
+        .trim_start()
+        .split([',', '\n', '}'])
+        .next()?
+        .trim();
+    value.parse().ok()
+}
+
+/// The regression guard: fails the process when any cell's availability
+/// drops more than `tolerance` (absolute) below the committed snapshot.
+fn check_against_snapshot(path: &str, cells: &[DegradationReport], tolerance: f64) {
+    let snapshot = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(err) => {
+            eprintln!("# regression guard: cannot read snapshot {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    let mut failed = false;
+    let mut checked = 0usize;
+    for cell in cells {
+        let section = format!("{}/{}", cell.engine, cell.scenario);
+        let Some(snap) = snapshot_availability(&snapshot, &section) else {
+            eprintln!("# regression guard: snapshot {path} has no section {section}; skipping");
+            continue;
+        };
+        checked += 1;
+        let floor = snap - tolerance;
+        let verdict = if cell.availability < floor {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "# regression guard [{verdict}]: {section} availability {:.4} vs snapshot {snap:.4} \
+             (floor {floor:.4})",
+            cell.availability,
+        );
+    }
+    if checked == 0 {
+        eprintln!("# regression guard: snapshot {path} matched no scorecard cells");
+        std::process::exit(2);
+    }
+    if failed {
+        eprintln!(
+            "# regression guard: availability regressed more than {tolerance:.3} below {path}"
+        );
+        std::process::exit(1);
+    }
+}

@@ -9,8 +9,8 @@
 use dynasore_graph::SocialGraph;
 use dynasore_topology::Topology;
 use dynasore_types::{
-    BrokerId, ClusterEvent, Error, Latency, MachineId, MemoryBudget, Result, SimTime, SubtreeId,
-    UserId, VIEW_TRANSFER_PROTOCOL_MESSAGES,
+    BrokerId, ClusterEvent, Error, Latency, MachineId, MemoryBudget, RackId, Result, SimTime,
+    SubtreeId, UserId, VIEW_TRANSFER_PROTOCOL_MESSAGES,
 };
 use dynasore_types::{MemoryUsage, Message, PlacementEngine, TrafficSink};
 use dynasore_workload::GraphMutation;
@@ -1316,7 +1316,10 @@ impl DynaSoReEngine {
     fn bring_up(&mut self, machines: &[MachineId], out: &mut dyn TrafficSink) {
         let mut changed = false;
         for &machine in machines {
-            if !self.topology.contains(machine) || self.topology.is_live(machine) {
+            if !self.topology.contains(machine)
+                || self.topology.is_live(machine)
+                || self.topology.is_retired(machine)
+            {
                 continue;
             }
             self.topology
@@ -1358,6 +1361,24 @@ impl DynaSoReEngine {
         let Some(sidx) = self.topology.server_ordinal(machine) else {
             return;
         };
+        let mut cursor = self
+            .topology
+            .rack_of(machine)
+            .map(|r| (r.as_usize() + 1) % self.topology.rack_count())
+            .unwrap_or(0);
+        self.evacuate_server(sidx, &mut cursor, out);
+    }
+
+    /// Evacuates every view stored on server `sidx` (its machine is already
+    /// marked dead): redundant replicas are dropped, sole replicas migrate
+    /// machine-to-machine. A single cluster-wide least-loaded target would
+    /// absorb the whole machine and become the next hot spot, so sole
+    /// replicas are dealt round-robin across destination racks through
+    /// `rack_cursor` (least-loaded server *within* each rack), falling back
+    /// to the cluster-wide pick and then an ordinal eviction scan. Views
+    /// that fit nowhere fall back to the crash path. Clears the slab.
+    fn evacuate_server(&mut self, sidx: usize, rack_cursor: &mut usize, out: &mut dyn TrafficSink) {
+        let racks = self.topology.rack_count();
         let mut views = std::mem::take(&mut self.scratch.views);
         views.clear();
         views.extend(self.servers[sidx].views().map(|(view, _)| view));
@@ -1368,17 +1389,35 @@ impl DynaSoReEngine {
                 continue;
             }
             // Sole replica: it must land somewhere before the machine goes.
-            // Try the least-loaded live server first, then — a draining rack
-            // can outsize any single server's evictable stock — every live
-            // server in ordinal order until one can make room.
             let mut migrated = false;
-            if let Some(target) =
-                self.least_loaded_server_in(SubtreeId::Root, &self.users[view.as_usize()].replicas)
-            {
-                migrated = self.create_replica(view, sidx, target, out)
-                    && self.remove_replica(view, sidx, out);
+            for step in 0..racks {
+                let r = (*rack_cursor + step) % racks;
+                let Some(target) = self.least_loaded_server_in(
+                    SubtreeId::Rack(r as u32),
+                    &self.users[view.as_usize()].replicas,
+                ) else {
+                    continue;
+                };
+                if self.create_replica(view, sidx, target, out)
+                    && self.remove_replica(view, sidx, out)
+                {
+                    migrated = true;
+                    *rack_cursor = (r + 1) % racks;
+                    break;
+                }
             }
             if !migrated {
+                if let Some(target) = self
+                    .least_loaded_server_in(SubtreeId::Root, &self.users[view.as_usize()].replicas)
+                {
+                    migrated = self.create_replica(view, sidx, target, out)
+                        && self.remove_replica(view, sidx, out);
+                }
+            }
+            if !migrated {
+                // A draining rack can outsize any single server's evictable
+                // stock: walk every live server in ordinal order until one
+                // can make room.
                 for target in 0..self.servers.len() {
                     if target == sidx || !self.topology.is_live(self.servers[target].machine()) {
                         continue;
@@ -1400,9 +1439,48 @@ impl DynaSoReEngine {
         views.clear();
         self.scratch.views = views;
         // The machine is already dead (and thus absent from every candidate
-        // set since the rebuild above), so clearing its slab needs no cache
-        // update.
+        // set), so clearing its slab needs no cache update.
         self.servers[sidx].clear();
+    }
+
+    /// Decommissions a whole rack under load (elastic shrink): every machine
+    /// of the rack is marked dead up front — so no evacuated view shuffles
+    /// from one dying machine to another — proxies are re-homed, and each
+    /// server's views are evacuated with the drain ladder (rack-spread sole
+    /// replicas, no persistent-tier traffic in the happy path). The rack is
+    /// then retired in the topology, which makes the shrink irreversible.
+    fn retire_rack(&mut self, rack: RackId, out: &mut dyn TrafficSink) {
+        if rack.as_usize() >= self.topology.rack_count()
+            || self.topology.is_rack_retired(rack)
+            || self.topology.active_rack_count() <= 1
+        {
+            return;
+        }
+        let machines = self
+            .topology
+            .machines_in_subtree(SubtreeId::Rack(rack.index()));
+        for &machine in &machines {
+            let _ = self.topology.set_live(machine, false);
+        }
+        // Placement decisions below must already exclude the dying rack.
+        self.rebuild_load_cache();
+        self.refresh_threshold_cache();
+        for &machine in &machines {
+            if self.topology.is_broker(machine) {
+                self.reassign_proxies(machine, out);
+            }
+        }
+        let mut cursor = (rack.as_usize() + 1) % self.topology.rack_count();
+        for &machine in &machines {
+            // Machines already emptied by an earlier drain or crash hold no
+            // views; evacuating them is a no-op.
+            if let Some(sidx) = self.topology.server_ordinal(machine) {
+                self.evacuate_server(sidx, &mut cursor, out);
+            }
+        }
+        self.topology
+            .remove_rack(rack)
+            .expect("rack exists, is not retired, and is not the last one");
     }
 
     /// Absorbs a freshly added rack: mirrors the new topology servers with
@@ -1639,6 +1717,7 @@ impl PlacementEngine for DynaSoReEngine {
             }
             ClusterEvent::DrainMachine { machine } => self.drain_machine(machine, out),
             ClusterEvent::AddRack => self.absorb_new_rack(out),
+            ClusterEvent::RemoveRack { rack } => self.retire_rack(rack, out),
         }
     }
 
@@ -2276,6 +2355,89 @@ mod tests {
             assert!(!engine.replica_servers(user).contains(&victim));
         }
         assert_eq!(engine.recovered_views(), 0);
+    }
+
+    #[test]
+    fn drain_spreads_sole_replicas_across_destination_racks() {
+        let (mut engine, _graph, topology) = engine_with_extra(50);
+        let victim = engine.replica_servers(UserId::new(0))[0];
+        let sidx = topology.server_ordinal(victim).unwrap();
+        let on_victim: Vec<UserId> = engine.servers[sidx].views().map(|(v, _)| v).collect();
+        let sole: Vec<UserId> = on_victim
+            .into_iter()
+            .filter(|&v| engine.replica_count(v) == 1)
+            .collect();
+        assert!(sole.len() > 4, "victim must hold enough sole replicas");
+        let mut out = Vec::new();
+        engine.on_cluster_change(
+            ClusterEvent::DrainMachine { machine: victim },
+            SimTime::ZERO,
+            &mut out,
+        );
+        // The evacuated sole replicas land on several racks, not on one
+        // least-loaded dumping ground.
+        let mut dest_racks: Vec<_> = sole
+            .iter()
+            .map(|&v| {
+                let homes = engine.replica_servers(v);
+                assert_eq!(homes.len(), 1);
+                engine.topology().rack_of(homes[0]).unwrap()
+            })
+            .collect();
+        dest_racks.sort_unstable();
+        dest_racks.dedup();
+        assert!(
+            dest_racks.len() > 1,
+            "sole replicas all dumped on one rack: {dest_racks:?}"
+        );
+        // And no live server becomes a post-drain hot spot.
+        let loads: Vec<usize> = engine
+            .servers
+            .iter()
+            .filter(|s| engine.topology().is_live(s.machine()))
+            .map(ServerState::len)
+            .collect();
+        let max = *loads.iter().max().unwrap() as f64;
+        let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
+        assert!(
+            max <= 1.5 * mean + 1.0,
+            "post-drain hot spot: max load {max} vs mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn remove_rack_evacuates_and_retires_under_the_engine() {
+        let (mut engine, graph, _topology) = engine_with_extra(50);
+        let mut out = Vec::new();
+        let rack = dynasore_types::RackId::new(0);
+        engine.on_cluster_change(ClusterEvent::RemoveRack { rack }, SimTime::ZERO, &mut out);
+        assert!(engine.topology().is_rack_retired(rack));
+        assert!(
+            out.iter().all(|m| !m.involves_persistent()),
+            "elastic shrink must move state machine-to-machine"
+        );
+        assert_eq!(engine.recovered_views(), 0);
+        for user in graph.users() {
+            assert!(engine.replica_count(user) >= 1, "view of {user} lost");
+            for machine in engine.replica_servers(user) {
+                assert!(engine.topology().is_live(machine));
+                assert_ne!(engine.topology().rack_of(machine).unwrap(), rack);
+            }
+            let proxy = engine.read_proxy(user).unwrap().machine();
+            assert!(engine.topology().is_live(proxy));
+        }
+        // The retired rack never comes back, even through a RackUp.
+        out.clear();
+        engine.on_cluster_change(ClusterEvent::RackUp { rack }, SimTime::ZERO, &mut out);
+        assert!(!engine.topology().is_live(dynasore_types::MachineId::new(0)));
+        // Traffic keeps flowing on the shrunken cluster.
+        for i in 0..20u32 {
+            let user = UserId::new(i);
+            let targets: Vec<UserId> = graph.followees(user).to_vec();
+            engine.handle_read(user, &targets, SimTime::from_secs(i as u64), &mut out);
+            engine.handle_write(user, SimTime::from_secs(i as u64), &mut out);
+        }
+        assert_eq!(engine.unreachable_reads(), 0);
     }
 
     #[test]

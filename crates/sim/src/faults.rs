@@ -259,7 +259,9 @@ mod tests {
                         ups += 1;
                     }
                 }
-                ClusterEvent::DrainMachine { .. } | ClusterEvent::AddRack => {
+                ClusterEvent::DrainMachine { .. }
+                | ClusterEvent::AddRack
+                | ClusterEvent::RemoveRack { .. } => {
                     panic!("failure injection only produces outages and repairs");
                 }
             }

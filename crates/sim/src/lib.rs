@@ -79,6 +79,7 @@ mod durable;
 mod engine;
 pub mod faults;
 mod report;
+pub mod scenario;
 mod simulation;
 
 pub use durable::{DurableIoStats, DurableTier, TierReplay};
@@ -87,4 +88,7 @@ pub use engine::{
 };
 pub use faults::{generate_failure_schedule, FaultInjectionConfig};
 pub use report::{LatencyStats, ReliabilityStats, SimReport};
+pub use scenario::{
+    DegradationReport, ScenarioConfig, ScenarioKind, ScenarioRunner, ScenarioScript,
+};
 pub use simulation::{switch_counts, Simulation, SimulationConfig};

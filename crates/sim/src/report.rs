@@ -48,6 +48,14 @@ pub struct ReliabilityStats {
     /// Total read targets attempted, the denominator of
     /// [`SimReport::availability`].
     pub read_targets: u64,
+    /// Unserved read targets inside the worst sliding window of
+    /// [`crate::SimulationConfig::availability_window_ticks`] engine ticks —
+    /// the window that maximises the unserved fraction. Stored as raw
+    /// counts (with [`ReliabilityStats::worst_window_read_targets`]) so the
+    /// report stays integer-exact and byte-deterministic.
+    pub worst_window_unreachable: u64,
+    /// Read targets attempted inside that same worst window.
+    pub worst_window_read_targets: u64,
 }
 
 /// The measurements produced by one simulation run.
@@ -217,6 +225,19 @@ impl SimReport {
         1.0 - self.reliability.unreachable_reads as f64 / self.reliability.read_targets as f64
     }
 
+    /// Minimum availability over any sliding window of
+    /// [`crate::SimulationConfig::availability_window_ticks`] engine ticks —
+    /// the run-average [`SimReport::availability`] can hide a short total
+    /// blackout inside a long quiet run; this cannot. 1.0 when no window saw
+    /// read traffic.
+    pub fn worst_window_availability(&self) -> f64 {
+        if self.reliability.worst_window_read_targets == 0 {
+            return 1.0;
+        }
+        1.0 - self.reliability.worst_window_unreachable as f64
+            / self.reliability.worst_window_read_targets as f64
+    }
+
     /// Total traffic (application + protocol) through the top switch — the
     /// headline quantity of the paper.
     pub fn top_switch_total(&self) -> TrafficUnits {
@@ -294,6 +315,8 @@ mod tests {
                 recovery_messages: 40,
                 unreachable_reads: 2,
                 read_targets: 50,
+                worst_window_unreachable: 2,
+                worst_window_read_targets: 10,
             },
             LatencyStats::default(),
             None,
@@ -317,6 +340,8 @@ mod tests {
         assert_eq!(r.unreachable_reads(), 2);
         assert_eq!(r.reliability().read_targets, 50);
         assert!((r.availability() - 0.96).abs() < 1e-12);
+        // The worst window concentrates the same 2 misses over 10 targets.
+        assert!((r.worst_window_availability() - 0.80).abs() < 1e-12);
     }
 
     #[test]
@@ -350,6 +375,7 @@ mod tests {
         let mut r = report_with_top_units(1);
         r.reliability = ReliabilityStats::default();
         assert_eq!(r.availability(), 1.0);
+        assert_eq!(r.worst_window_availability(), 1.0);
         assert_eq!(r.recovery_messages(), 0);
     }
 

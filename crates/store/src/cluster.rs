@@ -344,8 +344,12 @@ impl Cluster {
         // Snapshot liveness before the event so revivals only touch machines
         // that were actually down: restarting a running server thread would
         // wipe its warm cache while the engine still counts it warm.
+        // Retired machines are excluded: a stale repair event for a
+        // decommissioned rack must not respawn its server threads.
         let previously_dead: Vec<MachineId> = match event {
-            ClusterEvent::MachineUp { machine } if !self.topology.is_live(machine) => {
+            ClusterEvent::MachineUp { machine }
+                if !self.topology.is_live(machine) && !self.topology.is_retired(machine) =>
+            {
                 vec![machine]
             }
             ClusterEvent::RackUp { rack } => {
@@ -353,7 +357,7 @@ impl Cluster {
                 topology
                     .machines_in_subtree(SubtreeId::Rack(rack.index()))
                     .into_iter()
-                    .filter(|&m| !topology.is_live(m))
+                    .filter(|&m| !topology.is_live(m) && !topology.is_retired(m))
                     .collect()
             }
             _ => Vec::new(),
@@ -376,6 +380,18 @@ impl Cluster {
                 }
             }
             ClusterEvent::RackDown { rack } => {
+                for machine in self
+                    .topology
+                    .machines_in_subtree(SubtreeId::Rack(rack.index()))
+                {
+                    self.stop_server_thread(machine);
+                }
+            }
+            ClusterEvent::RemoveRack { rack } => {
+                // Elastic shrink: the engine has already evacuated the
+                // rack's views, so its server threads retire for good —
+                // joined here, never respawned (the topology rejects
+                // revival of a retired rack).
                 for machine in self
                     .topology
                     .machines_in_subtree(SubtreeId::Rack(rack.index()))
@@ -730,6 +746,47 @@ mod tests {
         cluster.write(author, b"after resize".to_vec()).unwrap();
         let feed = cluster.read_feed(reader).unwrap();
         assert!(feed.iter().any(|e| e.payload() == b"after resize"));
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn remove_rack_retires_server_threads_and_keeps_serving() {
+        let (mut cluster, graph) = cluster();
+        let author = graph
+            .users()
+            .find(|&u| !graph.followers(u).is_empty())
+            .unwrap();
+        let reader = graph.followers(author)[0];
+        cluster.write(author, b"before shrink".to_vec()).unwrap();
+
+        // Decommission rack 0 while the store runs: the engine evacuates,
+        // the rack's server threads are joined for good.
+        let rack = dynasore_types::RackId::new(0);
+        let rack_machines = cluster.topology.machines_in_subtree(SubtreeId::Rack(0));
+        cluster
+            .apply_event(ClusterEvent::RemoveRack { rack })
+            .unwrap();
+        assert!(cluster.topology().is_rack_retired(rack));
+
+        // A stale repair event for the retired rack is a harmless no-op: no
+        // machine revives and no server thread respawns.
+        cluster.apply_event(ClusterEvent::RackUp { rack }).unwrap();
+        for machine in rack_machines {
+            assert!(!cluster.topology().is_live(machine));
+        }
+
+        // The acknowledged write survives the shrink and new writes land.
+        let views = cluster.read(reader, &[author]).unwrap();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].latest().unwrap().payload(), b"before shrink");
+        cluster.write(author, b"after shrink".to_vec()).unwrap();
+        let feed = cluster.read_feed(reader).unwrap();
+        assert!(feed.iter().any(|e| e.payload() == b"after shrink"));
+
+        // Removing an already-retired rack is rejected.
+        assert!(cluster
+            .apply_event(ClusterEvent::RemoveRack { rack })
+            .is_err());
         cluster.shutdown().unwrap();
     }
 

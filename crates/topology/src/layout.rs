@@ -240,6 +240,12 @@ pub struct Topology {
     /// even while machines are down. `None` when every broker of the rack is
     /// dead.
     rack_first_live_broker: Vec<Option<BrokerId>>,
+    /// rack → permanently decommissioned ([`Topology::remove_rack`]).
+    /// Retired racks keep their dense indices — machine ids, server
+    /// ordinals and table shapes never shift — but their machines are dead
+    /// forever: [`Topology::set_live`] refuses to revive them and
+    /// `RackUp`/`MachineUp` events targeting them are ignored.
+    retired_racks: Vec<bool>,
 }
 
 impl Topology {
@@ -318,6 +324,7 @@ impl Topology {
         let live = vec![true; machines.len()];
         let live_machines = machines.len();
         let rack_first_live_broker = tables.rack_first_broker.iter().copied().map(Some).collect();
+        let retired_racks = vec![false; rack_count];
         Ok(Topology {
             kind: TopologyKind::Tree,
             intermediate_count,
@@ -332,6 +339,7 @@ impl Topology {
             live,
             live_machines,
             rack_first_live_broker,
+            retired_racks,
         })
     }
 
@@ -362,6 +370,7 @@ impl Topology {
         let live = vec![true; machines.len()];
         let live_machines = machines.len();
         let rack_first_live_broker = tables.rack_first_broker.iter().copied().map(Some).collect();
+        let retired_racks = vec![false];
         Ok(Topology {
             kind: TopologyKind::Flat,
             intermediate_count: 1,
@@ -376,6 +385,7 @@ impl Topology {
             live,
             live_machines,
             rack_first_live_broker,
+            retired_racks,
         })
     }
 
@@ -988,9 +998,17 @@ impl Topology {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::UnknownMachine`] for out-of-range ids.
+    /// Returns [`Error::UnknownMachine`] for out-of-range ids and
+    /// [`Error::InvalidConfig`] when reviving a machine of a retired rack —
+    /// decommissioned capacity never comes back.
     pub fn set_live(&mut self, machine: MachineId, live: bool) -> Result<()> {
         let info = self.info(machine)?.clone();
+        if live && self.retired_racks[info.rack as usize] {
+            return Err(Error::invalid_config(format!(
+                "cannot revive {machine}: rack{} is retired",
+                info.rack
+            )));
+        }
         let entry = &mut self.live[machine.as_usize()];
         if *entry == live {
             return Ok(());
@@ -1015,6 +1033,30 @@ impl Topology {
     /// Number of machines currently live.
     pub fn live_machine_count(&self) -> usize {
         self.live_machines
+    }
+
+    /// Whether `rack` has been permanently decommissioned by
+    /// [`Topology::remove_rack`]. Unknown racks report `false`.
+    #[inline]
+    pub fn is_rack_retired(&self, rack: RackId) -> bool {
+        self.retired_racks
+            .get(rack.as_usize())
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Whether `machine` belongs to a retired rack (and therefore can never
+    /// come back). Unknown machines report `false`.
+    #[inline]
+    pub fn is_retired(&self, machine: MachineId) -> bool {
+        self.machines
+            .get(machine.as_usize())
+            .is_some_and(|info| self.retired_racks[info.rack as usize])
+    }
+
+    /// Number of racks still in service (total minus retired).
+    pub fn active_rack_count(&self) -> usize {
+        self.rack_count - self.retired_racks.iter().filter(|&&r| r).count()
     }
 
     /// The first *live* broker of `rack`, an O(1) lookup in the liveness
@@ -1095,6 +1137,7 @@ impl Topology {
             self.live.push(true);
             self.live_machines += 1;
         }
+        self.retired_racks.push(false);
         self.rack_count += 1;
         self.intermediate_count = self.rack_count.div_ceil(self.racks_per_intermediate);
         self.tables = RoutingTables::build(
@@ -1118,6 +1161,46 @@ impl Topology {
         Ok(RackId::new(rack))
     }
 
+    /// Permanently decommissions `rack` — the reverse of
+    /// [`Topology::add_rack`]. The rack keeps its dense index (machine ids,
+    /// server ordinals and routing-table shapes never shift); its machines
+    /// are marked dead and the rack is flagged retired so nothing can revive
+    /// them. Callers that hold state (placement engines, the live store)
+    /// evacuate the rack's views *before* applying this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] on a flat topology, for an unknown or
+    /// already-retired rack, and when `rack` is the last rack still in
+    /// service — a cluster cannot shrink to nothing.
+    pub fn remove_rack(&mut self, rack: RackId) -> Result<()> {
+        if self.kind != TopologyKind::Tree {
+            return Err(Error::invalid_config(
+                "only tree topologies can shrink by racks",
+            ));
+        }
+        if rack.as_usize() >= self.rack_count {
+            return Err(Error::invalid_config(format!(
+                "{rack} does not exist in this topology"
+            )));
+        }
+        if self.retired_racks[rack.as_usize()] {
+            return Err(Error::invalid_config(format!("{rack} is already retired")));
+        }
+        if self.active_rack_count() <= 1 {
+            return Err(Error::invalid_config(
+                "cannot remove the last rack in service",
+            ));
+        }
+        for i in 0..self.machines.len() {
+            if self.machines[i].rack == rack.index() {
+                self.set_live(MachineId::new(i as u32), false)?;
+            }
+        }
+        self.retired_racks[rack.as_usize()] = true;
+        Ok(())
+    }
+
     /// Applies a [`ClusterEvent`] to this topology's liveness mask and (for
     /// [`ClusterEvent::AddRack`]) its shape. Engines and drivers each own a
     /// topology clone; both apply the same event stream so their views stay
@@ -1134,13 +1217,23 @@ impl Topology {
             ClusterEvent::MachineDown { machine } | ClusterEvent::DrainMachine { machine } => {
                 self.set_live(machine, false)
             }
-            ClusterEvent::MachineUp { machine } => self.set_live(machine, true),
+            ClusterEvent::MachineUp { machine } => {
+                // Repairs scheduled before a decommission may still name a
+                // retired machine; they are stale, not errors.
+                if self.is_retired(machine) {
+                    return Ok(());
+                }
+                self.set_live(machine, true)
+            }
             ClusterEvent::RackDown { rack } | ClusterEvent::RackUp { rack } => {
                 let live = matches!(event, ClusterEvent::RackUp { .. });
                 if rack.as_usize() >= self.rack_count {
                     return Err(Error::invalid_config(format!(
                         "{rack} does not exist in this topology"
                     )));
+                }
+                if live && self.retired_racks[rack.as_usize()] {
+                    return Ok(());
                 }
                 for i in 0..self.machines.len() {
                     if self.machines[i].rack == rack.index() {
@@ -1150,6 +1243,7 @@ impl Topology {
                 Ok(())
             }
             ClusterEvent::AddRack => self.add_rack().map(|_| ()),
+            ClusterEvent::RemoveRack { rack } => self.remove_rack(rack),
         }
     }
 }
@@ -1491,6 +1585,55 @@ mod tests {
             .apply_cluster_event(ClusterEvent::RackDown {
                 rack: RackId::new(99)
             })
+            .is_err());
+    }
+
+    #[test]
+    fn remove_rack_retires_without_renumbering() {
+        let mut t = Topology::tree(2, 2, 3, 1).unwrap();
+        let servers_before: Vec<_> = t.servers().to_vec();
+        t.remove_rack(RackId::new(1)).unwrap();
+        assert!(t.is_rack_retired(RackId::new(1)));
+        assert!(!t.is_rack_retired(RackId::new(0)));
+        assert_eq!(t.active_rack_count(), 3);
+        // Dense shape is untouched: ids, ordinals and counts stay put.
+        assert_eq!(t.rack_count(), 4);
+        assert_eq!(t.machine_count(), 12);
+        assert_eq!(t.servers(), &servers_before[..]);
+        // All of rack 1's machines are dead and flagged retired.
+        assert!((3..6).all(|i| !t.is_live(m(i)) && t.is_retired(m(i))));
+        assert!(!t.is_retired(m(0)));
+        assert_eq!(t.live_machine_count(), 9);
+        assert_eq!(t.first_live_broker_in_rack(RackId::new(1)), None);
+        // Retired capacity never comes back.
+        assert!(t.set_live(m(4), true).is_err());
+        t.apply_cluster_event(ClusterEvent::MachineUp { machine: m(4) })
+            .unwrap();
+        t.apply_cluster_event(ClusterEvent::RackUp {
+            rack: RackId::new(1),
+        })
+        .unwrap();
+        assert!(!t.is_live(m(4)));
+        // Double removal and unknown racks are rejected.
+        assert!(t.remove_rack(RackId::new(1)).is_err());
+        assert!(t.remove_rack(RackId::new(99)).is_err());
+        // Growth after shrink appends a fresh rack with new ids.
+        let rack = t.add_rack().unwrap();
+        assert_eq!(rack, RackId::new(4));
+        assert!(!t.is_rack_retired(rack));
+        assert_eq!(t.active_rack_count(), 4);
+    }
+
+    #[test]
+    fn remove_rack_rejects_the_last_rack_in_service() {
+        let mut t = Topology::tree(1, 2, 3, 1).unwrap();
+        t.remove_rack(RackId::new(0)).unwrap();
+        let err = t.remove_rack(RackId::new(1)).unwrap_err();
+        assert!(err.to_string().contains("last rack"));
+        // Flat topologies cannot shrink at all.
+        assert!(Topology::flat(3)
+            .unwrap()
+            .remove_rack(RackId::new(0))
             .is_err());
     }
 

@@ -51,6 +51,17 @@ pub enum ClusterEvent {
     /// A new rack of machines (same shape as the existing racks) is added to
     /// the cluster, growing its capacity while it serves traffic.
     AddRack,
+    /// A rack is permanently decommissioned while the cluster serves
+    /// traffic (elastic shrink, the reverse of [`AddRack`](Self::AddRack)).
+    /// Engines evacuate every replica and master stored on the rack to the
+    /// surviving machines *before* the rack disappears — the same graceful
+    /// ladder as [`DrainMachine`](Self::DrainMachine) — and the rack can
+    /// never rejoin: a retired rack ignores
+    /// [`RackUp`](Self::RackUp)/[`MachineUp`](Self::MachineUp).
+    RemoveRack {
+        /// The rack being decommissioned.
+        rack: RackId,
+    },
 }
 
 impl std::fmt::Display for ClusterEvent {
@@ -62,6 +73,7 @@ impl std::fmt::Display for ClusterEvent {
             ClusterEvent::RackUp { rack } => write!(f, "rack-up {rack}"),
             ClusterEvent::DrainMachine { machine } => write!(f, "drain {machine}"),
             ClusterEvent::AddRack => write!(f, "add-rack"),
+            ClusterEvent::RemoveRack { rack } => write!(f, "remove-rack {rack}"),
         }
     }
 }
@@ -397,6 +409,10 @@ mod tests {
             "drain m4"
         );
         assert_eq!(ClusterEvent::AddRack.to_string(), "add-rack");
+        assert_eq!(
+            ClusterEvent::RemoveRack { rack: r }.to_string(),
+            "remove-rack rack2"
+        );
         let timed = TimedClusterEvent {
             time: SimTime::from_secs(5),
             event: ClusterEvent::AddRack,

@@ -69,9 +69,10 @@ pub mod prelude {
     pub use dynasore_graph::{GraphPreset, SocialGraph};
     pub use dynasore_partition::{Partitioner, Partitioning, TreeShape};
     pub use dynasore_sim::{
-        generate_failure_schedule, DurableIoStats, DurableTier, FaultInjectionConfig, LatencyStats,
-        MemoryUsage, Message, PlacementEngine, ReliabilityStats, SimReport, Simulation,
-        SimulationConfig, TierReplay,
+        generate_failure_schedule, DegradationReport, DurableIoStats, DurableTier,
+        FaultInjectionConfig, LatencyStats, MemoryUsage, Message, PlacementEngine,
+        ReliabilityStats, ScenarioConfig, ScenarioKind, ScenarioRunner, ScenarioScript, SimReport,
+        Simulation, SimulationConfig, TierReplay,
     };
     pub use dynasore_store::{
         Cluster, ClusterChangeReport, GroupCommitConfig, LogConfig, LogStructuredStore,
