@@ -7,8 +7,16 @@
 //!
 //! ```text
 //! cargo run --release -p dynasore-bench --bin hotpath_throughput \
-//!     [-- --users N --seed N --iters N --out PATH --quick]
+//!     [-- --users N --seed N --iters N --out PATH --quick \
+//!         --trace-out PATH --metrics-out PATH]
 //! ```
+//!
+//! `--trace-out PATH` / `--metrics-out PATH` attach a flight-recorder
+//! observer to the durable phase's sharded store and dump its event
+//! timeline (JSONL) and metrics registry (Prometheus text exposition):
+//! group-commit fills, segment rotations and the background flusher's
+//! fsyncs with their lag-in-bytes. Without the flags the stores run the
+//! unobserved code.
 //!
 //! `--quick` shrinks the graph and iteration counts so the binary doubles as
 //! a CI smoke test; the JSON is written either way (default:
@@ -41,7 +49,7 @@ use std::time::Instant;
 
 use dynasore_core::{DynaSoReEngine, InitialPlacement};
 use dynasore_graph::{GraphPreset, SocialGraph};
-use dynasore_store::{LogConfig, LogStructuredStore, ShardedConfig, ShardedLogStore};
+use dynasore_store::{LogConfig, LogStructuredStore, ShardedConfig, ShardedLogStore, StoreObs};
 use dynasore_topology::{Topology, TrafficAccount};
 use dynasore_types::{
     MemoryBudget, Message, NetworkModel, PlacementEngine, SimTime, TrafficSink, UserId, HOUR_SECS,
@@ -70,6 +78,8 @@ struct Options {
     check_against: Option<String>,
     tolerance: f64,
     data_dir: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 impl Options {
@@ -83,6 +93,8 @@ impl Options {
             check_against: None,
             tolerance: 0.30,
             data_dir: None,
+            trace_out: None,
+            metrics_out: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -114,6 +126,14 @@ impl Options {
                 }
                 "--data-dir" if i + 1 < args.len() => {
                     o.data_dir = Some(args[i + 1].clone());
+                    i += 1;
+                }
+                "--trace-out" if i + 1 < args.len() => {
+                    o.trace_out = Some(args[i + 1].clone());
+                    i += 1;
+                }
+                "--metrics-out" if i + 1 < args.len() => {
+                    o.metrics_out = Some(args[i + 1].clone());
                     i += 1;
                 }
                 "--quick" => o.quick = true,
@@ -287,7 +307,12 @@ fn main() {
     let durable_shards = sharded_config.shards;
     let payload_at = |k: u64| vec![(k as u8) ^ 0x5A; DURABLE_EVENT_BYTES];
     let sharded_dir = data_dir.join("sharded");
-    let store = ShardedLogStore::open(&sharded_dir, sharded_config).expect("open sharded store");
+    let obs = (opts.trace_out.is_some() || opts.metrics_out.is_some()).then(StoreObs::default);
+    let store = match &obs {
+        Some(obs) => ShardedLogStore::open_observed(&sharded_dir, sharded_config, obs.clone())
+            .expect("open sharded store"),
+        None => ShardedLogStore::open(&sharded_dir, sharded_config).expect("open sharded store"),
+    };
     let durable_start = Instant::now();
     for k in 0..durable_iters {
         store
@@ -298,6 +323,16 @@ fn main() {
     let durable_secs = durable_start.elapsed().as_secs_f64();
     let durable_bytes = store.bytes_on_disk();
     drop(store);
+    if let Some(obs) = &obs {
+        if let Some(path) = &opts.trace_out {
+            std::fs::write(path, obs.to_jsonl()).expect("write trace JSONL");
+            eprintln!("# hotpath_throughput: durable-phase trace written to {path}");
+        }
+        if let Some(path) = &opts.metrics_out {
+            std::fs::write(path, obs.render_prometheus()).expect("write metrics exposition");
+            eprintln!("# hotpath_throughput: durable-phase metrics written to {path}");
+        }
+    }
 
     // The pre-sharding durability baseline: one shard, one fsync per
     // append. At ~4k appends/s this phase is time-boxed by a small

@@ -45,6 +45,13 @@
 //! tier's concurrent reopen, whose wall-clock is the largest shard's replay,
 //! reported as `max_shard_bytes`), with per-shard byte counts alongside.
 //!
+//! `--trace-out PATH` / `--metrics-out PATH` attach a
+//! [`StoreObs`](dynasore_store::StoreObs) to the measured stores and dump
+//! the flight-recorder timeline (JSON Lines: group-commit fills, segment
+//! rotations, replay completions stamped with monotonic nanoseconds) and
+//! the metrics registry (Prometheus text format). Observation is passive:
+//! the JSON report is unchanged by either flag.
+//!
 //! [`ShardedLogStore`]: dynasore_store::ShardedLogStore
 
 use std::path::PathBuf;
@@ -52,10 +59,11 @@ use std::time::Instant;
 
 use dynasore_core::{DynaSoReEngine, InitialPlacement};
 use dynasore_graph::{GraphPreset, SocialGraph};
+use dynasore_store::StoreObs;
 use dynasore_topology::Topology;
 use dynasore_types::{
-    ClusterEvent, MemoryBudget, Message, NetworkModel, PlacementEngine, RackId, SimTime, UserId,
-    DAY_SECS, PROTOCOL_MESSAGE_UNITS,
+    ClusterEvent, MemoryBudget, Message, NetworkModel, PlacementEngine, RackId, SimTime,
+    TraceEventKind, UserId, DAY_SECS, PROTOCOL_MESSAGE_UNITS,
 };
 
 struct Options {
@@ -64,6 +72,8 @@ struct Options {
     quick: bool,
     data_dir: Option<PathBuf>,
     shards: usize,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 impl Options {
@@ -74,6 +84,8 @@ impl Options {
             quick: false,
             data_dir: None,
             shards: 1,
+            trace_out: None,
+            metrics_out: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -93,6 +105,14 @@ impl Options {
                 }
                 "--shards" if i + 1 < args.len() => {
                     o.shards = args[i + 1].parse().unwrap_or(o.shards).max(1);
+                    i += 1;
+                }
+                "--trace-out" if i + 1 < args.len() => {
+                    o.trace_out = Some(PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
+                "--metrics-out" if i + 1 < args.len() => {
+                    o.metrics_out = Some(PathBuf::from(&args[i + 1]));
                     i += 1;
                 }
                 "--quick" => o.quick = true,
@@ -124,7 +144,11 @@ struct MeasuredRecovery {
 /// before returning. Because the bench deletes the directory when done, it
 /// refuses to run in one that already has contents: only files this run
 /// created are ever removed.
-fn measure_file_backed_recovery(dir: &PathBuf, users: usize) -> MeasuredRecovery {
+fn measure_file_backed_recovery(
+    dir: &PathBuf,
+    users: usize,
+    obs: Option<&StoreObs>,
+) -> MeasuredRecovery {
     // Event size shared with the simulator's durable tier (tweet-sized, as
     // the paper assumes), so the bench and `Simulation::with_durable_tier`
     // measure the same bytes-per-write calibration.
@@ -145,6 +169,9 @@ fn measure_file_backed_recovery(dir: &PathBuf, users: usize) -> MeasuredRecovery
 
     let result = (|| -> dynasore_types::Result<MeasuredRecovery> {
         let store = LogStructuredStore::open(dir, LogConfig::default())?;
+        if let Some(obs) = obs {
+            store.set_observer(obs.clone());
+        }
         for u in 0..users as u32 {
             for k in 0..EVENTS_PER_USER {
                 store.append(UserId::new(u), vec![(u as u8) ^ (k as u8); SIM_EVENT_BYTES])?;
@@ -160,6 +187,12 @@ fn measure_file_backed_recovery(dir: &PathBuf, users: usize) -> MeasuredRecovery
         let replay_secs = start.elapsed().as_secs_f64();
         let stats = recovered.recovery_stats();
         let views = recovered.user_count();
+        if let Some(obs) = obs {
+            obs.trace(TraceEventKind::ReplayCompleted {
+                bytes: stats.bytes_replayed,
+                shards: 1,
+            });
+        }
         Ok(MeasuredRecovery {
             views,
             events: stats.records_replayed,
@@ -194,7 +227,12 @@ struct MeasuredShardedRecovery {
 /// a sharded store under `dir`, syncs, then times recovery twice: a serial
 /// shard-by-shard `read_back`, and the tier's own parallel reopen. The
 /// directory is removed before returning.
-fn measure_sharded_recovery(dir: &PathBuf, users: usize, shards: usize) -> MeasuredShardedRecovery {
+fn measure_sharded_recovery(
+    dir: &PathBuf,
+    users: usize,
+    shards: usize,
+    obs: Option<&StoreObs>,
+) -> MeasuredShardedRecovery {
     use dynasore_store::{LogStructuredStore, ShardedConfig, ShardedLogStore, SIM_EVENT_BYTES};
 
     const EVENTS_PER_USER: u64 = 2;
@@ -215,7 +253,10 @@ fn measure_sharded_recovery(dir: &PathBuf, users: usize, shards: usize) -> Measu
             flush_interval: None,
             ..ShardedConfig::default()
         };
-        let store = ShardedLogStore::open(dir, config)?;
+        let store = match obs {
+            Some(obs) => ShardedLogStore::open_observed(dir, config, obs.clone())?,
+            None => ShardedLogStore::open(dir, config)?,
+        };
         for u in 0..users as u32 {
             for k in 0..EVENTS_PER_USER {
                 store
@@ -240,6 +281,12 @@ fn measure_sharded_recovery(dir: &PathBuf, users: usize, shards: usize) -> Measu
         let recovered = ShardedLogStore::open(dir, config)?;
         let parallel_replay_secs = parallel_start.elapsed().as_secs_f64();
         let stats = recovered.recovery_stats();
+        if let Some(obs) = obs {
+            obs.trace(TraceEventKind::ReplayCompleted {
+                bytes: stats.total.bytes_replayed,
+                shards: shards as u32,
+            });
+        }
         Ok(MeasuredShardedRecovery {
             shards,
             log_bytes,
@@ -388,14 +435,20 @@ fn main() {
     let data_dir = opts.data_dir.clone().unwrap_or_else(|| {
         std::env::temp_dir().join(format!("dynasore-recovery-{}", std::process::id()))
     });
-    let measured = measure_file_backed_recovery(&data_dir, opts.users);
+    let obs = (opts.trace_out.is_some() || opts.metrics_out.is_some()).then(StoreObs::default);
+    let measured = measure_file_backed_recovery(&data_dir, opts.users, obs.as_ref());
 
     // With `--shards N`, repeat the measurement over the sharded tier and
     // report parallel (max-shard) replay next to the serial bound.
     let measured_sharded = (opts.shards > 1).then(|| {
         let mut sharded_dir = data_dir.clone().into_os_string();
         sharded_dir.push("-sharded");
-        measure_sharded_recovery(&PathBuf::from(sharded_dir), opts.users, opts.shards)
+        measure_sharded_recovery(
+            &PathBuf::from(sharded_dir),
+            opts.users,
+            opts.shards,
+            obs.as_ref(),
+        )
     });
 
     // Wall-clock estimates: the paper workload reads at 4 reads per user per
@@ -539,6 +592,23 @@ fn main() {
             m.parallel_replay_secs,
             m.max_shard_bytes,
         );
+    }
+    if let Some(obs) = &obs {
+        if let Some(path) = &opts.trace_out {
+            std::fs::write(path, obs.to_jsonl()).expect("write trace timeline");
+            eprintln!(
+                "# recovery_convergence: wrote {} trace events to {}",
+                obs.event_count(),
+                path.display()
+            );
+        }
+        if let Some(path) = &opts.metrics_out {
+            std::fs::write(path, obs.render_prometheus()).expect("write metrics");
+            eprintln!(
+                "# recovery_convergence: wrote metrics to {}",
+                path.display()
+            );
+        }
     }
     print!("{json}");
 }

@@ -5,7 +5,8 @@
 //! ```text
 //! cargo run --release -p dynasore-bench --bin scenario_matrix \
 //!     [-- --users N --seed N --days N --quick --out PATH \
-//!         --check-against PATH --tolerance F]
+//!         --check-against PATH --tolerance F \
+//!         --trace-out DIR --metrics-out PATH]
 //! ```
 //!
 //! Each cell of the matrix runs one freshly built engine through one
@@ -21,17 +22,23 @@
 //! process exits non-zero when any cell's availability drops more than
 //! `--tolerance` (default 0.05, absolute) below the committed snapshot.
 //! CI runs `--quick --check-against BENCH_scenarios_quick.json`.
+//!
+//! `--trace-out DIR` attaches a flight recorder to every cell and dumps
+//! each cell's event timeline to `DIR/<engine>-<scenario>.jsonl`;
+//! `--metrics-out PATH` merges every cell's metrics registry and writes
+//! one Prometheus text exposition. Observation is passive: the scorecard
+//! (and the `--out` artifact) is byte-identical with or without the flags.
 
 use dynasore_baselines::{SparEngine, StaticPlacement};
 use dynasore_core::{DynaSoReEngine, InitialPlacement};
 use dynasore_graph::{GraphPreset, SocialGraph};
 use dynasore_sim::{
-    DegradationReport, PlacementEngine, ScenarioConfig, ScenarioKind, ScenarioRunner,
+    DegradationReport, PlacementEngine, ScenarioConfig, ScenarioKind, ScenarioRunner, SimObs,
     SimulationConfig,
 };
-use dynasore_store::{LogConfig, SimDurableTier};
+use dynasore_store::{LogConfig, ShardedConfig, SimDurableTier};
 use dynasore_topology::Topology;
-use dynasore_types::{MemoryBudget, NetworkModel};
+use dynasore_types::{MemoryBudget, MetricsRegistry, NetworkModel};
 
 struct Options {
     users: usize,
@@ -41,6 +48,8 @@ struct Options {
     out: String,
     check_against: Option<String>,
     tolerance: f64,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 impl Options {
@@ -53,6 +62,8 @@ impl Options {
             out: "BENCH_scenarios.json".to_string(),
             check_against: None,
             tolerance: 0.05,
+            trace_out: None,
+            metrics_out: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -80,6 +91,14 @@ impl Options {
                 }
                 "--tolerance" if i + 1 < args.len() => {
                     o.tolerance = args[i + 1].parse().unwrap_or(o.tolerance);
+                    i += 1;
+                }
+                "--trace-out" if i + 1 < args.len() => {
+                    o.trace_out = Some(args[i + 1].clone());
+                    i += 1;
+                }
+                "--metrics-out" if i + 1 < args.len() => {
+                    o.metrics_out = Some(args[i + 1].clone());
                     i += 1;
                 }
                 "--quick" => o.quick = true,
@@ -153,6 +172,11 @@ fn main() {
     // the tier turns the recovery column into real replayed bytes.
     let data_root = std::env::temp_dir().join(format!("dynasore-scenarios-{}", std::process::id()));
 
+    let observing = opts.trace_out.is_some() || opts.metrics_out.is_some();
+    if let Some(dir) = &opts.trace_out {
+        std::fs::create_dir_all(dir).expect("create trace-out directory");
+    }
+    let mut merged_metrics = MetricsRegistry::new();
     let mut cells: Vec<DegradationReport> = Vec::new();
     eprintln!(
         "# scenario_matrix: {} users, {} day(s), seed {} — {} engines x {} scenarios",
@@ -172,25 +196,58 @@ fn main() {
             .expect("quiet baseline");
         for kind in ScenarioKind::ALL {
             let tier_dir = data_root.join(format!("{engine_name}-{}", kind.name()));
-            let tier =
-                SimDurableTier::open(&tier_dir, LogConfig::default()).expect("open durable tier");
-            let cell = runner
-                .run(
-                    kind,
-                    topology.clone(),
-                    &graph,
-                    build_engine(engine_name, &graph, &topology, opts.users, opts.seed),
-                    &quiet,
-                    Some(Box::new(tier)),
-                )
-                .expect("scenario run");
+            // Sharded tier (flush interval forced off inside open_sharded
+            // for determinism) so the observer's per-tick samples include
+            // per-shard durable lag, not one aggregate number.
+            let tier = SimDurableTier::open_sharded(
+                &tier_dir,
+                ShardedConfig {
+                    shards: 4,
+                    log: LogConfig::default(),
+                    ..ShardedConfig::default()
+                },
+            )
+            .expect("open durable tier");
+            let engine = build_engine(engine_name, &graph, &topology, opts.users, opts.seed);
+            let cell = if observing {
+                let (cell, obs) = runner
+                    .run_observed(
+                        kind,
+                        topology.clone(),
+                        &graph,
+                        engine,
+                        &quiet,
+                        Some(Box::new(tier)),
+                        SimObs::default(),
+                    )
+                    .expect("scenario run");
+                if let Some(dir) = &opts.trace_out {
+                    let path = format!("{dir}/{engine_name}-{}.jsonl", kind.name());
+                    std::fs::write(&path, obs.to_jsonl()).expect("write trace JSONL");
+                }
+                merged_metrics.merge(obs.registry());
+                cell
+            } else {
+                runner
+                    .run(
+                        kind,
+                        topology.clone(),
+                        &graph,
+                        engine,
+                        &quiet,
+                        Some(Box::new(tier)),
+                    )
+                    .expect("scenario run")
+            };
             eprintln!(
-                "# {:>13} x {:<26} avail {:.4}  worst-window {:.4}  p99x {:>6.2}  \
-                 recovery {} msgs / {} bytes  steady {}s",
+                "# {:>13} x {:<26} avail {:.4}  worst-window {:.4}  \
+                 p99 {}ns (quiet {}ns, x{:.2})  recovery {} msgs / {} bytes  steady {}s",
                 cell.engine,
                 cell.scenario,
                 cell.availability,
                 cell.worst_window_availability,
+                cell.read_p99.as_nanos(),
+                cell.quiet_read_p99.as_nanos(),
                 cell.p99_ratio,
                 cell.recovery_messages,
                 cell.recovery_bytes,
@@ -198,6 +255,10 @@ fn main() {
             );
             cells.push(cell);
         }
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, merged_metrics.render_prometheus()).expect("write metrics exposition");
+        eprintln!("# scenario_matrix: merged metrics written to {path}");
     }
     if data_root.exists() {
         std::fs::remove_dir_all(&data_root).expect("remove scenario durable tiers");
@@ -214,7 +275,9 @@ fn main() {
                     "      \"p99_ratio\": {p99:.4},\n",
                     "      \"recovery_messages\": {recovery_messages},\n",
                     "      \"recovery_bytes\": {recovery_bytes},\n",
-                    "      \"time_to_steady_secs\": {steady}\n",
+                    "      \"time_to_steady_secs\": {steady},\n",
+                    "      \"read_p99_ns\": {read_p99_ns},\n",
+                    "      \"quiet_read_p99_ns\": {quiet_read_p99_ns}\n",
                     "    }}"
                 ),
                 engine = c.engine,
@@ -225,6 +288,8 @@ fn main() {
                 recovery_messages = c.recovery_messages,
                 recovery_bytes = c.recovery_bytes,
                 steady = c.time_to_steady_secs,
+                read_p99_ns = c.read_p99.as_nanos(),
+                quiet_read_p99_ns = c.quiet_read_p99.as_nanos(),
             )
         })
         .collect::<Vec<_>>()

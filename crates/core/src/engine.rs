@@ -12,7 +12,9 @@ use dynasore_types::{
     BrokerId, ClusterEvent, Error, Latency, MachineId, MemoryBudget, RackId, Result, SimTime,
     SubtreeId, UserId, VIEW_TRANSFER_PROTOCOL_MESSAGES,
 };
-use dynasore_types::{MemoryUsage, Message, PlacementEngine, TrafficSink};
+use dynasore_types::{
+    MemoryUsage, Message, PlacementEngine, ReplicaChangeReason, TraceEventKind, TrafficSink,
+};
 use dynasore_workload::GraphMutation;
 
 use crate::config::{DynaSoReConfig, InitialPlacement};
@@ -887,7 +889,13 @@ impl DynaSoReEngine {
         }
         match self.eviction_victim(target) {
             Some(view) => {
-                self.remove_replica(view, target, out);
+                if self.remove_replica(view, target, out) {
+                    out.trace(TraceEventKind::ReplicaDropped {
+                        user: view,
+                        server: self.servers[target].machine(),
+                        reason: ReplicaChangeReason::Eviction,
+                    });
+                }
                 !self.servers[target].is_full()
             }
             None => false,
@@ -1054,6 +1062,11 @@ impl DynaSoReEngine {
         };
         if let Some(target) = new_replica {
             if self.create_replica(view, sidx, target, out) {
+                out.trace(TraceEventKind::ReplicaCreated {
+                    user: view,
+                    server: self.servers[target].machine(),
+                    reason: ReplicaChangeReason::Placement,
+                });
                 return;
             }
             // The chosen server had no space it could free: fall through to
@@ -1111,14 +1124,27 @@ impl DynaSoReEngine {
         match decision {
             // This replica costs more than it saves: drop it.
             Decision::Drop => {
-                self.remove_replica(view, sidx, out);
+                if self.remove_replica(view, sidx, out) {
+                    out.trace(TraceEventKind::ReplicaDropped {
+                        user: view,
+                        server: server_machine,
+                        reason: ReplicaChangeReason::Placement,
+                    });
+                }
             }
             // Migrate: create the replica at the better position, then
             // remove the local copy (the view keeps at least one replica
             // because the new one was just created).
             Decision::Migrate(target) => {
-                if self.create_replica(view, sidx, target, out) {
-                    self.remove_replica(view, sidx, out);
+                if self.create_replica(view, sidx, target, out)
+                    && self.remove_replica(view, sidx, out)
+                {
+                    out.trace(TraceEventKind::ReplicaMoved {
+                        user: view,
+                        from: server_machine,
+                        to: self.servers[target].machine(),
+                        reason: ReplicaChangeReason::Placement,
+                    });
                 }
             }
             Decision::Keep => {}
@@ -1255,6 +1281,11 @@ impl DynaSoReEngine {
         self.users[view.as_usize()].replicas.push(target);
         self.update_load_cache(target, old_len);
         self.recovered_views += 1;
+        out.trace(TraceEventKind::ReplicaCreated {
+            user: view,
+            server: target_machine,
+            reason: ReplicaChangeReason::Recovery,
+        });
         true
     }
 
@@ -1304,6 +1335,7 @@ impl DynaSoReEngine {
         // before recovery picks targets.
         self.rebuild_load_cache();
         self.refresh_threshold_cache();
+        out.trace(TraceEventKind::CacheRebuilt);
         lost.sort_unstable();
         for view in lost {
             self.recover_view(view, out);
@@ -1332,6 +1364,7 @@ impl DynaSoReEngine {
         }
         self.rebuild_load_cache();
         self.refresh_threshold_cache();
+        out.trace(TraceEventKind::CacheRebuilt);
         for uidx in 0..self.users.len() {
             if self.users[uidx].replicas.is_empty() {
                 self.recover_view(UserId::new(uidx as u32), out);
@@ -1355,6 +1388,7 @@ impl DynaSoReEngine {
         // Exclude the draining machine from every placement decision first.
         self.rebuild_load_cache();
         self.refresh_threshold_cache();
+        out.trace(TraceEventKind::CacheRebuilt);
         if self.topology.is_broker(machine) {
             self.reassign_proxies(machine, out);
         }
@@ -1379,17 +1413,24 @@ impl DynaSoReEngine {
     /// that fit nowhere fall back to the crash path. Clears the slab.
     fn evacuate_server(&mut self, sidx: usize, rack_cursor: &mut usize, out: &mut dyn TrafficSink) {
         let racks = self.topology.rack_count();
+        let evac_machine = self.servers[sidx].machine();
         let mut views = std::mem::take(&mut self.scratch.views);
         views.clear();
         views.extend(self.servers[sidx].views().map(|(view, _)| view));
         views.sort_unstable();
         for &view in &views {
             if self.users[view.as_usize()].replicas.len() > 1 {
-                self.remove_replica(view, sidx, out);
+                if self.remove_replica(view, sidx, out) {
+                    out.trace(TraceEventKind::ReplicaDropped {
+                        user: view,
+                        server: evac_machine,
+                        reason: ReplicaChangeReason::Evacuation,
+                    });
+                }
                 continue;
             }
             // Sole replica: it must land somewhere before the machine goes.
-            let mut migrated = false;
+            let mut migrated_to: Option<usize> = None;
             for step in 0..racks {
                 let r = (*rack_cursor + step) % racks;
                 let Some(target) = self.least_loaded_server_in(
@@ -1401,20 +1442,23 @@ impl DynaSoReEngine {
                 if self.create_replica(view, sidx, target, out)
                     && self.remove_replica(view, sidx, out)
                 {
-                    migrated = true;
+                    migrated_to = Some(target);
                     *rack_cursor = (r + 1) % racks;
                     break;
                 }
             }
-            if !migrated {
+            if migrated_to.is_none() {
                 if let Some(target) = self
                     .least_loaded_server_in(SubtreeId::Root, &self.users[view.as_usize()].replicas)
                 {
-                    migrated = self.create_replica(view, sidx, target, out)
-                        && self.remove_replica(view, sidx, out);
+                    if self.create_replica(view, sidx, target, out)
+                        && self.remove_replica(view, sidx, out)
+                    {
+                        migrated_to = Some(target);
+                    }
                 }
             }
-            if !migrated {
+            if migrated_to.is_none() {
                 // A draining rack can outsize any single server's evictable
                 // stock: walk every live server in ordinal order until one
                 // can make room.
@@ -1423,17 +1467,32 @@ impl DynaSoReEngine {
                         continue;
                     }
                     if self.create_replica(view, sidx, target, out) {
-                        migrated = self.remove_replica(view, sidx, out);
+                        if self.remove_replica(view, sidx, out) {
+                            migrated_to = Some(target);
+                        }
                         break;
                     }
                 }
             }
-            if !migrated {
-                // Genuinely no live capacity anywhere: lose the replica as a
-                // crash would (a later MachineUp/RackUp recovers it from the
-                // persistent tier).
-                self.servers[sidx].remove(view);
-                self.users[view.as_usize()].replicas.retain(|&i| i != sidx);
+            match migrated_to {
+                Some(target) => out.trace(TraceEventKind::ReplicaMoved {
+                    user: view,
+                    from: evac_machine,
+                    to: self.servers[target].machine(),
+                    reason: ReplicaChangeReason::Evacuation,
+                }),
+                None => {
+                    // Genuinely no live capacity anywhere: lose the replica
+                    // as a crash would (a later MachineUp/RackUp recovers it
+                    // from the persistent tier).
+                    self.servers[sidx].remove(view);
+                    self.users[view.as_usize()].replicas.retain(|&i| i != sidx);
+                    out.trace(TraceEventKind::ReplicaDropped {
+                        user: view,
+                        server: evac_machine,
+                        reason: ReplicaChangeReason::Evacuation,
+                    });
+                }
             }
         }
         views.clear();
@@ -1465,6 +1524,7 @@ impl DynaSoReEngine {
         // Placement decisions below must already exclude the dying rack.
         self.rebuild_load_cache();
         self.refresh_threshold_cache();
+        out.trace(TraceEventKind::CacheRebuilt);
         for &machine in &machines {
             if self.topology.is_broker(machine) {
                 self.reassign_proxies(machine, out);
@@ -1517,6 +1577,7 @@ impl DynaSoReEngine {
             .resize(self.topology.intermediate_count(), CandidateSet::default());
         self.rebuild_load_cache();
         self.refresh_threshold_cache();
+        out.trace(TraceEventKind::CacheRebuilt);
         // Routing-table propagation: the new rack's broker introduces itself
         // to every existing broker.
         if let Some(new_broker) = self.topology.first_broker_in_rack(rack) {
@@ -1545,7 +1606,13 @@ impl DynaSoReEngine {
         }
         negative.sort_unstable();
         for &view in &negative {
-            self.remove_replica(view, sidx, out);
+            if self.remove_replica(view, sidx, out) {
+                out.trace(TraceEventKind::ReplicaDropped {
+                    user: view,
+                    server: self.servers[sidx].machine(),
+                    reason: ReplicaChangeReason::Eviction,
+                });
+            }
         }
         negative.clear();
         self.scratch.views = negative;
@@ -1563,6 +1630,11 @@ impl DynaSoReEngine {
                     if !self.remove_replica(view, sidx, out) {
                         break;
                     }
+                    out.trace(TraceEventKind::ReplicaDropped {
+                        user: view,
+                        server: self.servers[sidx].machine(),
+                        reason: ReplicaChangeReason::Eviction,
+                    });
                 }
                 None => break,
             }
@@ -1700,6 +1772,7 @@ impl PlacementEngine for DynaSoReEngine {
         _time: SimTime,
         out: &mut dyn TrafficSink,
     ) {
+        out.trace(TraceEventKind::ClusterChange { event });
         match event {
             ClusterEvent::MachineDown { machine } => self.take_down(&[machine], out),
             ClusterEvent::MachineUp { machine } => self.bring_up(&[machine], out),

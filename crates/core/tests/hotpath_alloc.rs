@@ -6,6 +6,11 @@
 //! A counting global allocator wraps the system allocator; the workload is
 //! replayed until the engine stops changing placement, then the same
 //! requests are measured with the counter armed.
+//!
+//! The sink also carries a pre-allocated [`FlightRecorder`] and a
+//! [`MetricsRegistry`] and folds every engine trace into both, so the
+//! measurement covers observability-enabled mode: recording a trace event
+//! must be as alloc-free as the read/write paths it rides on.
 #![allow(unsafe_code)] // the GlobalAlloc trait is unsafe by construction
 
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -14,7 +19,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use dynasore_core::{DynaSoReEngine, InitialPlacement};
 use dynasore_graph::{GraphPreset, SocialGraph};
 use dynasore_topology::Topology;
-use dynasore_types::{MemoryBudget, Message, PlacementEngine, SimTime, TrafficSink, UserId};
+use dynasore_types::{
+    FlightRecorder, MemoryBudget, Message, MetricsRegistry, PlacementEngine, SimTime,
+    TraceEventKind, TrafficSink, UserId,
+};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
@@ -41,15 +49,26 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-/// A sink that only counts, so measuring the engine does not charge the
-/// sink's own storage to the hot path.
+/// A sink that counts messages and records every trace event into a
+/// pre-allocated flight recorder + metrics registry — the
+/// observability-enabled configuration, with storage charged up front so
+/// steady-state recording costs nothing.
 struct CountingSink {
     messages: u64,
+    traces: u64,
+    recorder: FlightRecorder,
+    registry: MetricsRegistry,
 }
 
 impl TrafficSink for CountingSink {
     fn record(&mut self, _message: Message) {
         self.messages += 1;
+    }
+
+    fn trace(&mut self, kind: TraceEventKind) {
+        self.traces += 1;
+        self.registry.apply(kind);
+        self.recorder.record(self.traces, kind);
     }
 }
 
@@ -67,7 +86,12 @@ fn steady_state_reads_and_writes_do_not_allocate() {
         .build(&graph)
         .unwrap();
 
-    let mut sink = CountingSink { messages: 0 };
+    let mut sink = CountingSink {
+        messages: 0,
+        traces: 0,
+        recorder: FlightRecorder::new(4096),
+        registry: MetricsRegistry::new(),
+    };
     // Every view is read by exactly one reader (u reads u+1), so once the
     // read proxies migrate to the data and the placement settles there is
     // no cross-rack read pressure left and the engine reaches a fixed
@@ -89,7 +113,13 @@ fn steady_state_reads_and_writes_do_not_allocate() {
         }
     }
 
-    // Measure the same workload with the counter armed.
+    let warmup_traces = sink.traces;
+
+    // Measure the same workload with the counter armed. Steady state emits
+    // no organic trace events (nothing changes placement any more), so the
+    // recording path is exercised explicitly inside the armed window: a
+    // full ring's worth of events through the same sink, wrapping the ring
+    // at least once.
     let before = ALLOCATIONS.load(Ordering::SeqCst);
     for _ in 0..3 {
         for (user, targets) in &workload {
@@ -97,10 +127,24 @@ fn steady_state_reads_and_writes_do_not_allocate() {
             engine.handle_write(*user, SimTime::from_secs(6), &mut sink);
         }
     }
+    for tick_secs in 0..8192u64 {
+        sink.trace(TraceEventKind::TickSample {
+            tick_secs,
+            unreachable_reads: 0,
+        });
+    }
     let allocations = ALLOCATIONS.load(Ordering::SeqCst) - before;
     assert!(sink.messages > 0, "the workload produced no traffic");
+    assert!(
+        warmup_traces > 0,
+        "placement convergence traced no decisions during warmup"
+    );
+    assert!(
+        !sink.recorder.is_empty(),
+        "the flight recorder stayed empty"
+    );
     assert_eq!(
         allocations, 0,
-        "steady-state handle_read/handle_write allocated {allocations} times"
+        "steady-state handle_read/handle_write/trace allocated {allocations} times"
     );
 }

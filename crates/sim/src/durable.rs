@@ -38,6 +38,15 @@ pub trait DurableTier: std::fmt::Debug {
     ///
     /// I/O errors from the underlying store.
     fn replay(&mut self) -> Result<TierReplay>;
+
+    /// Copies the current per-shard flusher lag — bytes appended but not
+    /// yet made durable — into `out` (cleared first, one entry per shard).
+    /// Sampled by the simulator's observability tick so a timeline can show
+    /// which shard's flusher was falling behind. The default reports no
+    /// shards, which keeps existing tiers compiling and lag-free.
+    fn shard_lags(&self, out: &mut Vec<u64>) {
+        out.clear();
+    }
 }
 
 /// What one [`DurableTier::replay`] measured. For a sharded tier the shards

@@ -78,6 +78,7 @@
 mod durable;
 mod engine;
 pub mod faults;
+mod obs;
 mod report;
 pub mod scenario;
 mod simulation;
@@ -87,6 +88,7 @@ pub use engine::{
     ClusterEvent, MemoryUsage, Message, PlacementEngine, TimedClusterEvent, TrafficSink,
 };
 pub use faults::{generate_failure_schedule, FaultInjectionConfig};
+pub use obs::{SimObs, DEFAULT_RECORDER_CAPACITY};
 pub use report::{LatencyStats, ReliabilityStats, SimReport};
 pub use scenario::{
     DegradationReport, ScenarioConfig, ScenarioKind, ScenarioRunner, ScenarioScript,

@@ -34,6 +34,7 @@ use dynasore_workload::{
 use crate::durable::DurableTier;
 use crate::engine::PlacementEngine;
 use crate::faults::{generate_failure_schedule, FaultInjectionConfig};
+use crate::obs::SimObs;
 use crate::report::SimReport;
 use crate::simulation::{Simulation, SimulationConfig};
 
@@ -288,6 +289,49 @@ impl ScenarioRunner {
         quiet: &SimReport,
         durable: Option<Box<dyn DurableTier>>,
     ) -> Result<DegradationReport> {
+        let (report, _) = self.run_inner(kind, topology, graph, engine, quiet, durable, None)?;
+        Ok(report)
+    }
+
+    /// [`run`](ScenarioRunner::run) with a flight-recorder observer
+    /// attached: the returned [`SimObs`] holds the scenario's decision
+    /// timeline and metrics registry alongside the scorecard. Observation
+    /// is passive — the [`DegradationReport`] is byte-identical to an
+    /// unobserved run of the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](ScenarioRunner::run).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_observed<E: PlacementEngine>(
+        &self,
+        kind: ScenarioKind,
+        topology: Topology,
+        graph: &SocialGraph,
+        engine: E,
+        quiet: &SimReport,
+        durable: Option<Box<dyn DurableTier>>,
+        obs: SimObs,
+    ) -> Result<(DegradationReport, SimObs)> {
+        let (report, obs) =
+            self.run_inner(kind, topology, graph, engine, quiet, durable, Some(obs))?;
+        Ok((
+            report,
+            obs.expect("observer round-trips through the simulation"),
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_inner<E: PlacementEngine>(
+        &self,
+        kind: ScenarioKind,
+        topology: Topology,
+        graph: &SocialGraph,
+        engine: E,
+        quiet: &SimReport,
+        durable: Option<Box<dyn DurableTier>>,
+        obs: Option<SimObs>,
+    ) -> Result<(DegradationReport, Option<SimObs>)> {
         let script = kind.script(graph, &topology, &self.scenario)?;
         let mut sim = Simulation::new(topology, engine, graph)
             .with_config(self.simulation)
@@ -295,6 +339,9 @@ impl ScenarioRunner {
             .with_cluster_events(script.events);
         if let Some(tier) = durable {
             sim = sim.with_durable_tier(tier);
+        }
+        if let Some(obs) = obs {
+            sim = sim.with_observer(obs);
         }
         // Track when the engine last accrued an unreachable read: the probe
         // fires every tick, so the resolution of time-to-steady-state is
@@ -316,19 +363,24 @@ impl ScenarioRunner {
         };
         let read_p99 = report.read_latency_p99();
         let quiet_read_p99 = quiet.read_latency_p99();
-        Ok(DegradationReport {
-            scenario: script.name,
-            engine: report.engine_name().to_string(),
-            availability: report.availability(),
-            worst_window_availability: report.worst_window_availability(),
-            read_p99,
-            quiet_read_p99,
-            p99_ratio: (read_p99.as_nanos() + 1) as f64 / (quiet_read_p99.as_nanos() + 1) as f64,
-            recovery_messages: report.recovery_messages(),
-            recovery_bytes: report.durable_io().map(|io| io.bytes_replayed).unwrap_or(0),
-            time_to_steady_secs,
-            report,
-        })
+        let obs = sim.take_observer();
+        Ok((
+            DegradationReport {
+                scenario: script.name,
+                engine: report.engine_name().to_string(),
+                availability: report.availability(),
+                worst_window_availability: report.worst_window_availability(),
+                read_p99,
+                quiet_read_p99,
+                p99_ratio: (read_p99.as_nanos() + 1) as f64
+                    / (quiet_read_p99.as_nanos() + 1) as f64,
+                recovery_messages: report.recovery_messages(),
+                recovery_bytes: report.durable_io().map(|io| io.bytes_replayed).unwrap_or(0),
+                time_to_steady_secs,
+                report,
+            },
+            obs,
+        ))
     }
 }
 

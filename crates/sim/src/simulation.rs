@@ -4,12 +4,13 @@ use dynasore_graph::SocialGraph;
 use dynasore_topology::{Switch, Topology, TopologyKind, TrafficAccount};
 use dynasore_types::{
     Latency, LatencyHistogram, MachineId, MessageClass, NetworkModel, Result, SimTime, SubtreeId,
-    TimedClusterEvent, TrafficSink, HOUR_SECS,
+    TimedClusterEvent, TraceEventKind, TrafficSink, HOUR_SECS, NANOS_PER_SEC,
 };
 use dynasore_workload::{GraphMutation, Request, TimedMutation};
 
 use crate::durable::{DurableIoStats, DurableTier};
 use crate::engine::{Message, PlacementEngine};
+use crate::obs::SimObs;
 use crate::report::{LatencyStats, ReliabilityStats, SimReport};
 
 /// A [`TrafficSink`] that charges every message to the switches on its path
@@ -35,6 +36,10 @@ struct AccountingSink<'a> {
     proto_messages: &'a mut u64,
     recovery_messages: &'a mut u64,
     request_latency: Latency,
+    /// Optional flight recorder for the engine's `trace` events. `None` —
+    /// the default — makes `trace` a no-op, so unobserved runs do exactly
+    /// what they did before observability existed.
+    obs: Option<&'a mut SimObs>,
 }
 
 impl TrafficSink for AccountingSink<'_> {
@@ -72,6 +77,12 @@ impl TrafficSink for AccountingSink<'_> {
             },
         };
         self.traffic.queued_delay(switch, self.time)
+    }
+
+    fn trace(&mut self, event: TraceEventKind) {
+        if let Some(obs) = self.obs.as_mut() {
+            obs.trace(self.time.as_secs().saturating_mul(NANOS_PER_SEC), event);
+        }
     }
 }
 
@@ -122,6 +133,7 @@ pub struct Simulation<E> {
     cluster_events: Vec<TimedClusterEvent>,
     config: SimulationConfig,
     durable: Option<Box<dyn DurableTier>>,
+    obs: Option<SimObs>,
 }
 
 impl<E: PlacementEngine> Simulation<E> {
@@ -136,6 +148,7 @@ impl<E: PlacementEngine> Simulation<E> {
             cluster_events: Vec::new(),
             config: SimulationConfig::default(),
             durable: None,
+            obs: None,
         }
     }
 
@@ -183,6 +196,30 @@ impl<E: PlacementEngine> Simulation<E> {
     pub fn with_durable_tier(mut self, tier: Box<dyn DurableTier>) -> Self {
         self.durable = Some(tier);
         self
+    }
+
+    /// Attaches a flight-recorder observer. The run records engine trace
+    /// events (replica lifecycle, cluster changes) stamped with simulated
+    /// time plus a per-tick sampling pass (availability, switch-queue
+    /// gauges, per-shard durable lag, collapse onset) into the observer,
+    /// retrievable afterwards with [`Simulation::take_observer`].
+    ///
+    /// Observation is a write-only side channel: an observed run produces a
+    /// [`SimReport`] equal to an unobserved one, and without this call the
+    /// simulation takes the structurally identical pre-observability path.
+    pub fn with_observer(mut self, obs: SimObs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&SimObs> {
+        self.obs.as_ref()
+    }
+
+    /// Detaches and returns the observer (with everything recorded so far).
+    pub fn take_observer(&mut self) -> Option<SimObs> {
+        self.obs.take()
     }
 
     /// The engine being driven.
@@ -309,6 +346,7 @@ impl<E: PlacementEngine> Simulation<E> {
                         proto_messages: &mut proto_messages,
                         recovery_messages: &mut recovery_messages,
                         request_latency: Latency::ZERO,
+                        obs: self.obs.as_mut(),
                     };
                     self.engine.on_graph_change(m.mutation, m.time, &mut sink);
                     mutation_idx += 1;
@@ -324,6 +362,7 @@ impl<E: PlacementEngine> Simulation<E> {
                         proto_messages: &mut proto_messages,
                         recovery_messages: &mut recovery_messages,
                         request_latency: Latency::ZERO,
+                        obs: self.obs.as_mut(),
                     };
                     self.engine.on_cluster_change(e.event, e.time, &mut sink);
                     // The engine fetched lost views from the persistent
@@ -337,6 +376,15 @@ impl<E: PlacementEngine> Simulation<E> {
                             durable_io.critical_path_bytes += replay.max_shard_bytes;
                             durable_io.tier_shards = replay.shards;
                             durable_io.replays += 1;
+                            if let Some(obs) = self.obs.as_mut() {
+                                obs.trace(
+                                    e.time.as_secs().saturating_mul(NANOS_PER_SEC),
+                                    TraceEventKind::ReplayCompleted {
+                                        bytes: replay.bytes_replayed,
+                                        shards: replay.shards as u32,
+                                    },
+                                );
+                            }
                         }
                     }
                     event_idx += 1;
@@ -354,8 +402,21 @@ impl<E: PlacementEngine> Simulation<E> {
                     proto_messages: &mut proto_messages,
                     recovery_messages: &mut recovery_messages,
                     request_latency: Latency::ZERO,
+                    obs: self.obs.as_mut(),
                 };
                 self.engine.on_tick(tick_time, &mut sink);
+                // The per-tick observability sample rides the tick cadence,
+                // so its cost scales with simulated hours, not requests.
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.sample_tick(
+                        next_tick,
+                        self.engine.unreachable_reads(),
+                        &self.topology,
+                        &traffic,
+                        self.durable.as_deref(),
+                        &self.config.network,
+                    );
+                }
                 next_tick += self.config.tick_secs;
                 window_snaps.push((self.engine.unreachable_reads(), read_targets));
             }
@@ -376,6 +437,7 @@ impl<E: PlacementEngine> Simulation<E> {
                 proto_messages: &mut proto_messages,
                 recovery_messages: &mut recovery_messages,
                 request_latency: Latency::ZERO,
+                obs: self.obs.as_mut(),
             };
             if request.is_read() {
                 reads += 1;
@@ -409,6 +471,17 @@ impl<E: PlacementEngine> Simulation<E> {
         // Final probe at the end of the trace.
         if probe_secs != u64::MAX {
             probe(now, &self.engine, &self.graph);
+        }
+
+        // Fold the run's message totals and durable I/O into the observer's
+        // registry (counters the per-message hot path deliberately skips).
+        if let Some(obs) = self.obs.as_mut() {
+            obs.finish_run(
+                app_messages,
+                proto_messages,
+                recovery_messages,
+                self.durable.as_ref().map(|_| &durable_io),
+            );
         }
 
         // Close the last (partial) availability window and find the sliding

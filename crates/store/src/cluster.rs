@@ -15,9 +15,10 @@ use dynasore_topology::Topology;
 // needs the trait, not the simulator.
 use dynasore_types::{
     ClusterEvent, Error, Event, MachineId, MemoryBudget, Message, PlacementEngine, Result, SimTime,
-    SubtreeId, UserId, View,
+    SubtreeId, TraceEventKind, UserId, View,
 };
 
+use crate::obs::StoreObs;
 use crate::persistent::{MockPersistentStore, PersistentStore};
 use crate::server::ServerHandle;
 
@@ -97,6 +98,10 @@ pub struct Cluster {
     /// during shutdown — tracked separately from `shut_down` so a retry
     /// after a failed sync actually syncs instead of returning early.
     synced: AtomicBool,
+    /// Optional flight-recorder observer; `None` (the default) keeps every
+    /// path exactly the unobserved code. Cluster membership events are
+    /// traced through it, stamped with monotonic wall-clock time.
+    obs: Option<StoreObs>,
 }
 
 impl Cluster {
@@ -166,7 +171,18 @@ impl Cluster {
             recovery_messages: AtomicU64::new(0),
             shut_down: AtomicBool::new(false),
             synced: AtomicBool::new(false),
+            obs: None,
         })
+    }
+
+    /// Installs a flight-recorder observer: cluster membership events
+    /// ([`Cluster::apply_event`]) are traced through it from now on. Share
+    /// the same [`StoreObs`] with
+    /// [`ShardedLogStore::open_observed`](crate::ShardedLogStore::open_observed)
+    /// to interleave membership changes with the durable tier's commit,
+    /// rotation and flusher events on one timeline.
+    pub fn set_observer(&mut self, obs: StoreObs) {
+        self.obs = Some(obs);
     }
 
     fn now(&self) -> SimTime {
@@ -366,6 +382,9 @@ impl Cluster {
         // then let the engine absorb the event. Both copies see the same
         // event stream, so they stay identical.
         self.topology.apply_cluster_event(event)?;
+        if let Some(obs) = &self.obs {
+            obs.trace(TraceEventKind::ClusterChange { event });
+        }
         let mut out: Vec<Message> = Vec::new();
         self.engine
             .get_mut()

@@ -34,6 +34,12 @@ enum TierBackend {
 #[derive(Debug)]
 pub struct SimDurableTier {
     backend: TierBackend,
+    /// Bytes appended per shard since open (one slot for a single log) —
+    /// tracked here, not read back from the store, so the per-tick lag
+    /// samples the observer takes stay deterministic across runs.
+    appended_bytes: Vec<u64>,
+    /// Bytes covered by the last [`sync`](DurableTier::sync), per shard.
+    synced_bytes: Vec<u64>,
 }
 
 impl SimDurableTier {
@@ -45,6 +51,8 @@ impl SimDurableTier {
     pub fn open(dir: impl Into<std::path::PathBuf>, config: LogConfig) -> Result<Self> {
         Ok(SimDurableTier {
             backend: TierBackend::Single(LogStructuredStore::open(dir, config)?),
+            appended_bytes: vec![0],
+            synced_bytes: vec![0],
         })
     }
 
@@ -64,8 +72,12 @@ impl SimDurableTier {
             flush_interval: None,
             ..config
         };
+        let store = ShardedLogStore::open(dir, config)?;
+        let shards = store.shard_count();
         Ok(SimDurableTier {
-            backend: TierBackend::Sharded(ShardedLogStore::open(dir, config)?),
+            backend: TierBackend::Sharded(store),
+            appended_bytes: vec![0; shards],
+            synced_bytes: vec![0; shards],
         })
     }
 
@@ -108,21 +120,43 @@ impl DurableTier for SimDurableTier {
     fn append(&mut self, user: UserId, time: SimTime) -> Result<()> {
         let fill = (user.index() as u8).wrapping_add(time.as_secs() as u8);
         let payload = vec![fill; SIM_EVENT_BYTES];
-        match &self.backend {
-            TierBackend::Single(store) => store.append_version(user, payload)?,
-            TierBackend::Sharded(store) => store.append_version(user, payload)?,
+        let shard = match &self.backend {
+            TierBackend::Single(store) => {
+                store.append_version(user, payload)?;
+                0
+            }
+            TierBackend::Sharded(store) => {
+                store.append_version(user, payload)?;
+                store.shard_index_of(user)
+            }
         };
+        self.appended_bytes[shard] += SIM_EVENT_BYTES as u64;
         Ok(())
     }
 
     fn sync(&mut self) -> Result<()> {
         match &self.backend {
-            TierBackend::Single(store) => store.sync(),
-            TierBackend::Sharded(store) => store.sync(),
+            TierBackend::Single(store) => store.sync()?,
+            TierBackend::Sharded(store) => store.sync()?,
         }
+        self.synced_bytes.copy_from_slice(&self.appended_bytes);
+        Ok(())
+    }
+
+    fn shard_lags(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(
+            self.appended_bytes
+                .iter()
+                .zip(self.synced_bytes.iter())
+                .map(|(&a, &s)| a.saturating_sub(s)),
+        );
     }
 
     fn replay(&mut self) -> Result<TierReplay> {
+        // reread() commits and syncs before replaying, so afterwards no
+        // appended byte is unsynced.
+        self.synced_bytes.copy_from_slice(&self.appended_bytes);
         match &self.backend {
             TierBackend::Single(store) => {
                 let stats = store.reread()?;

@@ -61,6 +61,7 @@
 mod cluster;
 mod durable_tier;
 mod log;
+mod obs;
 mod persistent;
 mod segment;
 mod server;
@@ -69,5 +70,6 @@ mod sharded;
 pub use cluster::{Cluster, ClusterChangeReport, StoreConfig, StoreStats};
 pub use durable_tier::{SimDurableTier, SIM_EVENT_BYTES};
 pub use log::{CompactionStats, GroupCommitConfig, LogConfig, LogStructuredStore, RecoveryStats};
+pub use obs::{StoreObs, DEFAULT_STORE_RECORDER_CAPACITY};
 pub use persistent::{MockPersistentStore, PersistentStore};
 pub use sharded::{ShardedConfig, ShardedLogStore, ShardedRecoveryStats};

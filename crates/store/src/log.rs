@@ -46,10 +46,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use dynasore_types::{
-    DurableRecord, Error, Event, Result, SimTime, UserId, View, MAX_RECORD_BYTES,
+    DurableRecord, Error, Event, Result, SimTime, TraceEventKind, UserId, View, MAX_RECORD_BYTES,
     RECORD_HEADER_BYTES,
 };
 
+use crate::obs::StoreObs;
 use crate::persistent::PersistentStore;
 use crate::segment::{list_segments, replay_segment, Segment};
 
@@ -172,6 +173,10 @@ struct LogInner {
     /// Events acknowledged into `pending` and not yet committed.
     pending_records: u32,
     lock_path: PathBuf,
+    /// Optional flight-recorder observer. `None` (the default) keeps every
+    /// write path exactly the unobserved code; when set, batch commits,
+    /// segment rotations and compactions emit structured trace events.
+    obs: Option<StoreObs>,
 }
 
 /// A log-structured, file-backed implementation of the durable tier.
@@ -408,6 +413,7 @@ impl LogStructuredStore {
                     pending: Vec::new(),
                     pending_records: 0,
                     lock_path: lock_path.clone(),
+                    obs: None,
                 }),
                 writes: AtomicU64::new(0),
                 reads: AtomicU64::new(0),
@@ -509,6 +515,7 @@ impl LogStructuredStore {
         }
         DurableRecord::batch_finish(&mut inner.pending, inner.pending_records)?;
         inner.active.append(&inner.pending)?;
+        let records = u64::from(inner.pending_records);
         inner.pending_records = 0;
         inner.pending.clear();
         if inner
@@ -517,6 +524,20 @@ impl LogStructuredStore {
             .map_or(inner.config.sync_on_append, |gc| gc.sync_on_commit)
         {
             inner.active.sync()?;
+        }
+        if let Some(obs) = &inner.obs {
+            // Fill ratio against the configured fill trigger; a forced batch
+            // without group commit (append_batch) counts as a full frame.
+            let fill_percent = match inner.config.group_commit {
+                Some(gc) => {
+                    ((records * 100) / u64::from(gc.max_batch_records.max(1))).min(100) as u8
+                }
+                None => 100,
+            };
+            obs.trace(TraceEventKind::GroupCommitFill {
+                records,
+                fill_percent,
+            });
         }
         Self::maybe_rotate(inner)
     }
@@ -653,13 +674,17 @@ impl LogStructuredStore {
         // Seal the full segment — synced, so sealed segments are always
         // crash-clean — and start a fresh one.
         inner.active.sync()?;
-        let fresh = Segment::create(&inner.dir, inner.next_seq)?;
+        let fresh_seq = inner.next_seq;
+        let fresh = Segment::create(&inner.dir, fresh_seq)?;
         inner.next_seq += 1;
         let sealed = std::mem::replace(&mut inner.active, fresh);
         inner.sealed.push(SealedSegment {
             path: sealed.path().to_path_buf(),
             bytes: sealed.len(),
         });
+        if let Some(obs) = &inner.obs {
+            obs.trace(TraceEventKind::SegmentRotated { segment: fresh_seq });
+        }
         Ok(())
     }
 
@@ -797,12 +822,19 @@ impl LogStructuredStore {
         for path in old_paths {
             std::fs::remove_file(&path)?;
         }
-        Ok(CompactionStats {
+        let stats = CompactionStats {
             bytes_before,
             bytes_after: inner.sealed.iter().map(|s| s.bytes).sum::<u64>() + inner.active.len(),
             segments_before,
             segments_after: inner.sealed.len() + 1,
-        })
+        };
+        if let Some(obs) = &inner.obs {
+            obs.trace(TraceEventKind::CompactionRun {
+                bytes_before: stats.bytes_before,
+                bytes_after: stats.bytes_after,
+            });
+        }
+        Ok(stats)
     }
 
     /// Re-reads the entire log from disk — exactly what crash recovery does
@@ -854,6 +886,14 @@ impl LogStructuredStore {
     /// Directory holding the segment files.
     pub fn dir(&self) -> PathBuf {
         self.inner.lock().dir.clone()
+    }
+
+    /// Installs a flight-recorder observer: from now on batch commits,
+    /// segment rotations and compactions emit structured trace events
+    /// through it. Without an observer those paths run exactly the
+    /// unobserved code.
+    pub fn set_observer(&self, obs: StoreObs) {
+        self.inner.lock().obs = Some(obs);
     }
 
     /// Number of events appended so far (this process; replayed history is

@@ -71,11 +71,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use dynasore_types::{Error, Result, UserId, View};
+use dynasore_types::{Error, Result, TraceEventKind, UserId, View};
 
 use crate::log::{
     CompactionStats, GroupCommitConfig, LogConfig, LogStructuredStore, RecoveryStats,
 };
+use crate::obs::StoreObs;
 use crate::persistent::PersistentStore;
 
 /// The manifest file that pins the shard count of a directory.
@@ -208,6 +209,7 @@ impl Flusher {
         interval: Duration,
         sync_bytes_threshold: u64,
         sync_wake_bound: u32,
+        obs: Option<StoreObs>,
     ) -> Result<Flusher> {
         let (stop, wakeup) = mpsc::channel::<()>();
         let handle = std::thread::Builder::new()
@@ -230,8 +232,16 @@ impl Flusher {
                     match wakeup.recv_timeout(interval) {
                         Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
                         Err(mpsc::RecvTimeoutError::Timeout) => {
-                            for (shard, c) in shards.iter().zip(cadence.iter_mut()) {
-                                Self::tend(shard, c, sync_bytes_threshold, sync_wake_bound);
+                            for (i, (shard, c)) in shards.iter().zip(cadence.iter_mut()).enumerate()
+                            {
+                                Self::tend(
+                                    shard,
+                                    c,
+                                    i,
+                                    sync_bytes_threshold,
+                                    sync_wake_bound,
+                                    obs.as_ref(),
+                                );
                             }
                         }
                     }
@@ -250,8 +260,10 @@ impl Flusher {
     fn tend(
         shard: &LogStructuredStore,
         c: &mut ShardCadence,
+        shard_index: usize,
         sync_bytes_threshold: u64,
         sync_wake_bound: u32,
+        obs: Option<&StoreObs>,
     ) {
         // A shard whose byte count moved since the last wake committed on
         // its own within the interval (the fill trigger is doing its job):
@@ -282,6 +294,12 @@ impl Flusher {
             if shard.sync_detached().is_ok() {
                 c.synced_bytes = c.bytes_at_last_wake;
                 c.unsynced_wakes = 0;
+                if let Some(obs) = obs {
+                    obs.trace(TraceEventKind::FlusherSync {
+                        shard: shard_index as u32,
+                        lag_bytes: unsynced,
+                    });
+                }
             }
         }
     }
@@ -388,7 +406,28 @@ impl ShardedLogStore {
     /// live instance; [`Error::CorruptRecord`] for a malformed manifest or
     /// damage in a shard a crash cannot produce; I/O errors.
     pub fn open(dir: impl Into<PathBuf>, config: ShardedConfig) -> Result<Self> {
-        let dir = dir.into();
+        Self::open_inner(dir.into(), config, None)
+    }
+
+    /// [`open`](ShardedLogStore::open) with a flight-recorder observer
+    /// attached: every shard's batch commits, rotations and compactions —
+    /// and the background flusher's pipelined fsyncs, with their
+    /// lag-in-bytes — emit structured trace events into `obs`. The
+    /// observer's per-shard metric families are sized here, so later
+    /// updates from the flusher thread never allocate.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`open`](ShardedLogStore::open).
+    pub fn open_observed(
+        dir: impl Into<PathBuf>,
+        config: ShardedConfig,
+        obs: StoreObs,
+    ) -> Result<Self> {
+        Self::open_inner(dir.into(), config, Some(obs))
+    }
+
+    fn open_inner(dir: PathBuf, config: ShardedConfig, obs: Option<StoreObs>) -> Result<Self> {
         if config.shards == 0 {
             return Err(Error::invalid_config("shard count must be at least 1"));
         }
@@ -424,6 +463,12 @@ impl ShardedLogStore {
         for slot in slots {
             shards.push(slot.expect("scoped replay thread fills its slot")?);
         }
+        if let Some(obs) = &obs {
+            obs.ensure_shards(shards.len());
+            for shard in &shards {
+                shard.set_observer(obs.clone());
+            }
+        }
         let shards = Arc::new(shards);
         let flusher = match config.flush_interval {
             Some(interval) => Some(Flusher::start(
@@ -431,6 +476,7 @@ impl ShardedLogStore {
                 interval,
                 config.sync_bytes_threshold,
                 config.sync_wake_bound,
+                obs,
             )?),
             None => None,
         };

@@ -6,7 +6,7 @@
 //! must live below both to keep the dependency DAG acyclic and strictly
 //! layered.
 
-use crate::{Latency, MachineId, MessageClass, RackId, SimTime, SubtreeId, UserId};
+use crate::{Latency, MachineId, MessageClass, RackId, SimTime, SubtreeId, TraceEventKind, UserId};
 
 /// A change of the cluster itself: machines failing, recovering, being
 /// drained for maintenance, or capacity being added while the system runs.
@@ -209,6 +209,15 @@ pub trait TrafficSink {
     fn congestion(&self, _subtree: SubtreeId) -> Latency {
         Latency::ZERO
     }
+
+    /// Accepts one structured flight-recorder event describing a placement
+    /// decision the engine just made (replica created/dropped/moved, cluster
+    /// event applied, cache rebuilt). Engines emit these alongside the
+    /// protocol messages of the same decision, so observability rides the
+    /// existing sink plumbing with no extra parameters. The default — and
+    /// every unit-count sink, `Vec<Message>` included — discards the event,
+    /// which keeps the disabled-observability path zero-cost.
+    fn trace(&mut self, _event: TraceEventKind) {}
 }
 
 impl TrafficSink for Vec<Message> {

@@ -43,6 +43,7 @@ mod error;
 mod event;
 mod ids;
 mod network;
+mod obs;
 mod time;
 mod traffic;
 
@@ -56,6 +57,10 @@ pub use error::{Error, Result};
 pub use event::{Event, View};
 pub use ids::{BrokerId, MachineId, MachineKind, RackId, ServerId, SubtreeId, UserId};
 pub use network::{Bandwidth, Latency, LatencyHistogram, NetworkModel, NANOS_PER_SEC};
+pub use obs::{
+    lint_prometheus, validate_jsonl, FlightRecorder, MetricId, MetricKind, MetricsRegistry,
+    ReplicaChangeReason, SwitchTier, TraceEvent, TraceEventKind,
+};
 pub use time::{SimTime, DAY_SECS, HOUR_SECS, MINUTE_SECS};
 pub use traffic::{
     MessageClass, TrafficUnits, APP_MESSAGE_UNITS, PROTOCOL_MESSAGE_UNITS,
