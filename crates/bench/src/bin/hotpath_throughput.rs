@@ -8,8 +8,27 @@
 //! ```text
 //! cargo run --release -p dynasore-bench --bin hotpath_throughput \
 //!     [-- --users N --seed N --iters N --out PATH --quick \
+//!         --threads N --warmup-secs S --graph PATH \
 //!         --trace-out PATH --metrics-out PATH]
 //! ```
+//!
+//! `--graph PATH` replays a real dataset: the file is parsed as a
+//! SNAP-style edge list (`#` comments, tab- or space-separated, self-loops
+//! and duplicates tolerated), and its `max id + 1` users replace the
+//! synthetic `--users N` graph — so public Twitter/Flickr snapshots drive
+//! the same measured phases directly.
+//!
+//! `--warmup-secs S` caps the convergence warm-up by wall time (the full
+//! warm-up is sized for measurement runs and dominates dev iteration at
+//! quick scale).
+//!
+//! `--threads N` (default 4) measures the `parallel` phase: the same writes
+//! as the serial write phase, from the same converged engine state, driven
+//! through the rack-sharded `handle_write_batch` path with `N` worker
+//! sinks. The phase asserts the parallel message count equals the serial
+//! phase's — the byte-identity contract — and records throughput plus the
+//! speedup over the serial write phase in the JSON. `--threads 1` skips the
+//! phase.
 //!
 //! `--trace-out PATH` / `--metrics-out PATH` attach a flight-recorder
 //! observer to the durable phase's sharded store and dump its event
@@ -80,6 +99,12 @@ struct Options {
     data_dir: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    /// Worker budget of the `parallel` write phase (1 skips the phase).
+    threads: usize,
+    /// Wall-clock cap on the warm-up loop, if any.
+    warmup_secs: Option<f64>,
+    /// SNAP-style edge list to replay instead of the synthetic graph.
+    graph: Option<String>,
 }
 
 impl Options {
@@ -95,6 +120,9 @@ impl Options {
             data_dir: None,
             trace_out: None,
             metrics_out: None,
+            threads: 4,
+            warmup_secs: None,
+            graph: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -134,6 +162,18 @@ impl Options {
                 }
                 "--metrics-out" if i + 1 < args.len() => {
                     o.metrics_out = Some(args[i + 1].clone());
+                    i += 1;
+                }
+                "--threads" if i + 1 < args.len() => {
+                    o.threads = args[i + 1].parse().unwrap_or(o.threads).max(1);
+                    i += 1;
+                }
+                "--warmup-secs" if i + 1 < args.len() => {
+                    o.warmup_secs = args[i + 1].parse().ok();
+                    i += 1;
+                }
+                "--graph" if i + 1 < args.len() => {
+                    o.graph = Some(args[i + 1].clone());
                     i += 1;
                 }
                 "--quick" => o.quick = true,
@@ -176,11 +216,46 @@ impl TrafficSink for AccountedSink<'_> {
     }
 }
 
+/// Batch size of the parallel write phase: large enough to amortize the
+/// per-batch scope spawn/join, small enough to model the simulator's
+/// tick-bounded flushes.
+const PARALLEL_BATCH: usize = 65_536;
+
+/// Counts messages — the per-worker sink of the parallel write phase. It
+/// owns no references, so it is `Send` and hands the engine one independent
+/// sink per worker thread.
+#[derive(Default)]
+struct CountingSink {
+    messages: u64,
+}
+
+impl TrafficSink for CountingSink {
+    fn record(&mut self, _message: Message) {
+        self.messages += 1;
+    }
+}
+
 fn main() {
-    let opts = Options::from_args();
+    let mut opts = Options::from_args();
     let setup_start = Instant::now();
-    let graph = SocialGraph::generate(GraphPreset::FacebookLike, opts.users, opts.seed)
-        .expect("graph generation");
+    let graph = match &opts.graph {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .unwrap_or_else(|err| panic!("open graph file {path}: {err}"));
+            let g = dynasore_graph::io::read_edge_list(std::io::BufReader::new(file))
+                .unwrap_or_else(|err| panic!("parse edge list {path}: {err}"));
+            eprintln!(
+                "# hotpath_throughput: replaying {path} — {} users, {} edges",
+                g.user_count(),
+                g.edge_count()
+            );
+            // Every per-user table below is sized from the real user count.
+            opts.users = g.user_count();
+            g
+        }
+        None => SocialGraph::generate(GraphPreset::FacebookLike, opts.users, opts.seed)
+            .expect("graph generation"),
+    };
     let topology = Topology::paper_tree().expect("paper tree");
     let mut engine = DynaSoReEngine::builder()
         .topology(topology.clone())
@@ -200,6 +275,19 @@ fn main() {
     let warmup_start = Instant::now();
     let warmup_iters = (2 * users).min(opts.iters.max(users));
     for k in 0..warmup_iters {
+        // `--warmup-secs` caps convergence by wall time for dev iteration;
+        // the coarse check keeps the cap off the per-request path.
+        if k % 1024 == 0 {
+            if let Some(budget) = opts.warmup_secs {
+                if warmup_start.elapsed().as_secs_f64() >= budget {
+                    eprintln!(
+                        "# hotpath_throughput: warmup capped at {budget}s \
+                         ({k} of {warmup_iters} iters)"
+                    );
+                    break;
+                }
+            }
+        }
         let user = user_at(k);
         out.clear();
         engine.handle_read(user, graph.followees(user), SimTime::from_secs(1), &mut out);
@@ -225,6 +313,11 @@ fn main() {
     }
     let read_secs = read_start.elapsed().as_secs_f64();
 
+    // Snapshot for the parallel phase below: the same writes as the serial
+    // write phase, from the same starting state, so the two rates — and
+    // their message counts, asserted equal — are directly comparable.
+    let mut parallel_engine = (opts.threads > 1).then(|| engine.clone());
+
     // Measured write phase. Writes are orders of magnitude faster than
     // reads, so the phase gets an iteration floor: measuring 20k quick-mode
     // writes takes ~1 ms and the resulting rate is noisy enough to trip the
@@ -239,6 +332,61 @@ fn main() {
         write_messages += out.len() as u64;
     }
     let write_secs = write_start.elapsed().as_secs_f64();
+
+    // Measured parallel write phase: the identical writes from the
+    // identical pre-write-phase engine state, batched through the
+    // rack-sharded `handle_write_batch` path with `--threads` worker sinks.
+    // Batches the engine declines (and its cross-shard leftovers) replay
+    // serially inside the hook, so the phase always completes every write.
+    let mut parallel = None;
+    if let Some(mut par_engine) = parallel_engine.take() {
+        let mut sinks: Vec<CountingSink> =
+            (0..opts.threads).map(|_| CountingSink::default()).collect();
+        let mut batch: Vec<(UserId, SimTime)> = Vec::with_capacity(PARALLEL_BATCH);
+        let mut declined = 0u64;
+        let parallel_start = Instant::now();
+        let mut done = 0u64;
+        while done < write_iters {
+            let n = (PARALLEL_BATCH as u64).min(write_iters - done);
+            batch.clear();
+            for k in done..done + n {
+                batch.push((user_at(k), SimTime::from_secs(3)));
+            }
+            let mut slots: Vec<&mut (dyn TrafficSink + Send)> = sinks
+                .iter_mut()
+                .map(|s| s as &mut (dyn TrafficSink + Send))
+                .collect();
+            if !par_engine.handle_write_batch(&batch, &mut slots) {
+                for &(user, time) in &batch {
+                    par_engine.handle_write(user, time, &mut sinks[0]);
+                }
+                declined += n;
+            }
+            done += n;
+        }
+        let parallel_secs = parallel_start.elapsed().as_secs_f64();
+        let parallel_messages: u64 = sinks.iter().map(|s| s.messages).sum();
+        drop(par_engine);
+        // Byte-identity smoke check: same writes, same starting state — the
+        // parallel path must produce exactly the serial phase's messages.
+        if parallel_messages != write_messages {
+            eprintln!(
+                "# hotpath_throughput: parallel write phase diverged — \
+                 {parallel_messages} messages vs serial {write_messages}"
+            );
+            std::process::exit(1);
+        }
+        if declined > 0 {
+            eprintln!(
+                "# hotpath_throughput: {declined} writes replayed serially (declined batches)"
+            );
+        }
+        parallel = Some((
+            write_iters as f64 / parallel_secs,
+            parallel_secs,
+            parallel_messages,
+        ));
+    }
 
     // Measured accounted-read phase: the identical reads from the identical
     // pre-read-phase engine state, but every message is charged to the
@@ -361,6 +509,30 @@ fn main() {
     let single_sync_per_sec = single_iters as f64 / single_secs;
     let durable_speedup = durable_per_sec / single_sync_per_sec;
 
+    // The parallel section only exists when the phase ran (`--threads` > 1),
+    // so single-thread runs keep the historical snapshot shape.
+    let parallel_block = match &parallel {
+        Some((pps, psecs, pmsgs)) => format!(
+            concat!(
+                "  \"parallel\": {{\n",
+                "    \"reqs_per_sec\": {pps:.0},\n",
+                "    \"threads\": {threads},\n",
+                "    \"iters\": {iters},\n",
+                "    \"elapsed_secs\": {psecs:.3},\n",
+                "    \"messages\": {pmsgs},\n",
+                "    \"speedup_vs_serial_write\": {pspeed:.2}\n",
+                "  }},\n",
+            ),
+            pps = pps,
+            threads = opts.threads,
+            iters = write_iters,
+            psecs = psecs,
+            pmsgs = pmsgs,
+            pspeed = pps / writes_per_sec,
+        ),
+        None => String::new(),
+    };
+
     let json = format!(
         concat!(
             "{{\n",
@@ -382,6 +554,7 @@ fn main() {
             "    \"elapsed_secs\": {wsecs:.3},\n",
             "    \"messages\": {wmsgs}\n",
             "  }},\n",
+            "{parallel_block}",
             "  \"read_accounted\": {{\n",
             "    \"reqs_per_sec\": {aps:.0},\n",
             "    \"elapsed_secs\": {asecs:.3},\n",
@@ -413,6 +586,7 @@ fn main() {
         seed = opts.seed,
         iters = opts.iters,
         quick = opts.quick,
+        parallel_block = parallel_block,
         setup = setup_secs,
         warmup = warmup_secs,
         rps = reads_per_sec,
@@ -440,13 +614,23 @@ fn main() {
         wspeed = writes_per_sec / BASELINE_WRITES_PER_SEC,
     );
     std::fs::write(&opts.out, &json).expect("write BENCH_hotpath.json");
+    let parallel_note = match &parallel {
+        Some((pps, _, _)) => format!(
+            ", parallel writes {:.0}/s x{} ({:.2}x serial)",
+            pps,
+            opts.threads,
+            pps / writes_per_sec
+        ),
+        None => String::new(),
+    };
     eprintln!(
-        "# hotpath_throughput: {} users, {} iters — reads {:.0}/s, writes {:.0}/s, \
+        "# hotpath_throughput: {} users, {} iters — reads {:.0}/s, writes {:.0}/s{}, \
          accounted reads {:.0}/s, durable writes {:.0}/s ({:.0}x single-sync) → {}",
         opts.users,
         opts.iters,
         reads_per_sec,
         writes_per_sec,
+        parallel_note,
         accounted_reads_per_sec,
         durable_per_sec,
         durable_speedup,
@@ -461,6 +645,7 @@ fn main() {
             writes_per_sec,
             accounted_reads_per_sec,
             durable_per_sec,
+            parallel.as_ref().map(|(pps, _, _)| *pps),
             opts.tolerance,
         );
     }
@@ -492,6 +677,7 @@ fn check_against_snapshot(
     writes_per_sec: f64,
     accounted_reads_per_sec: f64,
     durable_per_sec: f64,
+    parallel_per_sec: Option<f64>,
     tolerance: f64,
 ) {
     let snapshot = match std::fs::read_to_string(path) {
@@ -524,6 +710,18 @@ fn check_against_snapshot(
         checks.push(("durable", durable_per_sec, snap_durable));
     } else {
         eprintln!("# regression guard: snapshot {path} predates durable; skipping it");
+    }
+    // Guarded only when the phase ran in *both* this run and the snapshot:
+    // `--threads 1` runs and pre-parallel snapshots skip it cleanly.
+    match (
+        parallel_per_sec,
+        snapshot_reqs_per_sec(&snapshot, "parallel"),
+    ) {
+        (Some(measured), Some(snap)) => checks.push(("parallel", measured, snap)),
+        (Some(_), None) => {
+            eprintln!("# regression guard: snapshot {path} predates parallel; skipping it");
+        }
+        (None, _) => {}
     }
     let floor = 1.0 - tolerance;
     let mut failed = false;

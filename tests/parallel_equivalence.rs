@@ -1,0 +1,411 @@
+//! Serial-vs-parallel byte-identity of the simulation driver.
+//!
+//! `Simulation::with_threads(n)` batches consecutive write requests through
+//! the engines' `handle_write_batch` hook — rack-sharded worker threads for
+//! DynaSoRe, serial replay for engines without a parallel path. The
+//! contract is absolute: a same-seed run must produce a byte-identical
+//! [`SimReport`] for every thread count, with plain traces, with a failure
+//! schedule interleaved, and with a durable tier attached. These tests are
+//! the safety net the parallel driver is allowed to exist under.
+
+use dynasore::prelude::*;
+use dynasore_baselines::{SparEngine, StaticPlacement};
+use dynasore_sim::SimReport;
+use dynasore_types::{MachineId, Message, MessageClass, RackId, TrafficSink, UserId};
+
+const USERS: usize = 500;
+const SEED: u64 = 97;
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn graph() -> SocialGraph {
+    SocialGraph::generate(GraphPreset::FacebookLike, USERS, SEED).unwrap()
+}
+
+fn topology() -> Topology {
+    Topology::tree(3, 2, 5, 1).unwrap() // 6 racks, 30 servers, 6 brokers.
+}
+
+fn dynasore(graph: &SocialGraph, topology: &Topology) -> DynaSoReEngine {
+    DynaSoReEngine::builder()
+        .topology(topology.clone())
+        .budget(MemoryBudget::with_extra_percent(USERS, 40))
+        .initial_placement(InitialPlacement::Random { seed: SEED })
+        .build(graph)
+        .unwrap()
+}
+
+fn spar(graph: &SocialGraph, topology: &Topology) -> SparEngine {
+    SparEngine::new(
+        graph,
+        topology,
+        MemoryBudget::with_extra_percent(USERS, 40),
+        SEED,
+    )
+    .unwrap()
+}
+
+/// A deterministic trace with long write runs — so parallel batches
+/// actually form — punctuated by reads (forced flush points) and spanning
+/// ~45 simulated hours, so hourly ticks and the full failure schedule fall
+/// inside it.
+fn write_heavy_trace(graph: &SocialGraph) -> Vec<Request> {
+    let users = graph.user_count() as u64;
+    let mut requests = Vec::new();
+    let mut t = 0u64;
+    for block in 0..100u64 {
+        for k in 0..200u64 {
+            let u = ((block.wrapping_mul(977) + k.wrapping_mul(7_919)) % users) as u32;
+            t += 7;
+            requests.push(Request::write(SimTime::from_secs(t), UserId::new(u)));
+        }
+        for k in 0..20u64 {
+            let u = ((block.wrapping_mul(131) + k.wrapping_mul(2_711)) % users) as u32;
+            t += 11;
+            requests.push(Request::read(SimTime::from_secs(t), UserId::new(u)));
+        }
+    }
+    requests
+}
+
+/// The determinism suite's failure schedule: a machine crash/recovery, a
+/// rack outage, a drain and a capacity addition interleaved with the trace.
+fn failure_schedule() -> Vec<TimedClusterEvent> {
+    vec![
+        TimedClusterEvent {
+            time: SimTime::from_hours(6),
+            event: ClusterEvent::MachineDown {
+                machine: MachineId::new(1),
+            },
+        },
+        TimedClusterEvent {
+            time: SimTime::from_hours(18),
+            event: ClusterEvent::MachineUp {
+                machine: MachineId::new(1),
+            },
+        },
+        TimedClusterEvent {
+            time: SimTime::from_hours(26),
+            event: ClusterEvent::RackDown {
+                rack: RackId::new(1),
+            },
+        },
+        TimedClusterEvent {
+            time: SimTime::from_hours(30),
+            event: ClusterEvent::RackUp {
+                rack: RackId::new(1),
+            },
+        },
+        TimedClusterEvent {
+            time: SimTime::from_hours(34),
+            event: ClusterEvent::DrainMachine {
+                machine: MachineId::new(2),
+            },
+        },
+        TimedClusterEvent {
+            time: SimTime::from_hours(40),
+            event: ClusterEvent::AddRack,
+        },
+    ]
+}
+
+fn run<E: PlacementEngine>(
+    engine: E,
+    graph: &SocialGraph,
+    topology: &Topology,
+    threads: usize,
+    failures: bool,
+    durable_tag: Option<&str>,
+) -> SimReport {
+    let trace = write_heavy_trace(graph);
+    let mut sim = Simulation::new(topology.clone(), engine, graph).with_threads(threads);
+    if failures {
+        sim = sim.with_cluster_events(failure_schedule());
+    }
+    let dir = durable_tag.map(|tag| {
+        let dir = std::env::temp_dir().join(format!(
+            "dynasore-par-eq-{tag}-t{threads}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
+    if let Some(dir) = &dir {
+        let tier = SimDurableTier::open(dir, LogConfig::default()).unwrap();
+        sim = sim.with_durable_tier(Box::new(tier));
+    }
+    let report = sim.run(trace).unwrap();
+    drop(sim);
+    if let Some(dir) = &dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    report
+}
+
+/// Asserts that the reports at every thread count are byte-identical to the
+/// single-thread run, down to the debug rendering (which includes every
+/// field, traffic time series included).
+fn assert_thread_count_independent(reports: Vec<(usize, SimReport)>) {
+    let (_, baseline) = &reports[0];
+    for (threads, report) in &reports[1..] {
+        assert_eq!(
+            report,
+            baseline,
+            "engine {}: {threads}-thread run diverged from serial",
+            baseline.engine_name()
+        );
+        assert_eq!(
+            format!("{report:?}"),
+            format!("{baseline:?}"),
+            "engine {}: {threads}-thread debug rendering diverged",
+            baseline.engine_name()
+        );
+    }
+}
+
+#[test]
+fn parallel_reports_match_serial_for_all_engines() {
+    let graph = graph();
+    let topology = topology();
+    assert_thread_count_independent(
+        THREADS
+            .iter()
+            .map(|&t| {
+                (
+                    t,
+                    run(
+                        dynasore(&graph, &topology),
+                        &graph,
+                        &topology,
+                        t,
+                        false,
+                        None,
+                    ),
+                )
+            })
+            .collect(),
+    );
+    assert_thread_count_independent(
+        THREADS
+            .iter()
+            .map(|&t| {
+                (
+                    t,
+                    run(spar(&graph, &topology), &graph, &topology, t, false, None),
+                )
+            })
+            .collect(),
+    );
+    assert_thread_count_independent(
+        THREADS
+            .iter()
+            .map(|&t| {
+                (
+                    t,
+                    run(
+                        StaticPlacement::random(&graph, &topology, SEED).unwrap(),
+                        &graph,
+                        &topology,
+                        t,
+                        false,
+                        None,
+                    ),
+                )
+            })
+            .collect(),
+    );
+}
+
+#[test]
+fn parallel_reports_match_serial_under_failures() {
+    let graph = graph();
+    let topology = topology();
+    let reports: Vec<(usize, SimReport)> = THREADS
+        .iter()
+        .map(|&t| {
+            (
+                t,
+                run(
+                    dynasore(&graph, &topology),
+                    &graph,
+                    &topology,
+                    t,
+                    true,
+                    None,
+                ),
+            )
+        })
+        .collect();
+    // The schedule really fired: recovery traffic is visible in the report.
+    assert!(reports[0].1.recovery_messages() > 0);
+    assert_thread_count_independent(reports);
+    assert_thread_count_independent(
+        THREADS
+            .iter()
+            .map(|&t| {
+                (
+                    t,
+                    run(spar(&graph, &topology), &graph, &topology, t, true, None),
+                )
+            })
+            .collect(),
+    );
+    assert_thread_count_independent(
+        THREADS
+            .iter()
+            .map(|&t| {
+                (
+                    t,
+                    run(
+                        StaticPlacement::random(&graph, &topology, SEED).unwrap(),
+                        &graph,
+                        &topology,
+                        t,
+                        true,
+                        None,
+                    ),
+                )
+            })
+            .collect(),
+    );
+}
+
+#[test]
+fn parallel_reports_match_serial_with_durable_tier() {
+    let graph = graph();
+    let topology = topology();
+    let reports: Vec<(usize, SimReport)> = THREADS
+        .iter()
+        .map(|&t| {
+            (
+                t,
+                run(
+                    dynasore(&graph, &topology),
+                    &graph,
+                    &topology,
+                    t,
+                    true,
+                    Some("dynasore"),
+                ),
+            )
+        })
+        .collect();
+    // The tier really engaged: appends and a recovery replay are recorded.
+    let io = reports[0].1.durable_io().expect("durable tier attached");
+    assert!(io.appends > 0);
+    assert!(io.replays > 0);
+    assert_thread_count_independent(reports);
+    assert_thread_count_independent(
+        THREADS
+            .iter()
+            .map(|&t| {
+                (
+                    t,
+                    run(
+                        spar(&graph, &topology),
+                        &graph,
+                        &topology,
+                        t,
+                        true,
+                        Some("spar"),
+                    ),
+                )
+            })
+            .collect(),
+    );
+}
+
+/// The engine-level contract, checked directly so a driver change can never
+/// make the suite vacuous: DynaSoRe must *accept* a big-enough batch, the
+/// message multiset across all worker sinks must equal the serial replay's,
+/// and the engine must be behaviorally identical afterwards (observed
+/// through a follow-up request sequence).
+#[test]
+fn dynasore_batch_hook_accepts_and_matches_serial() {
+    let graph = graph();
+    let topology = topology();
+    let mut serial = dynasore(&graph, &topology);
+    // Converge placement a little so writes fan out to real replica sets.
+    let mut warm: Vec<Message> = Vec::new();
+    for k in 0..(2 * USERS as u64) {
+        let user = UserId::new(((k * 7_919) % USERS as u64) as u32);
+        warm.clear();
+        serial.handle_read(
+            user,
+            graph.followees(user),
+            SimTime::from_secs(1),
+            &mut warm,
+        );
+    }
+    let mut parallel = serial.clone();
+
+    let writes: Vec<(UserId, SimTime)> = (0..2_000u64)
+        .map(|k| {
+            (
+                UserId::new(((k * 7_919) % USERS as u64) as u32),
+                SimTime::from_secs(2),
+            )
+        })
+        .collect();
+
+    let mut serial_out: Vec<Message> = Vec::new();
+    for &(user, time) in &writes {
+        serial.handle_write(user, time, &mut serial_out);
+    }
+
+    let mut sinks: Vec<Vec<Message>> = vec![Vec::new(); 4];
+    let mut slots: Vec<&mut (dyn TrafficSink + Send)> = sinks
+        .iter_mut()
+        .map(|s| s as &mut (dyn TrafficSink + Send))
+        .collect();
+    assert!(
+        parallel.handle_write_batch(&writes, &mut slots),
+        "engine declined a {}-write batch over {} racks",
+        writes.len(),
+        topology.rack_count()
+    );
+
+    // Same message multiset (order across workers is free; content is not).
+    let key = |m: &Message| {
+        (
+            m.from.index(),
+            m.to.index(),
+            matches!(m.class, MessageClass::Protocol),
+        )
+    };
+    let mut serial_keys: Vec<_> = serial_out.iter().map(key).collect();
+    let mut parallel_keys: Vec<_> = sinks.iter().flatten().map(key).collect();
+    serial_keys.sort_unstable();
+    parallel_keys.sort_unstable();
+    assert_eq!(serial_keys, parallel_keys);
+
+    // Behaviorally identical engines afterwards: an identical follow-up
+    // request sequence must produce identical message streams.
+    let mut a_out: Vec<Message> = Vec::new();
+    let mut b_out: Vec<Message> = Vec::new();
+    for k in 0..1_000u64 {
+        let user = UserId::new(((k * 131) % USERS as u64) as u32);
+        serial.handle_write(user, SimTime::from_secs(3), &mut a_out);
+        parallel.handle_write(user, SimTime::from_secs(3), &mut b_out);
+        serial.handle_read(
+            user,
+            graph.followees(user),
+            SimTime::from_secs(3),
+            &mut a_out,
+        );
+        parallel.handle_read(
+            user,
+            graph.followees(user),
+            SimTime::from_secs(3),
+            &mut b_out,
+        );
+    }
+    assert_eq!(a_out, b_out);
+    for u in 0..USERS as u32 {
+        assert_eq!(
+            serial.replica_count(UserId::new(u)),
+            parallel.replica_count(UserId::new(u)),
+            "replica count diverged for user {u}"
+        );
+    }
+    assert_eq!(serial.memory_usage(), parallel.memory_usage());
+}
