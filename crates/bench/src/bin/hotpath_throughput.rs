@@ -381,10 +381,17 @@ fn main() {
                 "# hotpath_throughput: {declined} writes replayed serially (declined batches)"
             );
         }
+        if effective_threads(opts.threads, declined, write_iters) == 1 {
+            eprintln!(
+                "# hotpath_throughput: warning — the \"parallel\" phase never parallelized \
+                 (every batch was declined); threads_effective=1 in the JSON"
+            );
+        }
         parallel = Some((
             write_iters as f64 / parallel_secs,
             parallel_secs,
             parallel_messages,
+            declined,
         ));
     }
 
@@ -512,23 +519,14 @@ fn main() {
     // The parallel section only exists when the phase ran (`--threads` > 1),
     // so single-thread runs keep the historical snapshot shape.
     let parallel_block = match &parallel {
-        Some((pps, psecs, pmsgs)) => format!(
-            concat!(
-                "  \"parallel\": {{\n",
-                "    \"reqs_per_sec\": {pps:.0},\n",
-                "    \"threads\": {threads},\n",
-                "    \"iters\": {iters},\n",
-                "    \"elapsed_secs\": {psecs:.3},\n",
-                "    \"messages\": {pmsgs},\n",
-                "    \"speedup_vs_serial_write\": {pspeed:.2}\n",
-                "  }},\n",
-            ),
-            pps = pps,
-            threads = opts.threads,
-            iters = write_iters,
-            psecs = psecs,
-            pmsgs = pmsgs,
-            pspeed = pps / writes_per_sec,
+        Some((pps, psecs, pmsgs, declined)) => parallel_json_block(
+            *pps,
+            *psecs,
+            *pmsgs,
+            *declined,
+            opts.threads,
+            write_iters,
+            writes_per_sec,
         ),
         None => String::new(),
     };
@@ -615,7 +613,7 @@ fn main() {
     );
     std::fs::write(&opts.out, &json).expect("write BENCH_hotpath.json");
     let parallel_note = match &parallel {
-        Some((pps, _, _)) => format!(
+        Some((pps, _, _, _)) => format!(
             ", parallel writes {:.0}/s x{} ({:.2}x serial)",
             pps,
             opts.threads,
@@ -645,7 +643,7 @@ fn main() {
             writes_per_sec,
             accounted_reads_per_sec,
             durable_per_sec,
-            parallel.as_ref().map(|(pps, _, _)| *pps),
+            parallel.as_ref().map(|(pps, _, _, _)| *pps),
             opts.tolerance,
         );
     }
@@ -654,6 +652,55 @@ fn main() {
 /// Extracts `"reqs_per_sec"` from the named section (`"read"` / `"write"`)
 /// of a snapshot written by this binary. A hand-rolled scan keeps the guard
 /// dependency-free: the format is our own, fixed output above.
+/// Worker count the parallel phase actually exercised: the requested
+/// `threads` unless *every* write fell back to the serial replay path
+/// (each batch declined by the engine), in which case the phase ran on one
+/// thread no matter what was asked for — and the JSON must say so.
+fn effective_threads(threads: usize, declined: u64, total: u64) -> usize {
+    if total > 0 && declined >= total {
+        1
+    } else {
+        threads
+    }
+}
+
+/// Renders the `parallel` JSON section. `threads_effective` carries the
+/// degradation signal: a phase whose every batch was declined reports 1,
+/// not the requested worker count.
+#[allow(clippy::too_many_arguments)]
+fn parallel_json_block(
+    pps: f64,
+    psecs: f64,
+    pmsgs: u64,
+    declined: u64,
+    threads: usize,
+    write_iters: u64,
+    writes_per_sec: f64,
+) -> String {
+    format!(
+        concat!(
+            "  \"parallel\": {{\n",
+            "    \"reqs_per_sec\": {pps:.0},\n",
+            "    \"threads\": {threads},\n",
+            "    \"threads_effective\": {threads_effective},\n",
+            "    \"declined_writes\": {declined},\n",
+            "    \"iters\": {iters},\n",
+            "    \"elapsed_secs\": {psecs:.3},\n",
+            "    \"messages\": {pmsgs},\n",
+            "    \"speedup_vs_serial_write\": {pspeed:.2}\n",
+            "  }},\n",
+        ),
+        pps = pps,
+        threads = threads,
+        threads_effective = effective_threads(threads, declined, write_iters),
+        declined = declined,
+        iters = write_iters,
+        psecs = psecs,
+        pmsgs = pmsgs,
+        pspeed = pps / writes_per_sec,
+    )
+}
+
 fn snapshot_reqs_per_sec(json: &str, section: &str) -> Option<f64> {
     let start = json.find(&format!("\"{section}\""))?;
     let rest = &json[start..];
@@ -744,5 +791,35 @@ fn check_against_snapshot(
             tolerance * 100.0
         );
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_degrades_only_when_everything_declined() {
+        // Healthy phase: no declines, the requested count stands.
+        assert_eq!(effective_threads(4, 0, 1_000), 4);
+        // Partial declines still parallelized the rest.
+        assert_eq!(effective_threads(4, 999, 1_000), 4);
+        // Every write replayed serially: the phase never parallelized.
+        assert_eq!(effective_threads(4, 1_000, 1_000), 1);
+        // Degenerate empty phase keeps the requested count.
+        assert_eq!(effective_threads(4, 0, 0), 4);
+    }
+
+    #[test]
+    fn parallel_json_reports_the_degradation() {
+        let healthy = parallel_json_block(1e6, 1.0, 500, 0, 4, 1_000, 5e5);
+        assert!(healthy.contains("\"threads\": 4"), "{healthy}");
+        assert!(healthy.contains("\"threads_effective\": 4"), "{healthy}");
+        assert!(healthy.contains("\"declined_writes\": 0"), "{healthy}");
+
+        let degraded = parallel_json_block(1e6, 1.0, 500, 1_000, 4, 1_000, 5e5);
+        assert!(degraded.contains("\"threads\": 4"), "{degraded}");
+        assert!(degraded.contains("\"threads_effective\": 1"), "{degraded}");
+        assert!(degraded.contains("\"declined_writes\": 1000"), "{degraded}");
     }
 }

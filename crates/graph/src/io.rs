@@ -47,7 +47,12 @@ pub fn write_edge_list<W: Write>(graph: &SocialGraph, writer: W) -> Result<()> {
 /// `src dst` file: `#` comment headers and blank lines are skipped, fields
 /// may be tab- or space-separated, and self-loops and duplicate edges —
 /// both present in the public Twitter/Flickr/LiveJournal snapshots — are
-/// tolerated and dropped. The number of users is `max id + 1`.
+/// tolerated and dropped.
+///
+/// The number of users comes from the `# dynasore edge list: N users`
+/// header when present, so a round trip through [`write_edge_list`]
+/// preserves trailing isolated users and edgeless graphs exactly; for
+/// foreign SNAP files without the header it falls back to `max id + 1`.
 ///
 /// Construction is bulk (one sort over the whole edge vector rather than a
 /// per-edge sorted insert), so multi-million-edge snapshots load in
@@ -55,15 +60,20 @@ pub fn write_edge_list<W: Write>(graph: &SocialGraph, writer: W) -> Result<()> {
 ///
 /// # Errors
 ///
-/// Returns [`Error::Io`] on malformed lines or reader failures.
+/// Returns [`Error::Io`] on malformed lines, a dynasore header whose user
+/// count an edge endpoint exceeds, or reader failures.
 pub fn read_edge_list<R: Read>(reader: R) -> Result<SocialGraph> {
     let buf = BufReader::new(reader);
     let mut edges: Vec<(UserId, UserId)> = Vec::new();
     let mut max_id = 0u32;
+    let mut declared_users: Option<usize> = None;
     for (lineno, line) in buf.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
+            if declared_users.is_none() {
+                declared_users = parse_user_count_header(trimmed);
+            }
             continue;
         }
         let mut parts = trimmed.split_whitespace();
@@ -82,10 +92,33 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<SocialGraph> {
         max_id = max_id.max(src).max(dst);
         edges.push((UserId::new(src), UserId::new(dst)));
     }
+    let inferred = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
+    let users = match declared_users {
+        Some(declared) if declared < inferred => {
+            return Err(Error::io(format!(
+                "header declares {declared} users but an edge references user {max_id}"
+            )));
+        }
+        Some(declared) => declared,
+        None => inferred,
+    };
     if edges.is_empty() {
-        return Ok(SocialGraph::new(0));
+        return Ok(SocialGraph::new(users));
     }
-    SocialGraph::from_edges_bulk(max_id as usize + 1, edges)
+    SocialGraph::from_edges_bulk(users, edges)
+}
+
+/// Parses the `# dynasore edge list: N users` header [`write_edge_list`]
+/// emits. Returns `None` for every other comment line (SNAP headers and the
+/// like), leaving the user count to be inferred from the edges.
+fn parse_user_count_header(comment: &str) -> Option<usize> {
+    let rest = comment.strip_prefix("# dynasore edge list:")?;
+    let count = rest.trim().strip_suffix("users")?;
+    count.trim().parse().ok()
 }
 
 #[cfg(test)]
@@ -109,6 +142,52 @@ mod tests {
         for (a, b) in g.edges() {
             assert!(parsed.contains_edge(a, b));
         }
+    }
+
+    #[test]
+    fn round_trip_preserves_trailing_isolated_users() {
+        // Regression: users 2..5 have no edges, so `max id + 1` inference
+        // would shrink this to a 2-user graph on reopen. The dynasore
+        // header must restore the exact count.
+        let mut g = SocialGraph::new(5);
+        g.add_edge(u(0), u(1));
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(parsed, g);
+        assert_eq!(parsed.user_count(), 5);
+    }
+
+    #[test]
+    fn round_trip_preserves_edgeless_graph() {
+        let g = SocialGraph::new(7);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(parsed, g);
+        assert_eq!(parsed.user_count(), 7);
+        assert_eq!(parsed.edge_count(), 0);
+
+        // The empty graph also survives.
+        let empty = SocialGraph::new(0);
+        let mut buf = Vec::new();
+        write_edge_list(&empty, &mut buf).unwrap();
+        assert_eq!(read_edge_list(&buf[..]).unwrap(), empty);
+    }
+
+    #[test]
+    fn header_smaller_than_edge_ids_is_rejected() {
+        let text = "# dynasore edge list: 2 users\n0 1\n3 1\n";
+        assert!(read_edge_list(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn foreign_snap_headers_do_not_declare_a_count() {
+        // A SNAP `# Nodes: 4 Edges: 5` header is not a dynasore header;
+        // the count still comes from the edges.
+        let text = "# Nodes: 9 Edges: 1\n0 1\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.user_count(), 2);
     }
 
     #[test]

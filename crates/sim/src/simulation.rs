@@ -248,6 +248,10 @@ pub struct Simulation<E> {
     obs: Option<SimObs>,
     /// Worker budget for the parallel write path (1 = fully serial driver).
     threads: usize,
+    /// Worker count the last run actually used: `threads` when the parallel
+    /// path engaged, 1 when the run fell back to the serial driver. `None`
+    /// before any run.
+    effective_threads: Option<usize>,
 }
 
 impl<E: PlacementEngine> Simulation<E> {
@@ -264,6 +268,7 @@ impl<E: PlacementEngine> Simulation<E> {
             durable: None,
             obs: None,
             threads: 1,
+            effective_threads: None,
         }
     }
 
@@ -278,7 +283,11 @@ impl<E: PlacementEngine> Simulation<E> {
     /// [`SimReport`] byte-identical to `threads = 1`. Parallel batches are
     /// only offered when the accounting is order-independent — the infinite
     /// [`NetworkModel`] and no attached observer; a finite network model or
-    /// an observer silently falls back to the fully serial driver.
+    /// an observer falls back to the fully serial driver. The fallback is
+    /// surfaced: the run warns on stderr and
+    /// [`Simulation::effective_threads`] reports the worker count actually
+    /// used, so drivers (and their JSON output) cannot claim parallelism
+    /// that never happened.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -352,6 +361,18 @@ impl<E: PlacementEngine> Simulation<E> {
     /// Detaches and returns the observer (with everything recorded so far).
     pub fn take_observer(&mut self) -> Option<SimObs> {
         self.obs.take()
+    }
+
+    /// Worker count the last run actually used: the configured
+    /// [`Simulation::with_threads`] value when the parallel write path
+    /// engaged, `1` when the run fell back to the serial driver (finite
+    /// network model or attached observer), `None` before any run.
+    ///
+    /// Deliberately *not* part of [`SimReport`]: the report is a pure
+    /// measurement with a byte-identity contract across thread counts, so
+    /// driver provenance lives here and in bench JSON instead.
+    pub fn effective_threads(&self) -> Option<usize> {
+        self.effective_threads
     }
 
     /// The engine being driven.
@@ -437,6 +458,21 @@ impl<E: PlacementEngine> Simulation<E> {
         // network model, with no observer expecting ordered trace events.
         let parallel_writes =
             self.threads > 1 && self.config.network.is_infinite() && self.obs.is_none();
+        self.effective_threads = Some(if parallel_writes { self.threads } else { 1 });
+        if self.threads > 1 && !parallel_writes {
+            let mut reasons = Vec::new();
+            if !self.config.network.is_infinite() {
+                reasons.push("the network model is finite");
+            }
+            if self.obs.is_some() {
+                reasons.push("an observer is attached");
+            }
+            eprintln!(
+                "# simulation: {} threads requested but {} — running the serial driver",
+                self.threads,
+                reasons.join(" and ")
+            );
+        }
         let mut pending_writes: Vec<(UserId, SimTime)> = Vec::new();
 
         for request in trace {
@@ -1166,6 +1202,69 @@ mod tests {
         assert_eq!(sim.topology().rack_count(), topology.rack_count() + 1);
         // The report's per-tier averages use the final switch counts.
         assert!(report.tier_average(Tier::Rack) >= 0.0);
+    }
+
+    #[test]
+    fn effective_threads_reports_the_serial_fallback() {
+        let (graph, topology) = small_setup();
+        let trace: Vec<Request> = SyntheticTraceGenerator::paper_defaults(&graph, 1, 2)
+            .unwrap()
+            .collect();
+
+        // Before any run there is nothing to report.
+        let sim = Simulation::new(
+            topology.clone(),
+            ModuloEngine::new(topology.clone()),
+            &graph,
+        )
+        .with_threads(4);
+        assert_eq!(sim.effective_threads(), None);
+
+        // Infinite network, no observer: the parallel path engages.
+        let mut sim = Simulation::new(
+            topology.clone(),
+            ModuloEngine::new(topology.clone()),
+            &graph,
+        )
+        .with_threads(4);
+        sim.run(trace.clone()).unwrap();
+        assert_eq!(sim.effective_threads(), Some(4));
+
+        // An attached observer forces the serial driver — and the run must
+        // say so instead of silently claiming 4 workers.
+        let mut sim = Simulation::new(
+            topology.clone(),
+            ModuloEngine::new(topology.clone()),
+            &graph,
+        )
+        .with_threads(4)
+        .with_observer(SimObs::new(64));
+        sim.run(trace.clone()).unwrap();
+        assert_eq!(sim.effective_threads(), Some(1));
+
+        // So does a finite network model.
+        use dynasore_types::Bandwidth;
+        let model = dynasore_types::NetworkModel {
+            top_service: Bandwidth::units_per_sec(1_000),
+            intermediate_service: Bandwidth::units_per_sec(1_000),
+            rack_service: Bandwidth::units_per_sec(1_000),
+            hop_latency: dynasore_types::Latency::from_micros(5),
+            collapse_threshold: dynasore_types::Latency::from_secs(1),
+        };
+        let mut sim = Simulation::new(
+            topology.clone(),
+            ModuloEngine::new(topology.clone()),
+            &graph,
+        )
+        .with_threads(4)
+        .with_network(model);
+        sim.run(trace.clone()).unwrap();
+        assert_eq!(sim.effective_threads(), Some(1));
+
+        // A single-thread run is trivially effective at 1.
+        let mut sim = Simulation::new(topology.clone(), ModuloEngine::new(topology), &graph);
+        sim.run(trace).unwrap();
+        assert_eq!(sim.effective_threads(), Some(1));
     }
 
     #[test]

@@ -41,6 +41,7 @@ mod durable;
 mod engine;
 mod error;
 mod event;
+mod flow;
 mod ids;
 mod network;
 mod obs;
@@ -55,6 +56,7 @@ pub use engine::{
 };
 pub use error::{Error, Result};
 pub use event::{Event, View};
+pub use flow::{FlowBudget, StatusCode};
 pub use ids::{BrokerId, MachineId, MachineKind, RackId, ServerId, SubtreeId, UserId};
 pub use network::{Bandwidth, Latency, LatencyHistogram, NetworkModel, NANOS_PER_SEC};
 pub use obs::{

@@ -21,7 +21,7 @@
 //!   are assigned in call order, so same-seed simulation reruns produce
 //!   identical timelines.
 
-use crate::{ClusterEvent, MachineId, UserId};
+use crate::{ClusterEvent, MachineId, StatusCode, UserId};
 use std::fmt::Write as _;
 
 /// Whether a metric slot accumulates (counter) or tracks a level (gauge).
@@ -130,6 +130,14 @@ metric_ids! {
         "Background flusher fsync passes across all shards."),
     FlusherMaxLagBytes = ("dynasore_flusher_max_lag_bytes", Gauge,
         "Largest observed flusher lag (bytes appended but not yet synced)."),
+    EnvelopesServed = ("dynasore_envelopes_served_total", Counter,
+        "Request envelopes that completed the serving pipeline (any status)."),
+    EnvelopesRejected = ("dynasore_envelopes_rejected_total", Counter,
+        "Request envelopes that finished with a non-ok status."),
+    AuthFailures = ("dynasore_auth_failures_total", Counter,
+        "Envelopes rejected by the token-auth stage (unauthorized)."),
+    ThrottledEnvelopes = ("dynasore_throttled_envelopes_total", Counter,
+        "Envelopes rejected by an exhausted per-user flow budget."),
 }
 
 /// Fixed-slot counters and gauges plus per-shard metric families.
@@ -319,6 +327,18 @@ impl MetricsRegistry {
             }
             TraceEventKind::ReplayCompleted { bytes, .. } => {
                 self.add(MetricId::ReplayedBytes, bytes);
+            }
+            TraceEventKind::EnvelopeServed { status, .. } => {
+                self.inc(MetricId::EnvelopesServed);
+                if !status.is_success() {
+                    self.inc(MetricId::EnvelopesRejected);
+                }
+                if status == StatusCode::Unauthorized {
+                    self.inc(MetricId::AuthFailures);
+                }
+                if status == StatusCode::Throttled {
+                    self.inc(MetricId::ThrottledEnvelopes);
+                }
             }
         }
     }
@@ -570,6 +590,15 @@ pub enum TraceEventKind {
         /// Shards replayed.
         shards: u32,
     },
+    /// The serving pipeline finished one request envelope (served or
+    /// rejected — the status says which, and the metric fold splits the
+    /// rejection counters by status class).
+    EnvelopeServed {
+        /// The user the envelope was submitted for.
+        user: UserId,
+        /// Final status of the envelope.
+        status: StatusCode,
+    },
 }
 
 impl TraceEventKind {
@@ -590,6 +619,7 @@ impl TraceEventKind {
             TraceEventKind::CompactionRun { .. } => "compaction-run",
             TraceEventKind::FlusherSync { .. } => "flusher-sync",
             TraceEventKind::ReplayCompleted { .. } => "replay-completed",
+            TraceEventKind::EnvelopeServed { .. } => "envelope-served",
         }
     }
 }
@@ -703,6 +733,14 @@ impl TraceEvent {
             }
             TraceEventKind::ReplayCompleted { bytes, shards } => {
                 let _ = write!(out, ",\"bytes\":{bytes},\"shards\":{shards}");
+            }
+            TraceEventKind::EnvelopeServed { user, status } => {
+                let _ = write!(
+                    out,
+                    ",\"user\":{},\"status\":\"{}\"",
+                    user.index(),
+                    status.as_str()
+                );
             }
         }
         out.push('}');

@@ -23,6 +23,8 @@
 //! * [`baselines`] — Random, METIS, hierarchical METIS and SPAR baselines.
 //! * [`store`] — a runnable multi-threaded in-memory store built on the
 //!   placement engine.
+//! * [`serve`] — the serving front-end: envelope pipeline with auth,
+//!   admission control and flow budgets over the store.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +58,7 @@ pub use dynasore_baselines as baselines;
 pub use dynasore_core as core;
 pub use dynasore_graph as graph;
 pub use dynasore_partition as partition;
+pub use dynasore_serve as serve;
 pub use dynasore_sim as sim;
 pub use dynasore_store as store;
 pub use dynasore_topology as topology;
@@ -68,6 +71,10 @@ pub mod prelude {
     pub use dynasore_core::{DynaSoReConfig, DynaSoReEngine, InitialPlacement};
     pub use dynasore_graph::{GraphPreset, SocialGraph};
     pub use dynasore_partition::{Partitioner, Partitioning, TreeShape};
+    pub use dynasore_serve::{
+        LoopbackServer, Middleware, PipelineExecutor, RequestEnvelope, ResponseEnvelope,
+        ServeConfig,
+    };
     pub use dynasore_sim::{
         generate_failure_schedule, DegradationReport, DurableIoStats, DurableTier,
         FaultInjectionConfig, LatencyStats, MemoryUsage, Message, PlacementEngine,
@@ -80,8 +87,8 @@ pub mod prelude {
     };
     pub use dynasore_topology::{Switch, Tier, Topology, TrafficAccount};
     pub use dynasore_types::{
-        Bandwidth, ClusterEvent, Error, Event, Latency, LatencyHistogram, MemoryBudget,
-        NetworkModel, Operation, SimTime, TimedClusterEvent, UserId, View,
+        Bandwidth, ClusterEvent, Error, Event, FlowBudget, Latency, LatencyHistogram, MemoryBudget,
+        NetworkModel, Operation, SimTime, StatusCode, TimedClusterEvent, UserId, View,
     };
     pub use dynasore_workload::{
         DiurnalConfig, DiurnalTraceGenerator, FlashEventPlan, Request, SyntheticConfig,
